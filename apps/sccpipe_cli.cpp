@@ -1,0 +1,159 @@
+// sccpipe — command-line driver: run any walkthrough configuration and
+// print the full metrics block, optionally as CSV. The scripting-friendly
+// way to explore the design space beyond the fixed paper harnesses.
+//
+//   $ sccpipe --scenario mcpc --pipelines 5 --arrangement flipped
+//   $ sccpipe --scenario n-rend --pipelines 7 --platform cluster
+//   $ sccpipe --scenario mcpc --blur-mhz 800 --tail-mhz 400 --isolate-blur
+//   $ sccpipe --list           # enumerate accepted option values
+
+#include <cstdio>
+#include <string>
+
+#include "sccpipe/core/walkthrough.hpp"
+#include "sccpipe/support/args.hpp"
+#include "sccpipe/support/table.hpp"
+
+using namespace sccpipe;
+
+namespace {
+
+bool parse_scenario(const std::string& v, Scenario* out) {
+  if (v == "1-rend" || v == "single-renderer") {
+    *out = Scenario::SingleRenderer;
+  } else if (v == "n-rend" || v == "renderer-per-pipeline") {
+    *out = Scenario::RendererPerPipeline;
+  } else if (v == "mcpc" || v == "host" || v == "external") {
+    *out = Scenario::HostRenderer;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_arrangement(const std::string& v, Arrangement* out) {
+  if (v == "unordered") {
+    *out = Arrangement::Unordered;
+  } else if (v == "ordered") {
+    *out = Arrangement::Ordered;
+  } else if (v == "flipped") {
+    *out = Arrangement::Flipped;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("scenario", "1-rend | n-rend | mcpc", "mcpc");
+  args.add_flag("arrangement", "unordered | ordered | flipped", "ordered");
+  args.add_flag("platform", "scc | cluster", "scc");
+  args.add_flag("pipelines", "number of parallel pipelines (1..8)", "4");
+  args.add_flag("frames", "walkthrough length", "400");
+  args.add_flag("size", "frame side length in pixels", "400");
+  args.add_flag("blur-mhz", "blur tile frequency (400/533/800/1066; 0=default)", "0");
+  args.add_flag("tail-mhz", "post-blur stage frequency (0=default)", "0");
+  args.add_flag("isolate-blur", "place blur alone on its tile (Fig. 18)", "false");
+  args.add_flag("seed", "scratch/flicker random seed", "42");
+  args.add_flag("csv", "emit one CSV row instead of tables", "false");
+  args.add_flag("timeline", "write a chrome://tracing JSON to this path", "");
+  args.add_flag("stages", "print the per-stage report", "true");
+  args.add_flag("list", "print accepted values and exit", "false");
+  args.add_flag("help", "show this help", "false");
+
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", args.error().c_str(),
+                 args.usage("sccpipe").c_str());
+    return 2;
+  }
+  if (args.get_bool("help")) {
+    std::printf("%s", args.usage("sccpipe").c_str());
+    return 0;
+  }
+  if (args.get_bool("list")) {
+    std::printf("scenarios:    1-rend (Fig. 3), n-rend (Fig. 6), mcpc (Fig. 7)\n");
+    std::printf("arrangements: unordered, ordered, flipped (Figs. 3-5)\n");
+    std::printf("platforms:    scc (SCC+MCPC), cluster (Mogon node, Fig. 13)\n");
+    return 0;
+  }
+
+  RunConfig cfg;
+  if (!parse_scenario(args.get("scenario"), &cfg.scenario)) {
+    std::fprintf(stderr, "error: unknown scenario '%s'\n",
+                 args.get("scenario").c_str());
+    return 2;
+  }
+  if (!parse_arrangement(args.get("arrangement"), &cfg.arrangement)) {
+    std::fprintf(stderr, "error: unknown arrangement '%s'\n",
+                 args.get("arrangement").c_str());
+    return 2;
+  }
+  cfg.platform = args.get("platform") == "cluster" ? PlatformKind::Cluster
+                                                   : PlatformKind::Scc;
+  cfg.pipelines = args.get_int("pipelines");
+  cfg.blur_mhz = args.get_int("blur-mhz");
+  cfg.tail_mhz = args.get_int("tail-mhz");
+  cfg.isolate_blur_tile = args.get_bool("isolate-blur");
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const int frames = args.get_int("frames");
+  const int size = args.get_int("size");
+  std::fprintf(stderr, "[sccpipe] building scene (%d frames at %dx%d)...\n",
+               frames, size, size);
+  SceneBundle scene(CityParams{}, CameraConfig{}, size, frames);
+  const WorkloadTrace trace = WorkloadTrace::build(scene, cfg.pipelines);
+  TimelineRecorder timeline;
+  const std::string timeline_path = args.get("timeline");
+  if (!timeline_path.empty()) cfg.timeline = &timeline;
+  const RunResult r = run_walkthrough(scene, trace, cfg);
+  if (!timeline_path.empty()) {
+    timeline.write(timeline_path);
+    std::fprintf(stderr, "[sccpipe] timeline (%zu spans) -> %s\n",
+                 timeline.size(), timeline_path.c_str());
+  }
+
+  if (args.get_bool("csv")) {
+    std::printf("scenario,arrangement,platform,pipelines,frames,walkthrough_s,"
+                "mean_watts,chip_energy_j,host_busy_s,host_extra_j\n");
+    std::printf("%s,%s,%s,%d,%d,%.3f,%.2f,%.1f,%.3f,%.1f\n",
+                scenario_name(cfg.scenario), arrangement_name(cfg.arrangement),
+                cfg.platform == PlatformKind::Scc ? "scc" : "cluster",
+                cfg.pipelines, frames, r.walkthrough.to_sec(),
+                r.mean_chip_watts, r.chip_energy_joules, r.host_busy_sec,
+                r.host_extra_energy_joules);
+    return 0;
+  }
+
+  std::printf("configuration: %s, %s, %d pipeline(s) on %s\n",
+              scenario_name(cfg.scenario), arrangement_name(cfg.arrangement),
+              cfg.pipelines,
+              cfg.platform == PlatformKind::Scc ? "SCC+MCPC" : "cluster node");
+  std::printf("walkthrough:   %.3f s simulated (%d frames)\n",
+              r.walkthrough.to_sec(), frames);
+  std::printf("chip power:    %.1f W mean, %.0f J\n", r.mean_chip_watts,
+              r.chip_energy_joules);
+  if (r.host_busy_sec > 0.0) {
+    std::printf("host:          busy %.2f s, extra %.0f J\n", r.host_busy_sec,
+                r.host_extra_energy_joules);
+  }
+
+  if (args.get_bool("stages")) {
+    TextTable table({"stage", "pl", "core", "busy ms/frame", "wait med [ms]",
+                     "wait q1-q3 [ms]"});
+    for (const StageReport& st : r.stages) {
+      table.row()
+          .add(stage_name(st.kind))
+          .add(st.pipeline)
+          .add(st.core)
+          .add(st.busy_ms / std::max(1, st.frames), 2)
+          .add(st.wait_ms.median, 1)
+          .add(format_fixed(st.wait_ms.q1, 1) + "-" +
+               format_fixed(st.wait_ms.q3, 1));
+    }
+    std::printf("\n%s", table.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// sccpipe_sweep — batch experiment runner: sweeps the configuration grid
+// (scenarios x arrangements x pipeline counts x platforms) over one shared
+// scene/workload and emits a CSV, one row per run. The building block for
+// custom studies beyond the fixed paper harnesses.
+//
+//   $ sccpipe_sweep --pipelines 1-7 --frames 400 > sweep.csv
+//   $ sccpipe_sweep --scenarios mcpc,n-rend --platforms scc --pipelines 2-5
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sccpipe/core/walkthrough.hpp"
+#include "sccpipe/support/args.hpp"
+
+using namespace sccpipe;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// "1-7" or "3" or "1,3,5" -> list of ints.
+std::vector<int> parse_range(const std::string& s) {
+  std::vector<int> out;
+  for (const std::string& part : split_csv(s)) {
+    const auto dash = part.find('-');
+    if (dash != std::string::npos) {
+      const int lo = std::atoi(part.substr(0, dash).c_str());
+      const int hi = std::atoi(part.substr(dash + 1).c_str());
+      for (int v = lo; v <= hi; ++v) out.push_back(v);
+    } else {
+      out.push_back(std::atoi(part.c_str()));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("scenarios", "comma list: 1-rend,n-rend,mcpc",
+                "1-rend,n-rend,mcpc");
+  args.add_flag("arrangements", "comma list: unordered,ordered,flipped",
+                "ordered");
+  args.add_flag("platforms", "comma list: scc,cluster", "scc");
+  args.add_flag("pipelines", "range, e.g. 1-7 or 2,4,6", "1-7");
+  args.add_flag("frames", "walkthrough length", "400");
+  args.add_flag("size", "frame side length", "400");
+  args.add_flag("help", "show this help", "false");
+  if (!args.parse(argc, argv) || args.get_bool("help")) {
+    std::fprintf(stderr, "%s%s", args.error().empty() ? "" :
+                 (args.error() + "\n").c_str(),
+                 args.usage("sccpipe_sweep").c_str());
+    return args.get_bool("help") ? 0 : 2;
+  }
+
+  const std::vector<int> pipeline_list = parse_range(args.get("pipelines"));
+  int max_k = 1;
+  for (const int k : pipeline_list) max_k = std::max(max_k, k);
+
+  const int frames = args.get_int("frames");
+  const int size = args.get_int("size");
+  std::fprintf(stderr, "[sweep] scene + trace (%d frames, %dx%d, max k %d)\n",
+               frames, size, size, max_k);
+  SceneBundle scene(CityParams{}, CameraConfig{}, size, frames);
+  const WorkloadTrace trace = WorkloadTrace::build(scene, max_k);
+
+  std::printf("scenario,arrangement,platform,pipelines,walkthrough_s,"
+              "mean_watts,chip_energy_j,host_busy_s,host_extra_j,"
+              "blur_wait_med_ms\n");
+  for (const std::string& sc : split_csv(args.get("scenarios"))) {
+    Scenario scenario;
+    if (sc == "1-rend") {
+      scenario = Scenario::SingleRenderer;
+    } else if (sc == "n-rend") {
+      scenario = Scenario::RendererPerPipeline;
+    } else if (sc == "mcpc") {
+      scenario = Scenario::HostRenderer;
+    } else {
+      std::fprintf(stderr, "[sweep] skipping unknown scenario '%s'\n",
+                   sc.c_str());
+      continue;
+    }
+    for (const std::string& ar : split_csv(args.get("arrangements"))) {
+      Arrangement arrangement;
+      if (ar == "unordered") {
+        arrangement = Arrangement::Unordered;
+      } else if (ar == "ordered") {
+        arrangement = Arrangement::Ordered;
+      } else if (ar == "flipped") {
+        arrangement = Arrangement::Flipped;
+      } else {
+        std::fprintf(stderr, "[sweep] skipping unknown arrangement '%s'\n",
+                     ar.c_str());
+        continue;
+      }
+      for (const std::string& pf : split_csv(args.get("platforms"))) {
+        const PlatformKind platform =
+            pf == "cluster" ? PlatformKind::Cluster : PlatformKind::Scc;
+        for (const int k : pipeline_list) {
+          RunConfig cfg;
+          cfg.scenario = scenario;
+          cfg.arrangement = arrangement;
+          cfg.platform = platform;
+          cfg.pipelines = k;
+          const RunResult r = run_walkthrough(scene, trace, cfg);
+          const StageReport* blur = r.stage(StageKind::Blur, 0);
+          std::printf("%s,%s,%s,%d,%.3f,%.2f,%.1f,%.3f,%.1f,%.2f\n",
+                      scenario_name(scenario), arrangement_name(arrangement),
+                      pf.c_str(), k, r.walkthrough.to_sec(),
+                      r.mean_chip_watts, r.chip_energy_joules,
+                      r.host_busy_sec, r.host_extra_energy_joules,
+                      blur ? blur->wait_ms.median : 0.0);
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared infrastructure for the figure/table reproduction harnesses: the
+/// paper's workload (400-frame walkthrough of the city at 400x400) built
+/// once per binary, plus table helpers that print measured values next to
+/// the numbers published in the paper.
+///
+/// Environment knobs:
+///   SCCPIPE_BENCH_FRAMES — walkthrough length (default 400, the paper's).
+///     Results are scaled back to 400 frames so reduced runs stay
+///     comparable.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sccpipe/core/walkthrough.hpp"
+#include "sccpipe/support/svg_plot.hpp"
+#include "sccpipe/support/table.hpp"
+
+namespace sccpipe::bench {
+
+/// The paper's workload, built lazily and shared within a binary.
+class World {
+ public:
+  static const World& instance();
+
+  const SceneBundle& scene() const { return *scene_; }
+  const WorkloadTrace& trace() const { return *trace_; }
+  int frames() const { return frames_; }
+  /// Multiplier that scales a measured duration to the paper's 400-frame
+  /// walkthrough (1.0 for full-length runs).
+  double scale() const { return 400.0 / frames_; }
+
+ private:
+  World();
+  int frames_;
+  std::unique_ptr<SceneBundle> scene_;
+  std::unique_ptr<WorkloadTrace> trace_;
+};
+
+/// Run one timed walkthrough on the shared world and return the result.
+RunResult run(const RunConfig& cfg);
+
+/// Walkthrough seconds, scaled to 400 frames.
+double run_seconds(const RunConfig& cfg);
+
+/// Standard header block for a harness: which figure/table, what the paper
+/// reports, what we print.
+void print_banner(const std::string& experiment, const std::string& summary);
+
+/// Append a "k=1..7" sweep row: label, then one duration per pipeline
+/// count, next to the paper's row for comparison.
+struct SweepSpec {
+  std::string label;
+  Scenario scenario;
+  Arrangement arrangement = Arrangement::Ordered;
+  PlatformKind platform = PlatformKind::Scc;
+  std::vector<double> paper_seconds;  // may be empty
+};
+
+/// Run the sweep for k = 1..max_k and add "<label> (sim)" and, when paper
+/// numbers exist, "<label> (paper)" rows to the table. When \p plot is
+/// given, the simulated series (solid) and the paper's (dashed) are added
+/// to it as well.
+void add_sweep_rows(TextTable& table, const SweepSpec& spec, int max_k = 7,
+                    SvgPlot* plot = nullptr);
+
+/// Write an SVG figure to $SCCPIPE_FIGURE_DIR (default "figures/") and
+/// print where it went.
+void write_figure(const SvgPlot& plot, const std::string& name);
+
+}  // namespace sccpipe::bench

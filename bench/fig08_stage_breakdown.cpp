@@ -1,0 +1,51 @@
+// Figure 8 — "Overall stage running time using one SCC core."
+// The whole pipeline runs sequentially on one core; the paper reports a
+// ~382 s total, ~94 s for the render stage alone, and ~104 s for render
+// plus transfer (§VI-A). Blur is the most expensive filter stage.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace sccpipe;
+using namespace sccpipe::bench;
+
+int main() {
+  print_banner("Figure 8 — per-stage time, whole pipeline on one SCC core",
+               "paper: total ~382 s; render-only ~94 s; render+transfer ~104 s");
+  const double scale = World::instance().scale();
+  const RunConfig cfg;  // defaults; scenario irrelevant for the baseline
+
+  const SingleCoreBreakdown full = run_single_core(
+      World::instance().scene(), World::instance().trace(), cfg);
+
+  TextTable table({"stage", "time [s]", "share [%]"});
+  for (const auto& [kind, t] : full.per_stage) {
+    table.row()
+        .add(stage_name(kind))
+        .add(t.to_sec() * scale, 1)
+        .add(100.0 * (t / full.total), 1);
+  }
+  table.row().add("TOTAL").add(full.total.to_sec() * scale, 1).add(100.0, 1);
+  std::printf("%s\n", table.to_string().c_str());
+
+  const SingleCoreBreakdown render_transfer = run_single_core(
+      World::instance().scene(), World::instance().trace(), cfg,
+      /*include_filters=*/false, /*include_transfer=*/true);
+  const SingleCoreBreakdown render_only = run_single_core(
+      World::instance().scene(), World::instance().trace(), cfg,
+      /*include_filters=*/false, /*include_transfer=*/false);
+
+  TextTable variants({"variant", "sim [s]", "paper [s]"});
+  variants.row().add("full pipeline").add(full.total.to_sec() * scale, 1).add(382.0, 0);
+  variants.row()
+      .add("render + transfer only")
+      .add(render_transfer.total.to_sec() * scale, 1)
+      .add(104.0, 0);
+  variants.row()
+      .add("render only")
+      .add(render_only.total.to_sec() * scale, 1)
+      .add(94.0, 0);
+  std::printf("%s\n", variants.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 12 — "Rendering time with increasing image sizes." A single
+// pipeline with the MCPC rendering; the image side length sweeps 50..400
+// (10 KB .. 640 KB frames). The paper's finding: no cache cliff when the
+// strip exceeds the 256 KiB L2 — the filters' reuse windows are a few rows
+// and always fit — and a slight curvature from per-datagram overheads on
+// the segmented transfers.
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+
+using namespace sccpipe;
+using namespace sccpipe::bench;
+
+int main() {
+  print_banner(
+      "Figure 12 — single pipeline, MCPC renderer, image side 50..400",
+      "paper: smooth, near-quadratic-in-side curve, no L2-size jump; 236 s at 400");
+
+  const int frames = World::instance().frames();
+  const double scale = World::instance().scale();
+
+  TextTable table({"side [px]", "frame [KB]", "time [s]", "s per 100KB"});
+  SvgPlot plot("Fig. 12 — time vs image size (single pipeline, MCPC render)",
+               "image side length [px]", "time in sec");
+  PlotSeries series;
+  series.label = "sim";
+  for (const int side : {50, 100, 150, 200, 250, 300, 350, 400}) {
+    // Per-size scene: same city and path, different frame resolution.
+    SceneBundle scene(CityParams{}, CameraConfig{}, side, frames);
+    WorkloadTrace trace = WorkloadTrace::build(scene, 1);
+    RunConfig cfg;
+    cfg.scenario = Scenario::HostRenderer;
+    cfg.pipelines = 1;
+    const RunResult r = run_walkthrough(scene, trace, cfg);
+    const double secs = r.walkthrough.to_sec() * scale;
+    const double kb = side * side * 4.0 / 1024.0;
+    table.row()
+        .add(side)
+        .add(kb, 0)
+        .add(secs, 1)
+        .add(secs / (kb / 100.0), 2);
+    series.x.push_back(side);
+    series.y.push_back(secs);
+    std::fflush(stdout);
+  }
+  plot.add_series(std::move(series));
+  std::printf("%s\n", table.to_string().c_str());
+  write_figure(plot, "fig12_image_sizes");
+  std::printf(
+      "the 'per 100KB' column is flat-ish with a mild rise: data volume, not\n"
+      "cache capacity, governs the time (paper: \"no significant jump ... if\n"
+      "the cores' cache size is exceeded\")\n");
+  return 0;
+}

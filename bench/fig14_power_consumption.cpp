@@ -1,0 +1,86 @@
+// Figure 14 — "SCC power consumption increases linearly with the number of
+// used pipelines." MCPC-renderer configuration; the paper plots power over
+// time for 7..42 allocated cores (k = 1..8) and all three arrangements,
+// showing flat traces whose level grows linearly with core count and does
+// not depend on the arrangement.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace sccpipe;
+using namespace sccpipe::bench;
+
+int main() {
+  print_banner(
+      "Figure 14 — SCC power vs time, MCPC renderer, 7..42 allocated cores",
+      "paper: flat per-run traces, ~35-65 W band, linear in cores, "
+      "arrangement-insensitive");
+
+  // Mean power level per (cores, arrangement).
+  TextTable table({"CPUs", "pipelines", "unordered [W]", "ordered [W]",
+                   "flipped [W]"});
+  for (int k = 1; k <= 7; ++k) {
+    table.row().add(5 * k + 2).add(k);
+    for (const Arrangement a : {Arrangement::Unordered, Arrangement::Ordered,
+                                Arrangement::Flipped}) {
+      RunConfig cfg;
+      cfg.scenario = Scenario::HostRenderer;
+      cfg.arrangement = a;
+      cfg.pipelines = k;
+      table.add(run(cfg).mean_chip_watts, 1);
+    }
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Sampled traces (the figure's x axis: first 100 s of the run).
+  SvgPlot plot("Fig. 14 — SCC power with MCPC rendering", "time in sec",
+               "power in watt");
+  plot.y_from_zero(false);
+  for (int k = 1; k <= 7; k += 2) {
+    RunConfig cfg;
+    cfg.scenario = Scenario::HostRenderer;
+    cfg.pipelines = k;
+    const RunResult r = run(cfg);
+    PlotSeries series;
+    series.label = std::to_string(5 * k + 2) + " CPUs";
+    series.markers = false;
+    const SimTime end = min(r.walkthrough, SimTime::sec(100.0));
+    for (SimTime t = SimTime::zero(); t + SimTime::sec(5) <= end;
+         t += SimTime::sec(5)) {
+      series.x.push_back((t + SimTime::sec(2.5)).to_sec());
+      series.y.push_back(r.power_trace.integrate(t, t + SimTime::sec(5)) /
+                         5.0);
+    }
+    if (k == 5) {
+      std::printf("power trace, k=5 (27 CPUs), 5 s windows [W]:");
+      for (const double w : series.y) std::printf(" %.1f", w);
+      std::printf("\n(paper quotes ~50 W for this configuration, §VI-B)\n");
+    }
+    plot.add_series(std::move(series));
+  }
+  write_figure(plot, "fig14_power_consumption");
+
+  // Linearity check: fit watts = a + b * cores across k.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (int k = 1; k <= 7; ++k) {
+    RunConfig c;
+    c.scenario = Scenario::HostRenderer;
+    c.pipelines = k;
+    const double cores = 5.0 * k + 2.0;
+    const double watts = run(c).mean_chip_watts;
+    sx += cores;
+    sy += watts;
+    sxx += cores * cores;
+    sxy += cores * watts;
+    ++n;
+  }
+  const double b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  const double a = (sy - b * sx) / n;
+  std::printf("linear fit: P ~= %.1f W + %.2f W/core (paper model: idle+uncore "
+              "plus ~0.7 W per spinning core)\n",
+              a, b);
+  return 0;
+}

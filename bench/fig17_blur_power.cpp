@@ -1,0 +1,81 @@
+// Figure 17 — "...results in significant higher power consumption." Power
+// traces of the three Fig. 16 DVFS configurations. Paper: ~40 W at
+// all-533, ~44 W with the blur tile at 800 MHz / 1.3 V (+4-5 W), and ~39 W
+// when the post-blur stages drop to 400 MHz / 0.7 V — about 1 W below the
+// all-533 level while keeping the blur speed-up.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace sccpipe;
+using namespace sccpipe::bench;
+
+int main() {
+  print_banner(
+      "Figure 17 — power of the blur-DVFS configurations (single pipeline)",
+      "paper: ~40 W baseline; +4-5 W with blur@800; ~-5 W with the 400 MHz tail");
+
+  struct Config {
+    const char* label;
+    int blur_mhz;
+    int tail_mhz;
+  };
+  const Config configs[] = {
+      {"all stages 533 MHz", 0, 0},
+      {"blur stage 800 MHz", 800, 0},
+      {"533 / 800 / 400 MHz", 800, 400},
+  };
+
+  double watts[3] = {};
+  TextTable table({"configuration", "mean [W]", "energy [J]", "time [s]"});
+  int i = 0;
+  for (const Config& c : configs) {
+    RunConfig cfg;
+    cfg.scenario = Scenario::HostRenderer;
+    cfg.pipelines = 1;
+    cfg.isolate_blur_tile = true;
+    cfg.blur_mhz = c.blur_mhz;
+    cfg.tail_mhz = c.tail_mhz;
+    const RunResult r = run(cfg);
+    watts[i++] = r.mean_chip_watts;
+    table.row()
+        .add(c.label)
+        .add(r.mean_chip_watts, 1)
+        .add(r.chip_energy_joules * World::instance().scale(), 0)
+        .add(r.walkthrough.to_sec() * World::instance().scale(), 1);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("blur@800 adds %.1f W over baseline (paper: +4-5 W)\n",
+              watts[1] - watts[0]);
+  std::printf("the 400 MHz tail brings it %.1f W below baseline "
+              "(paper: ~1 W below)\n",
+              watts[0] - watts[2]);
+
+  // Sampled traces of all three configurations (the figure's time axis).
+  SvgPlot plot("Fig. 17 — power with a fast blur stage", "time in sec",
+               "power in watt");
+  plot.y_from_zero(false);
+  for (const Config& c : configs) {
+    RunConfig cfg;
+    cfg.scenario = Scenario::HostRenderer;
+    cfg.pipelines = 1;
+    cfg.isolate_blur_tile = true;
+    cfg.blur_mhz = c.blur_mhz;
+    cfg.tail_mhz = c.tail_mhz;
+    const RunResult r = run(cfg);
+    PlotSeries series;
+    series.label = c.label;
+    series.markers = false;
+    const SimTime end = min(r.walkthrough, SimTime::sec(100.0));
+    for (SimTime t = SimTime::zero(); t + SimTime::sec(5) <= end;
+         t += SimTime::sec(5)) {
+      series.x.push_back((t + SimTime::sec(2.5)).to_sec());
+      series.y.push_back(r.power_trace.integrate(t, t + SimTime::sec(5)) /
+                         5.0);
+    }
+    plot.add_series(std::move(series));
+  }
+  write_figure(plot, "fig17_blur_power");
+  return 0;
+}

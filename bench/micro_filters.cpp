@@ -1,0 +1,99 @@
+// Google-benchmark microbenchmarks of the functional filter kernels — the
+// real pixel code the examples run (the timed model prices the P54C, these
+// measure this machine).
+
+#include <benchmark/benchmark.h>
+
+#include "sccpipe/filters/filters.hpp"
+#include "sccpipe/support/rng.hpp"
+
+namespace {
+
+using namespace sccpipe;
+
+Image make_image(int side, std::uint64_t seed) {
+  Image img(side, side);
+  Rng rng{seed};
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      img.set(x, y, Color{static_cast<std::uint8_t>(rng.below(256)),
+                          static_cast<std::uint8_t>(rng.below(256)),
+                          static_cast<std::uint8_t>(rng.below(256)), 255});
+    }
+  }
+  return img;
+}
+
+void BM_Sepia(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  Image img = make_image(side, 1);
+  for (auto _ : state) {
+    apply_sepia(img);
+    benchmark::DoNotOptimize(img.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(img.byte_size()));
+}
+BENCHMARK(BM_Sepia)->Arg(100)->Arg(400);
+
+void BM_Blur(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  Image img = make_image(side, 2);
+  for (auto _ : state) {
+    apply_blur(img);
+    benchmark::DoNotOptimize(img.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(img.byte_size()));
+}
+BENCHMARK(BM_Blur)->Arg(100)->Arg(400);
+
+void BM_Scratch(benchmark::State& state) {
+  Image img = make_image(400, 3);
+  Rng rng{7};
+  for (auto _ : state) {
+    apply_scratches(img, ScratchParams::draw(rng, 400));
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_Scratch);
+
+void BM_Flicker(benchmark::State& state) {
+  Image img = make_image(400, 4);
+  Rng rng{8};
+  for (auto _ : state) {
+    apply_flicker(img, FlickerParams::draw(rng));
+    benchmark::DoNotOptimize(img.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(img.byte_size()));
+}
+BENCHMARK(BM_Flicker);
+
+void BM_Vflip(benchmark::State& state) {
+  Image img = make_image(400, 5);
+  for (auto _ : state) {
+    apply_vflip(img);
+    benchmark::DoNotOptimize(img.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(img.byte_size()));
+}
+BENCHMARK(BM_Vflip);
+
+void BM_StripSplitAssemble(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Image img = make_image(400, 6);
+  for (auto _ : state) {
+    Image out(400, 400);
+    for (const StripRange& s : divide_rows(400, k)) {
+      out.paste(img.strip(s), s.y0);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_StripSplitAssemble)->Arg(2)->Arg(7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

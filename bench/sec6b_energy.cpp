@@ -1,0 +1,58 @@
+// §VI-B — energy comparison of the two best configurations. The paper:
+// hybrid (MCPC renders, 5 pipelines) consumes 3.3 s * 28 W on the host
+// plus 51 s * 50 W on the SCC = 2642 J, against the all-SCC n-renderer
+// system at 58 s * 58 W = 3364 J — "it is reasonable to use the hybrid
+// MCPC and SCC approach in long running applications".
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace sccpipe;
+using namespace sccpipe::bench;
+
+int main() {
+  print_banner("Section VI-B — energy: hybrid (MCPC+SCC) vs all-SCC",
+               "paper: hybrid 2642 J vs n-renderer 3364 J");
+  const double scale = World::instance().scale();
+
+  RunConfig hybrid;
+  hybrid.scenario = Scenario::HostRenderer;
+  hybrid.pipelines = 5;
+  const RunResult h = run(hybrid);
+
+  RunConfig allscc;
+  allscc.scenario = Scenario::RendererPerPipeline;
+  allscc.pipelines = 7;
+  const RunResult s = run(allscc);
+
+  TextTable table({"system", "time [s]", "SCC mean [W]", "SCC E [J]",
+                   "host busy [s]", "host extra E [J]", "total E [J]",
+                   "paper [J]"});
+  table.row()
+      .add("hybrid (MCPC k=5)")
+      .add(h.walkthrough.to_sec() * scale, 1)
+      .add(h.mean_chip_watts, 1)
+      .add(h.chip_energy_joules * scale, 0)
+      .add(h.host_busy_sec * scale, 2)
+      .add(h.host_extra_energy_joules * scale, 0)
+      .add((h.chip_energy_joules + h.host_extra_energy_joules) * scale, 0)
+      .add(2642.0, 0);
+  table.row()
+      .add("all-SCC (n rend. k=7)")
+      .add(s.walkthrough.to_sec() * scale, 1)
+      .add(s.mean_chip_watts, 1)
+      .add(s.chip_energy_joules * scale, 0)
+      .add(0.0, 2)
+      .add(0.0, 0)
+      .add(s.chip_energy_joules * scale, 0)
+      .add(3364.0, 0);
+  std::printf("%s\n", table.to_string().c_str());
+
+  const double he = (h.chip_energy_joules + h.host_extra_energy_joules) * scale;
+  const double se = s.chip_energy_joules * scale;
+  std::printf("hybrid saves %.0f%% energy (paper: ~21%%) — %s\n",
+              100.0 * (1.0 - he / se),
+              he < se ? "hybrid wins, as in the paper" : "MISMATCH");
+  return 0;
+}

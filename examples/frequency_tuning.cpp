@@ -1,0 +1,51 @@
+// Frequency tuning — interactive version of §VI-D: sweep the blur tile's
+// frequency and the post-blur tail frequency, and print the
+// time/power/energy trade-off the paper explores in Figs. 16-17.
+//
+//   $ ./examples/frequency_tuning
+
+#include <cstdio>
+
+#include "sccpipe/core/walkthrough.hpp"
+#include "sccpipe/support/table.hpp"
+
+using namespace sccpipe;
+
+int main() {
+  CityParams city;
+  city.blocks_x = 10;
+  city.blocks_z = 10;
+  SceneBundle scene(city, CameraConfig{}, 400, 80);
+  const WorkloadTrace trace = WorkloadTrace::build(scene, 1);
+
+  std::printf("single pipeline, MCPC renderer, blur isolated on its own tile\n"
+              "(the Fig. 18 placement); sweeping tile frequencies:\n\n");
+
+  TextTable table({"blur [MHz]", "tail [MHz]", "time [s]", "mean [W]",
+                   "energy [J]", "J per frame"});
+  for (const int blur : {400, 533, 800, 1066}) {
+    for (const int tail : {400, 533}) {
+      RunConfig cfg;
+      cfg.scenario = Scenario::HostRenderer;
+      cfg.pipelines = 1;
+      cfg.isolate_blur_tile = true;
+      cfg.blur_mhz = blur;
+      cfg.tail_mhz = tail;
+      const RunResult r = run_walkthrough(scene, trace, cfg);
+      table.row()
+          .add(blur)
+          .add(tail)
+          .add(r.walkthrough.to_sec(), 2)
+          .add(r.mean_chip_watts, 1)
+          .add(r.chip_energy_joules, 0)
+          .add(r.chip_energy_joules / 80.0, 2);
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "the paper's conclusion (§VII): \"significant returns can be made by\n"
+      "adjusting the frequencies of the individual cores\" — raising only the\n"
+      "bottleneck stage buys most of the speed; lowering the waiting tail\n"
+      "claws back the power.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Silent film — the paper's case study, run *functionally*: real pixels
+// travel through the macro pipeline (render -> sepia -> blur -> scratch ->
+// flicker -> swap -> transfer) and the finished frames are written to disk
+// as PPM images. View them with any image viewer or encode a film:
+//
+//   $ ./examples/silent_film [frames] [size] [out_dir]
+//   $ ffmpeg -i silent_film_frames/frame_%03d.ppm film.mp4   # optional
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "sccpipe/core/walkthrough.hpp"
+
+using namespace sccpipe;
+
+int main(int argc, char** argv) {
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 24;
+  const int size = argc > 2 ? std::atoi(argv[2]) : 320;
+  const std::string out_dir = argc > 3 ? argv[3] : "silent_film_frames";
+
+  CityParams city;
+  city.blocks_x = 10;
+  city.blocks_z = 10;
+  SceneBundle scene(city, CameraConfig{}, size, frames);
+  const WorkloadTrace trace = WorkloadTrace::build(scene, 3);
+
+  std::printf("rendering %d frames at %dx%d through 3 parallel pipelines...\n",
+              frames, size, size);
+  RunConfig cfg;
+  cfg.scenario = Scenario::RendererPerPipeline;  // sort-first, 3 renderers
+  cfg.pipelines = 3;
+  cfg.functional = true;  // carry real pixels, apply the real filters
+  const RunResult result = run_walkthrough(scene, trace, cfg);
+
+  std::filesystem::create_directories(out_dir);
+  for (std::size_t i = 0; i < result.frames.size(); ++i) {
+    char name[64];
+    std::snprintf(name, sizeof name, "%s/frame_%03zu.ppm", out_dir.c_str(), i);
+    result.frames[i].write_ppm(name);
+  }
+  std::printf("wrote %zu frames to %s/\n", result.frames.size(),
+              out_dir.c_str());
+  std::printf("simulated SCC time for this walkthrough: %.2f s "
+              "(the pixels are identical to a sequential run)\n",
+              result.walkthrough.to_sec());
+  return 0;
+}

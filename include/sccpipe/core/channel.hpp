@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file channel.hpp
+/// Frame-token channels between pipeline stages. A channel hides which
+/// transport carries the strip — RCCE rendezvous between two SCC cores, the
+/// UDP path from the MCPC into the chip, or the outbound path to the
+/// visualisation client — while exposing the one timing fact the metrics
+/// need: when the rendezvous *matched* (Fig. 15 measures the time a stage
+/// wastes waiting for its next input tile, not the transfer work itself).
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sccpipe/filters/image.hpp"
+#include "sccpipe/host/host_cpu.hpp"
+#include "sccpipe/host/host_link.hpp"
+#include "sccpipe/rcce/rcce.hpp"
+
+namespace sccpipe {
+
+/// One strip (or whole frame) travelling between stages.
+struct FrameToken {
+  int frame = 0;
+  StripRange strip{};
+  double bytes = 0.0;
+  std::shared_ptr<Image> image;  ///< present only in functional runs
+};
+
+class Channel {
+ public:
+  using SendDone = std::function<void()>;
+  /// matched_at: instant the rendezvous matched / the message was available
+  /// at the consumer's door — the end of the consumer's *waiting* time.
+  using RecvDone = std::function<void(FrameToken, SimTime matched_at)>;
+
+  virtual ~Channel() = default;
+  virtual void send(FrameToken token, SendDone on_sent) = 0;
+  virtual void recv(RecvDone on_token) = 0;
+};
+
+/// RCCE rendezvous between two SCC cores. Blocking both ways; the transfer
+/// bounces through the receiver's DRAM partition (see rcce.hpp).
+class SccChannel final : public Channel {
+ public:
+  SccChannel(RcceComm& comm, CoreId from, CoreId to);
+
+  void send(FrameToken token, SendDone on_sent) override;
+  void recv(RecvDone on_token) override;
+
+  CoreId from() const { return from_; }
+  CoreId to() const { return to_; }
+
+ private:
+  RcceComm& comm_;
+  CoreId from_;
+  CoreId to_;
+  std::deque<FrameToken> tokens_;       // send order == delivery order
+  std::deque<SimTime> send_posted_;
+  std::deque<SimTime> recv_posted_;
+};
+
+/// Host -> SCC path (MCPC renderer feeding the connect stage), or an
+/// external cluster node feeding a cluster pipeline. The consumer core pays
+/// the UDP receive cost before the token is handed over.
+class HostToChipChannel final : public Channel {
+ public:
+  HostToChipChannel(HostCpu& host, SccChip& chip, CoreId consumer_core,
+                    HostLinkConfig link_cfg);
+
+  void send(FrameToken token, SendDone on_sent) override;  // host side
+  void recv(RecvDone on_token) override;                   // chip side
+
+ private:
+  HostCpu& host_;
+  SccChip& chip_;
+  CoreId consumer_;
+  HostChannel wire_;
+  std::deque<FrameToken> tokens_;
+};
+
+/// SCC -> visualisation client. The producer core pays the UDP send cost;
+/// the viewer consumes instantly. The sink callback observes each frame's
+/// arrival (completion times of the walkthrough).
+class ChipToViewerChannel final : public Channel {
+ public:
+  using FrameSink = std::function<void(const FrameToken&, SimTime arrived)>;
+
+  ChipToViewerChannel(SccChip& chip, CoreId producer_core,
+                      HostLinkConfig link_cfg, FrameSink sink);
+
+  void send(FrameToken token, SendDone on_sent) override;
+  /// The viewer is a sink; recv() is not part of its contract.
+  void recv(RecvDone on_token) override;
+
+ private:
+  SccChip& chip_;
+  CoreId producer_;
+  HostChannel wire_;
+  FrameSink sink_;
+};
+
+}  // namespace sccpipe

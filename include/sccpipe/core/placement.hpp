@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file placement.hpp
+/// Mapping pipeline stages onto SCC cores — the three arrangements of
+/// §IV-A. Row "slots" of six cores host one pipeline each:
+///
+///  * Unordered: cores taken in plain SCC id order; pipelines may start in
+///    the middle of one row and end in another (Fig. 3).
+///  * Ordered: each pipeline laid west-to-east along one grid row (Fig. 4).
+///  * Flipped: ordered, but every second pipeline runs east-to-west so the
+///    heavy head stages alternate between the two edge memory controllers
+///    (Fig. 5).
+///
+/// An optional DVFS-isolated mode places the blur stage alone on its own
+/// tile so its frequency/voltage can be raised independently (Fig. 18).
+
+#include <vector>
+
+#include "sccpipe/noc/topology.hpp"
+
+namespace sccpipe {
+
+enum class Arrangement { Unordered, Ordered, Flipped };
+
+const char* arrangement_name(Arrangement a);
+
+struct PlacementRequest {
+  int pipelines = 1;
+  /// Stages per pipeline (5 filters, +1 when each pipeline has a renderer).
+  int stages_per_pipeline = 5;
+  /// One extra producer core (single render stage or connect stage).
+  bool needs_producer = false;
+  /// Give the second pipeline stage (blur, when stages are
+  /// sepia-blur-scratch-flicker-swap) a private tile for DVFS experiments.
+  bool isolate_blur_tile = false;
+};
+
+struct Placement {
+  /// pipeline_cores[i][j] = core of stage j of pipeline i.
+  std::vector<std::vector<CoreId>> pipeline_cores;
+  CoreId producer = -1;  ///< single renderer / connect stage (if requested)
+  CoreId transfer = -1;
+
+  /// All distinct cores in use.
+  std::vector<CoreId> all_cores() const;
+};
+
+/// Compute the placement; throws CheckError if the chip cannot host the
+/// requested configuration.
+Placement make_placement(const MeshTopology& topo, Arrangement arrangement,
+                         const PlacementRequest& request);
+
+}  // namespace sccpipe

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file stage.hpp
+/// Stage taxonomy and the cost model mapping a stage + workload to P54C
+/// reference cycles and DRAM traffic. Shared by the timed pipeline actors,
+/// the single-core baseline, and the Fig. 8 breakdown bench.
+
+#include <string>
+
+#include "sccpipe/core/calibration.hpp"
+
+namespace sccpipe {
+
+enum class StageKind {
+  Render,
+  Connect,
+  Sepia,
+  Blur,
+  Scratch,
+  Flicker,
+  Swap,
+  Transfer,
+};
+
+const char* stage_name(StageKind kind);
+
+/// Per-strip render workload measured by the estimation pass (octree cull
+/// and projected coverage for one frame/strip).
+struct RenderLoad {
+  double nodes_visited = 0.0;
+  double tris_accepted = 0.0;
+  double projected_pixels = 0.0;
+};
+
+/// Cost of a *filter* stage pass over a strip of \p pixels pixels.
+struct StageWork {
+  double cycles = 0.0;       ///< compute cycles (P54C reference)
+  double dram_bytes = 0.0;   ///< streamed DRAM traffic
+  double walk_accesses = 0.0;///< latency-bound dependent line fetches
+};
+
+/// Filter-stage cost (Sepia/Blur/Scratch/Flicker/Swap). For the scratch
+/// stage, \p scratch_count is the frame's drawn scratch count (its work is
+/// per-column, so the cost varies frame to frame — the source of the small
+/// idle-time spread in Fig. 15); other stages ignore it.
+StageWork filter_work(const Calibration& cal, StageKind kind, double pixels,
+                      int scratch_count = 6);
+
+/// Render-stage cost for a measured strip workload. Cull cost is reported
+/// as walk_accesses (latency-bound); raster as cycles; frame-buffer traffic
+/// as dram_bytes. \p adjust_frustum adds the scenario-2 per-frame extra.
+StageWork render_work(const Calibration& cal, const RenderLoad& load,
+                      bool adjust_frustum);
+
+/// Transfer-stage assembly cost for a full frame of \p frame_bytes
+/// (excludes the UDP send, which depends on the outbound link config).
+StageWork assemble_work(const Calibration& cal, double frame_bytes);
+
+}  // namespace sccpipe

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file timeline.hpp
+/// Stage-activity timeline in Chrome trace-event format. Attach a
+/// TimelineRecorder to a RunConfig and every stage records its waiting and
+/// processing spans; load the resulting JSON in chrome://tracing (or
+/// https://ui.perfetto.dev) to see the pipeline breathe — which stage
+/// stalls, where the bubbles travel, how the rendezvous hand-offs align.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sccpipe/noc/topology.hpp"
+#include "sccpipe/support/time.hpp"
+
+namespace sccpipe {
+
+class TimelineRecorder {
+ public:
+  /// A closed span of activity on a core. \p category groups spans for
+  /// colouring ("process", "wait", "transfer").
+  void add_span(CoreId core, const std::string& name,
+                const std::string& category, SimTime start, SimTime end);
+
+  std::size_t size() const { return spans_.size(); }
+  bool empty() const { return spans_.empty(); }
+
+  struct Span {
+    CoreId core;
+    std::string name;
+    std::string category;
+    SimTime start;
+    SimTime end;
+  };
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Chrome trace-event JSON ("X" complete events, one tid per core).
+  std::string to_chrome_json() const;
+
+  /// Write to a file; throws CheckError on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace sccpipe

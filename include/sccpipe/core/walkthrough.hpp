@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file walkthrough.hpp
+/// The paper's experiment driver: run the 400-frame walkthrough through a
+/// chosen renderer configuration (§V), pipeline count, and arrangement
+/// (§IV-A) on the simulated SCC+MCPC system or on a simulated HPC cluster
+/// node (§VI, Fig. 13), and report everything the paper measures: total
+/// walkthrough time, per-stage busy/idle statistics, power trace, energy.
+
+#include <memory>
+#include <vector>
+
+#include "sccpipe/core/calibration.hpp"
+#include "sccpipe/core/channel.hpp"
+#include "sccpipe/core/placement.hpp"
+#include "sccpipe/core/stage.hpp"
+#include "sccpipe/core/timeline.hpp"
+#include "sccpipe/core/workload.hpp"
+#include "sccpipe/host/host_cpu.hpp"
+#include "sccpipe/host/host_link.hpp"
+#include "sccpipe/rcce/rcce.hpp"
+#include "sccpipe/scc/chip.hpp"
+#include "sccpipe/sim/trace.hpp"
+#include "sccpipe/support/stats.hpp"
+
+namespace sccpipe {
+
+/// The renderer configurations of §V (plus the one-core baseline of §VI-A).
+enum class Scenario {
+  SingleCore,           ///< whole pipeline on one core (the 382 s baseline)
+  SingleRenderer,       ///< one render stage feeds all pipelines (Fig. 3)
+  RendererPerPipeline,  ///< sort-first: one renderer per pipeline (Fig. 6)
+  HostRenderer,         ///< MCPC renders; connect stage distributes (Fig. 7)
+};
+
+const char* scenario_name(Scenario s);
+
+/// Which hardware the pipelines run on.
+enum class PlatformKind {
+  Scc,      ///< the SCC + MCPC system
+  Cluster,  ///< one Mogon HPC node (Fig. 13); HostRenderer becomes the
+            ///< "external renderer" configuration
+};
+
+/// Optional hardware overrides for ablation studies (0 = platform default).
+struct PlatformOverrides {
+  double link_bandwidth_bytes_per_sec = 0.0;  ///< constrain the mesh links
+  double mc_bandwidth_bytes_per_sec = 0.0;    ///< constrain the controllers
+  double core_copy_rate_bytes_per_sec = 0.0;  ///< faster/slower core copies
+  /// Use the silicon's real 2x2-tile voltage domains instead of the
+  /// paper's idealised per-tile voltage (affects the DVFS power bill).
+  bool quad_tile_voltage_domains = false;
+};
+
+struct RunConfig {
+  Scenario scenario = Scenario::HostRenderer;
+  Arrangement arrangement = Arrangement::Ordered;
+  PlatformKind platform = PlatformKind::Scc;
+  PlatformOverrides overrides{};
+  int pipelines = 1;
+
+  /// DVFS experiment knobs (§VI-D): 0 = leave at the chip default.
+  int blur_mhz = 0;  ///< frequency of the blur stages' (isolated) tiles
+  int tail_mhz = 0;  ///< frequency of the post-blur stages and transfer
+  bool isolate_blur_tile = false;
+
+  /// Carry real pixel payloads through the pipeline (slower; used by the
+  /// examples and the functional-equivalence tests).
+  bool functional = false;
+
+  std::uint64_t seed = 42;  ///< scratch/flicker randomness
+  Calibration cal = Calibration::defaults();
+  RcceConfig rcce{};
+
+  /// Optional: record per-stage wait/process spans here (chrome://tracing
+  /// export; see timeline.hpp). Must outlive the run.
+  TimelineRecorder* timeline = nullptr;
+};
+
+struct StageReport {
+  StageKind kind{};
+  int pipeline = -1;  ///< -1 for producer/transfer stages
+  CoreId core = -1;
+  QuantileSummary wait_ms{};  ///< per-frame waiting for the next input tile
+  double busy_ms = 0.0;       ///< total busy time on the stage's core
+  int frames = 0;
+};
+
+/// Aggregate interconnect/memory accounting for a run — the quantities the
+/// paper's §VI-A discussion revolves around.
+struct FabricReport {
+  double mesh_total_bytes = 0.0;     ///< sum over all directed links
+  double mesh_max_link_bytes = 0.0;  ///< the hottest link's volume
+  /// Per memory controller: bytes streamed through it.
+  std::vector<double> mc_bulk_bytes;
+  /// Peak number of simultaneous latency-bound walkers per controller.
+  std::vector<std::uint64_t> mc_latency_streams_peak;
+};
+
+struct RunResult {
+  SimTime walkthrough = SimTime::zero();  ///< last frame shown at the viewer
+  std::vector<StageReport> stages;
+  Placement placement;
+  FabricReport fabric;
+
+  double chip_energy_joules = 0.0;  ///< SCC (or cluster node) over the run
+  double mean_chip_watts = 0.0;
+  StepTrace power_trace;
+
+  double host_busy_sec = 0.0;          ///< MCPC render activity (§VI-B)
+  double host_extra_energy_joules = 0.0;  ///< busy * (80 W - 52 W)
+
+  std::vector<double> frame_done_ms;  ///< viewer arrival time per frame
+
+  /// Functional runs only: the assembled final frames, in order.
+  std::vector<Image> frames;
+
+  /// Convenience: wait summary of the first stage of the given kind.
+  const StageReport* stage(StageKind kind, int pipeline = 0) const;
+};
+
+/// Run the full walkthrough. \p scene supplies geometry + camera path;
+/// \p trace must have been built with max_k >= cfg.pipelines from the same
+/// scene.
+RunResult run_walkthrough(const SceneBundle& scene, const WorkloadTrace& trace,
+                          const RunConfig& cfg);
+
+/// Per-stage busy time of the one-core baseline (Fig. 8). Flags reproduce
+/// the paper's reduced variants ("render and transfer stages only",
+/// "without the transfer stage").
+struct SingleCoreBreakdown {
+  std::vector<std::pair<StageKind, SimTime>> per_stage;
+  SimTime total = SimTime::zero();
+
+  SimTime stage_time(StageKind kind) const;
+};
+
+SingleCoreBreakdown run_single_core(const SceneBundle& scene,
+                                    const WorkloadTrace& trace,
+                                    const RunConfig& cfg,
+                                    bool include_filters = true,
+                                    bool include_transfer = true);
+
+}  // namespace sccpipe

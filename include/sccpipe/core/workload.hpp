@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file workload.hpp
+/// Scene construction and the per-frame/per-strip workload trace. The timed
+/// benches never rasterize: the trace carries the octree-cull statistics
+/// and projected coverage for every frame at every strip count, measured
+/// once by the real culling code, and the discrete-event model prices them.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sccpipe/core/stage.hpp"
+#include "sccpipe/render/renderer.hpp"
+#include "sccpipe/scene/camera.hpp"
+#include "sccpipe/scene/city.hpp"
+#include "sccpipe/scene/octree.hpp"
+
+namespace sccpipe {
+
+/// Owns the scene and everything derived from it. Build once, share across
+/// runs (immutable afterwards).
+class SceneBundle {
+ public:
+  SceneBundle(CityParams city, CameraConfig camera, int image_side,
+              int frame_count);
+
+  const Mesh& mesh() const { return mesh_; }
+  const Octree& octree() const { return octree_; }
+  const Renderer& renderer() const { return renderer_; }
+  const WalkthroughPath& path() const { return path_; }
+  const CameraConfig& camera() const { return camera_; }
+  const CityParams& city() const { return city_; }
+  int image_side() const { return side_; }
+  int frame_count() const { return frames_; }
+  double frame_bytes() const {
+    return static_cast<double>(side_) * side_ * 4.0;
+  }
+
+ private:
+  CityParams city_;
+  CameraConfig camera_;
+  int side_;
+  int frames_;
+  Mesh mesh_;
+  Octree octree_;
+  Renderer renderer_;
+  WalkthroughPath path_;
+};
+
+/// Render workload for every (frame, strip) pair at strip counts 1..max_k.
+class WorkloadTrace {
+ public:
+  /// Runs the estimation pass of the real renderer. O(frames * sum(k)).
+  static WorkloadTrace build(const SceneBundle& scene, int max_k);
+
+  /// Disk cache: build() is minutes of culling for the full paper
+  /// workload, so benches persist the trace. The fingerprint (scene seed,
+  /// frame count, image size, max_k, format version) guards staleness.
+  /// load() returns an empty optional on any mismatch or I/O problem.
+  void save(const std::string& path, const SceneBundle& scene) const;
+  static std::optional<WorkloadTrace> load(const std::string& path,
+                                           const SceneBundle& scene,
+                                           int max_k);
+
+  /// Load from cache or build and fill the cache.
+  static WorkloadTrace build_cached(const SceneBundle& scene, int max_k,
+                                    const std::string& cache_path);
+
+  int frame_count() const { return frames_; }
+  int max_k() const { return max_k_; }
+
+  /// Workload of strip \p strip (0-based) when the frame is divided into
+  /// \p k strips.
+  const RenderLoad& load(int frame, int k, int strip) const;
+
+  /// Whole-frame workload (k = 1).
+  const RenderLoad& whole(int frame) const { return load(frame, 1, 0); }
+
+ private:
+  WorkloadTrace(int frames, int max_k);
+  std::size_t index(int frame, int k, int strip) const;
+
+  int frames_;
+  int max_k_;
+  std::size_t per_frame_ = 0;
+  std::vector<RenderLoad> loads_;  // frame-major, then k (1..max), then strip
+  std::vector<std::size_t> k_offset_;
+};
+
+}  // namespace sccpipe

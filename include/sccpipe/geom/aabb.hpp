@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file aabb.hpp
+/// Axis-aligned bounding boxes — the octree's node volumes and per-triangle
+/// bounds.
+
+#include <algorithm>
+
+#include "sccpipe/geom/vec.hpp"
+
+namespace sccpipe {
+
+struct Aabb {
+  Vec3 lo{1e30f, 1e30f, 1e30f};
+  Vec3 hi{-1e30f, -1e30f, -1e30f};
+
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+  void extend(Vec3 p) {
+    lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
+    hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+  }
+
+  void extend(const Aabb& o) {
+    if (!o.valid()) return;
+    extend(o.lo);
+    extend(o.hi);
+  }
+
+  Vec3 center() const { return (lo + hi) * 0.5f; }
+  Vec3 extent() const { return (hi - lo) * 0.5f; }
+
+  bool contains(Vec3 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  bool overlaps(const Aabb& o) const {
+    return lo.x <= o.hi.x && hi.x >= o.lo.x && lo.y <= o.hi.y &&
+           hi.y >= o.lo.y && lo.z <= o.hi.z && hi.z >= o.lo.z;
+  }
+
+  friend bool operator==(const Aabb&, const Aabb&) = default;
+};
+
+}  // namespace sccpipe

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file frustum.hpp
+/// View-frustum culling support: six planes extracted from a combined
+/// view-projection matrix (Gribb/Hartmann method), with the conservative
+/// AABB classification the render stage uses while walking the octree.
+
+#include <array>
+
+#include "sccpipe/geom/aabb.hpp"
+#include "sccpipe/geom/mat4.hpp"
+#include "sccpipe/geom/vec.hpp"
+
+namespace sccpipe {
+
+/// Plane as ax + by + cz + d = 0 with (a,b,c) pointing inside the frustum.
+struct Plane {
+  Vec3 normal;
+  float d = 0.0f;
+
+  float signed_distance(Vec3 p) const { return dot(normal, p) + d; }
+};
+
+enum class CullResult { Outside, Intersects, Inside };
+
+class Frustum {
+ public:
+  Frustum() = default;
+
+  /// Extract the six planes from a view-projection matrix.
+  explicit Frustum(const Mat4& view_proj);
+
+  /// Conservative AABB test (center/extent form).
+  CullResult classify(const Aabb& box) const;
+
+  bool contains(Vec3 p) const;
+
+  const std::array<Plane, 6>& planes() const { return planes_; }
+
+ private:
+  std::array<Plane, 6> planes_{};
+};
+
+}  // namespace sccpipe

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file vec.hpp
+/// Minimal float vector types for the software renderer. Only what the
+/// rasterizer, culling and filters need — this is deliberately not a
+/// general linear-algebra library.
+
+#include <cmath>
+
+namespace sccpipe {
+
+struct Vec2 {
+  float x = 0.0f, y = 0.0f;
+};
+
+struct Vec3 {
+  float x = 0.0f, y = 0.0f, z = 0.0f;
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(Vec3 a, float k) {
+    return {a.x * k, a.y * k, a.z * k};
+  }
+  friend constexpr Vec3 operator*(float k, Vec3 a) { return a * k; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  friend constexpr bool operator==(Vec3, Vec3) = default;
+};
+
+constexpr float dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+constexpr Vec3 cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+inline float length(Vec3 v) { return std::sqrt(dot(v, v)); }
+
+inline Vec3 normalize(Vec3 v) {
+  const float len = length(v);
+  return len > 0.0f ? v * (1.0f / len) : Vec3{};
+}
+
+struct Vec4 {
+  float x = 0.0f, y = 0.0f, z = 0.0f, w = 0.0f;
+
+  constexpr Vec4() = default;
+  constexpr Vec4(float px, float py, float pz, float pw)
+      : x(px), y(py), z(pz), w(pw) {}
+  constexpr Vec4(Vec3 v, float pw) : x(v.x), y(v.y), z(v.z), w(pw) {}
+
+  constexpr Vec3 xyz() const { return {x, y, z}; }
+
+  friend constexpr Vec4 operator+(Vec4 a, Vec4 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z, a.w + b.w};
+  }
+  friend constexpr Vec4 operator-(Vec4 a, Vec4 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z, a.w - b.w};
+  }
+  friend constexpr Vec4 operator*(Vec4 a, float k) {
+    return {a.x * k, a.y * k, a.z * k, a.w * k};
+  }
+};
+
+constexpr float dot(Vec4 a, Vec4 b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z + a.w * b.w;
+}
+
+/// Linear interpolation (used by the near-plane clipper).
+constexpr Vec4 lerp(Vec4 a, Vec4 b, float t) { return a + (b - a) * t; }
+constexpr Vec3 lerp(Vec3 a, Vec3 b, float t) { return a + (b - a) * t; }
+constexpr float lerp(float a, float b, float t) { return a + (b - a) * t; }
+
+constexpr float clamp01(float v) { return v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v); }
+
+}  // namespace sccpipe

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file host_cpu.hpp
+/// The Management Console PC's processor (Intel Xeon X3440, 2.53 GHz), and
+/// — with a different config — a remote HPC cluster node that renders
+/// externally in the Fig. 13 experiments. Workloads are expressed in P54C
+/// reference cycles (the same unit SccChip::compute uses); the host divides
+/// them by its much larger effective rate.
+
+#include <functional>
+
+#include "sccpipe/scc/power.hpp"
+#include "sccpipe/sim/simulator.hpp"
+#include "sccpipe/support/time.hpp"
+
+namespace sccpipe {
+
+struct HostCpuConfig {
+  /// Reference-cycles per second: clock times IPC advantage over the P54C.
+  /// Calibrated so the MCPC renders the 400-frame walkthrough in the
+  /// ~3.3 s the paper reports (§VI-B): ~130M ref cycles/frame at ~8 ms.
+  double effective_hz = 15.2e9;
+  double idle_watts = 52.0;   ///< paper §II
+  double busy_watts = 80.0;   ///< paper §VI-B, while rendering
+
+  static HostCpuConfig mcpc() { return {}; }
+  /// One socket's worth of a Mogon node driving an external render process.
+  static HostCpuConfig cluster_node() {
+    return HostCpuConfig{20.0e9, 150.0, 250.0};
+  }
+};
+
+class HostCpu {
+ public:
+  HostCpu(Simulator& sim, HostCpuConfig cfg = HostCpuConfig::mcpc());
+
+  HostCpu(const HostCpu&) = delete;
+  HostCpu& operator=(const HostCpu&) = delete;
+
+  const HostCpuConfig& config() const { return cfg_; }
+  double effective_hz() const { return cfg_.effective_hz; }
+
+  /// Run \p ref_cycles of work, then \p on_done. Serialised: a call while
+  /// busy queues behind the current work (single worker thread model).
+  void compute(double ref_cycles, std::function<void()> on_done);
+
+  bool busy() const { return busy_depth_ > 0; }
+  SimTime busy_time() const;
+  double current_watts() const { return meter_.current_watts(); }
+  const PowerMeter& power_meter() const { return meter_; }
+
+ private:
+  void set_busy(bool busy);
+
+  Simulator& sim_;
+  HostCpuConfig cfg_;
+  PowerMeter meter_;
+  int busy_depth_ = 0;
+  SimTime horizon_ = SimTime::zero();  // end of queued work
+  SimTime busy_since_ = SimTime::zero();
+  SimTime busy_total_ = SimTime::zero();
+};
+
+}  // namespace sccpipe

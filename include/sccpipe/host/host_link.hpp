@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file host_link.hpp
+/// The channel between the host and the chip (PCIe + UDP in the paper's
+/// setup), and the outbound path from the transfer stage to the
+/// visualisation client. Two cost classes matter and are kept separate:
+///
+///  * wire time — bytes over the physical path (shared FlowResource);
+///  * endpoint CPU time — the UDP stack. On the SCC's P54C this dominates:
+///    receiving a frame costs ~100 cycles/byte (the connect stage's ~120 ms
+///    per 640 KB frame that flattens Fig. 11 beyond four pipelines), while
+///    sending costs ~20 (the transfer stage's ~25 ms share of Fig. 8).
+///    Endpoint cost helpers are exposed so the *stage* pays them as busy
+///    time; the link itself only models wire occupancy and flow control.
+///
+/// Flow control: bounded credits. UDP has none, but the application-level
+/// producer/consumer did (the renderer idles most of the run, §VI-B);
+/// credit_frames bounds how far the host may run ahead.
+
+#include <deque>
+#include <functional>
+
+#include "sccpipe/host/host_cpu.hpp"
+#include "sccpipe/sim/resource.hpp"
+#include "sccpipe/sim/simulator.hpp"
+
+namespace sccpipe {
+
+struct HostLinkConfig {
+  double wire_bandwidth_bytes_per_sec = 8.0e7;  ///< PCIe/GbE effective path
+  double datagram_bytes = 8192.0;               ///< UDP segmentation unit
+  /// Endpoint CPU costs, in reference cycles.
+  double host_cycles_per_byte = 2.0;
+  double scc_send_cycles_per_byte = 20.0;
+  double scc_recv_cycles_per_byte = 95.0;
+  double per_datagram_cycles = 3000.0;
+  int credit_frames = 2;  ///< producer may run this many messages ahead
+
+  static HostLinkConfig mcpc() { return {}; }
+  /// Cluster interconnect for the Fig. 13 runs: fat pipe, cheap stack.
+  static HostLinkConfig cluster() {
+    HostLinkConfig cfg;
+    cfg.wire_bandwidth_bytes_per_sec = 2.0e8;
+    cfg.host_cycles_per_byte = 1.0;
+    cfg.scc_send_cycles_per_byte = 1.2;
+    cfg.scc_recv_cycles_per_byte = 1.6;
+    cfg.per_datagram_cycles = 1500.0;
+    return cfg;
+  }
+  /// The path feeding frames from the *external* render node in the
+  /// cluster's Fig. 13 configuration. Calibrated to the figure's early
+  /// plateau (~50 ms/frame): the paper's UDP streaming path between nodes
+  /// sustained far less than the fabric's raw bandwidth.
+  static HostLinkConfig cluster_external() {
+    HostLinkConfig cfg = cluster();
+    cfg.wire_bandwidth_bytes_per_sec = 1.5e7;
+    return cfg;
+  }
+};
+
+/// One-directional, credit-bounded message channel over a shared wire.
+/// The producer side calls push(); the consumer side calls pop(). Endpoint
+/// CPU time is *not* charged here (see cost helpers) — callers account it
+/// on their own processor so that stage busy/idle metrics stay truthful.
+class HostChannel {
+ public:
+  using PushCallback = std::function<void()>;
+  using PopCallback = std::function<void(double bytes)>;
+
+  HostChannel(Simulator& sim, HostLinkConfig cfg = HostLinkConfig::mcpc());
+
+  HostChannel(const HostChannel&) = delete;
+  HostChannel& operator=(const HostChannel&) = delete;
+
+  const HostLinkConfig& config() const { return cfg_; }
+
+  /// Producer: enqueue a message. \p on_accepted fires once a credit is
+  /// available and the message has finished crossing the wire (the producer
+  /// is then free to prepare the next frame).
+  void push(double bytes, PushCallback on_accepted);
+
+  /// Consumer: take the next arrived message (waits if none). Consuming
+  /// returns a credit to the producer.
+  void pop(PopCallback on_message);
+
+  // --- endpoint CPU cost helpers (reference cycles) ---------------------
+  double datagrams(double bytes) const;
+  double host_side_cycles(double bytes) const;
+  double scc_send_cycles(double bytes) const;
+  double scc_recv_cycles(double bytes) const;
+
+  std::size_t in_flight() const { return arrived_.size(); }
+
+ private:
+  struct PendingPush {
+    double bytes;
+    PushCallback on_accepted;
+  };
+
+  void try_admit();
+  void try_deliver();
+
+  Simulator& sim_;
+  HostLinkConfig cfg_;
+  FlowResource wire_;
+  int credits_;
+  std::deque<PendingPush> waiting_admission_;
+  std::deque<double> arrived_;          // messages that crossed the wire
+  std::deque<PopCallback> waiting_pop_;
+};
+
+}  // namespace sccpipe

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file cache.hpp
+/// Analytic working-set cache model for the P54C cores: 16 KiB L1 and
+/// 256 KiB L2, both 4-way with 32-byte lines (SCC EAS). The macro-pipeline
+/// stages stream their strip once per frame, so what the model answers is
+/// "how much of a stage's traffic reaches DRAM?":
+///
+///  * first touch of a strip always misses (compulsory) — the strip arrives
+///    from the previous stage through the core's DRAM partition;
+///  * re-touches hit if the reuse working set fits in a cache level.
+///
+/// The paper measured no cliff when strips exceed L2 (Fig. 12) because the
+/// filters' reuse windows (a few rows) fit in L1 regardless of strip size;
+/// the model reproduces exactly that.
+
+#include <cstdint>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+struct CacheConfig {
+  std::uint32_t line_bytes = 32;
+  std::uint32_t l1_bytes = 16 * 1024;
+  std::uint32_t l2_bytes = 256 * 1024;
+  std::uint32_t ways = 4;
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(CacheConfig cfg = {});
+
+  const CacheConfig& config() const { return cfg_; }
+
+  /// Number of cache lines covering \p bytes.
+  double lines(double bytes) const;
+
+  /// Does a working set of \p bytes fit a cache level (with a set-conflict
+  /// head-room factor for 4-way associativity)?
+  bool fits_l1(double working_set_bytes) const;
+  bool fits_l2(double working_set_bytes) const;
+
+  /// DRAM traffic (bytes) of a stage pass that reads \p bytes_in with a
+  /// sliding reuse window of \p reuse_window_bytes, touching each input
+  /// byte \p touches_per_byte times, and writes \p bytes_out.
+  ///
+  /// First touches always miss; re-touches miss only when the reuse window
+  /// exceeds L2. Writes are modelled write-allocate + write-back:
+  /// 2x line traffic for streaming stores.
+  double dram_traffic(double bytes_in, double bytes_out,
+                      double reuse_window_bytes,
+                      double touches_per_byte) const;
+
+ private:
+  CacheConfig cfg_;
+};
+
+}  // namespace sccpipe

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file mesh.hpp
+/// Timing model of the routed 2D mesh. Messages are carried at flow level:
+/// a transfer of B bytes over a route of L links pays
+///
+///   head latency  = router_latency * (hops + 1)
+///   serialisation = B / link_bandwidth on every traversed link,
+///                   sequenced through each link's FIFO horizon
+///
+/// which approximates wormhole switching with contention: a busy link
+/// delays the message, and the message occupies every link it crosses for
+/// its serialisation time (store-and-forward granularity of one message,
+/// adequate for macro-pipeline payloads of tens to hundreds of KiB).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sccpipe/noc/topology.hpp"
+#include "sccpipe/sim/resource.hpp"
+#include "sccpipe/support/time.hpp"
+
+namespace sccpipe {
+
+struct MeshTimingConfig {
+  /// Per-router forwarding latency. SCC routers take 4 mesh cycles at
+  /// 800 MHz -> 5 ns per hop.
+  SimTime router_latency = SimTime::ns(5);
+  /// Per-link payload bandwidth. SCC mesh: 16-byte flits at 800 MHz
+  /// = 12.8 GB/s; we use an effective figure below peak.
+  double link_bandwidth_bytes_per_sec = 8.0e9;
+};
+
+/// Per-link traffic counters for the arrangement explorer / reports.
+struct LinkTraffic {
+  std::uint64_t messages = 0;
+  double bytes = 0.0;
+  SimTime queue_delay = SimTime::zero();
+};
+
+class MeshModel {
+ public:
+  MeshModel(const MeshTopology& topo, MeshTimingConfig cfg = {});
+
+  /// Completion time of a message of \p bytes injected at \p start from
+  /// \p from to \p to. Contention state (link horizons) advances.
+  /// from == to costs one router latency (local turnaround).
+  SimTime transfer(SimTime start, TileCoord from, TileCoord to, double bytes);
+
+  /// Pure latency of the same transfer on an idle mesh (no state change);
+  /// used for reporting and unit tests.
+  SimTime ideal_latency(TileCoord from, TileCoord to, double bytes) const;
+
+  const MeshTopology& topology() const { return topo_; }
+  const MeshTimingConfig& config() const { return cfg_; }
+
+  const LinkTraffic& traffic(const LinkId& link) const;
+  /// Sum of bytes over all links (total mesh traffic volume).
+  double total_bytes() const;
+
+ private:
+  const MeshTopology& topo_;
+  MeshTimingConfig cfg_;
+  std::vector<FlowResource> links_;
+  std::vector<LinkTraffic> traffic_;
+};
+
+}  // namespace sccpipe

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file collectives.hpp
+/// Collective operations built on the rendezvous primitives, mirroring the
+/// RCCE_comm library shipped with the SCC kit (RCCE_bcast, RCCE_scatter,
+/// RCCE_gather, RCCE_reduce). The walkthrough application itself only uses
+/// point-to-point transfers, but the collectives complete the
+/// message-passing substrate — scatter is exactly what the paper's render
+/// and connect stages do by hand, and gather is the transfer stage.
+///
+/// Algorithms match RCCE_comm's: linear rooted collectives (the root sends
+/// to / receives from every member in rank order). On a 48-core chip the
+/// linear variants are what RCCE 2.0 actually shipped.
+
+#include <functional>
+#include <vector>
+
+#include "sccpipe/rcce/rcce.hpp"
+
+namespace sccpipe {
+
+class RcceCollectives {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit RcceCollectives(RcceComm& comm) : comm_(comm) {}
+
+  RcceCollectives(const RcceCollectives&) = delete;
+  RcceCollectives& operator=(const RcceCollectives&) = delete;
+
+  /// Root sends \p bytes to every other member; \p on_complete fires when
+  /// the last member has received the payload.
+  void broadcast(CoreId root, const std::vector<CoreId>& group, double bytes,
+                 Callback on_complete);
+
+  /// Root sends a distinct \p bytes_per_member slice to every other
+  /// member (what the paper's single-renderer/connect stages do with the
+  /// image strips).
+  void scatter(CoreId root, const std::vector<CoreId>& group,
+               double bytes_per_member, Callback on_complete);
+
+  /// Every member sends \p bytes_per_member to the root (the transfer
+  /// stage's collection step).
+  void gather(CoreId root, const std::vector<CoreId>& group,
+              double bytes_per_member, Callback on_complete);
+
+  /// Gather + combine: like gather, plus a per-member combine cost of
+  /// \p combine_cycles on the root after each arrival (RCCE_reduce).
+  void reduce(CoreId root, const std::vector<CoreId>& group, double bytes,
+              double combine_cycles, Callback on_complete);
+
+ private:
+  /// Sequentially move one message between the root and each non-root
+  /// member, in rank order; root_sends selects the direction.
+  void rooted_linear(CoreId root, std::vector<CoreId> members,
+                     double bytes_each, bool root_sends,
+                     double root_post_cycles, Callback on_complete);
+
+  RcceComm& comm_;
+};
+
+}  // namespace sccpipe

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file mpb.hpp
+/// The message-passing buffers and the one-sided RCCE core primitives. On
+/// the real chip every tile has 16 KiB of MPB SRAM (8 KiB per core), the
+/// only memory a remote core can write directly. RCCE's send/recv are
+/// built from RCCE_put / RCCE_get plus flag polling; this layer models
+/// those primitives so the substrate is usable below the send/recv level
+/// (and so MPB capacity pressure is a first-class, testable concept).
+///
+/// Timing of put(from -> to, bytes): the payload crosses the mesh from the
+/// writer's tile to the owner's tile and lands in SRAM — no DRAM involved.
+/// get(reader, owner, bytes) likewise crosses the mesh towards the reader.
+/// Capacity: bytes resident in a core's MPB are tracked; exceeding the
+/// 8 KiB window is a programming error (RCCE chunks large messages).
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sccpipe/scc/chip.hpp"
+
+namespace sccpipe {
+
+struct MpbConfig {
+  double bytes_per_core = 8192.0;      ///< SCC: 8 KiB per core
+  double write_cycles_per_byte = 0.5;  ///< issuing core's copy loop
+  double read_cycles_per_byte = 0.5;
+  double flag_poll_cycles = 120.0;     ///< one test-and-set round
+};
+
+class MpbSystem {
+ public:
+  using Callback = std::function<void()>;
+
+  MpbSystem(SccChip& chip, MpbConfig cfg = {});
+
+  MpbSystem(const MpbSystem&) = delete;
+  MpbSystem& operator=(const MpbSystem&) = delete;
+
+  const MpbConfig& config() const { return cfg_; }
+
+  /// Reserve \p bytes in \p owner's MPB window. Throws CheckError when the
+  /// window would overflow (callers must chunk, as RCCE does).
+  void allocate(CoreId owner, double bytes);
+  void release(CoreId owner, double bytes);
+  double used(CoreId owner) const;
+  double available(CoreId owner) const;
+
+  /// One-sided write of \p bytes from \p from into \p to's MPB window
+  /// (space must have been allocated). Cost: write loop on \p from plus
+  /// the mesh crossing.
+  void put(CoreId from, CoreId to, double bytes, Callback on_done);
+
+  /// One-sided read of \p bytes from \p owner's MPB by \p reader.
+  void get(CoreId reader, CoreId owner, double bytes, Callback on_done);
+
+  /// Spin on a flag in \p owner's MPB until a matching flag_set arrives.
+  /// Models RCCE's flag handshake; the waiter's core stays allocated (it
+  /// polls). Flags match in FIFO order per (owner, flag_id).
+  void flag_wait(CoreId waiter, CoreId owner, int flag_id, Callback on_set);
+  void flag_set(CoreId setter, CoreId owner, int flag_id);
+
+ private:
+  struct FlagKey {
+    CoreId owner;
+    int flag_id;
+    friend auto operator<=>(const FlagKey&, const FlagKey&) = default;
+  };
+
+  SccChip& chip_;
+  MpbConfig cfg_;
+  std::vector<double> used_;
+  std::map<FlagKey, int> pending_sets_;  // sets with no waiter yet
+  std::map<FlagKey, std::vector<Callback>> waiters_;
+};
+
+}  // namespace sccpipe

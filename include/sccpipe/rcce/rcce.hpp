@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file rcce.hpp
+/// RCCE-flavoured message passing over the simulated chip. Semantics follow
+/// the library the paper used (RCCE 2.0): sends and receives are blocking
+/// and match pairwise on (source, destination); a transfer happens only
+/// when both sides have arrived (rendezvous).
+///
+/// Timing of one matched transfer of B bytes — this encodes the paper's
+/// central observation that, lacking local memory, "the message actually
+/// has to travel first to the receiver processor's memory partition" and be
+/// re-read from there (§VI-A):
+///
+///   sender : software overhead + per-chunk protocol cost (B / MPB chunk)
+///   sender : streams B from its own DRAM partition      (source buffer)
+///   mesh   : B crosses the routed grid sender -> receiver
+///   recv   : software overhead
+///   recv   : streams B into its own DRAM partition      (the bounce)
+///
+/// Both cores are held for the whole transfer, as with spin-waiting RCCE.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sccpipe/scc/chip.hpp"
+
+namespace sccpipe {
+
+struct RcceConfig {
+  /// Message-passing-buffer chunk: RCCE moves large messages through the
+  /// 8 KiB per-core MPB window.
+  double mpb_chunk_bytes = 8192.0;
+  double send_overhead_cycles = 3000.0;  ///< per-message software cost
+  double recv_overhead_cycles = 3000.0;
+  double per_chunk_cycles = 800.0;       ///< flag handshake per MPB round
+  /// Hypothetical Cell-style local memory banks (§VII: "small local and
+  /// manageable memory banks per node would be a nice way to reduce the
+  /// traffic"): when true, transfers go core-to-core over the mesh without
+  /// bouncing through the receiver's DRAM partition. Used by the
+  /// local-store ablation bench; the real SCC has no such banks.
+  bool local_memory_banks = false;
+};
+
+class RcceComm {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit RcceComm(SccChip& chip, RcceConfig cfg = {});
+
+  RcceComm(const RcceComm&) = delete;
+  RcceComm& operator=(const RcceComm&) = delete;
+
+  SccChip& chip() { return chip_; }
+  const RcceConfig& config() const { return cfg_; }
+
+  /// Blocking send: \p on_complete fires when the receiver has fully
+  /// consumed the message (data landed in its partition).
+  void send(CoreId from, CoreId to, double bytes, Callback on_complete);
+
+  /// Blocking receive matching a send from \p from.
+  void recv(CoreId to, CoreId from, Callback on_complete);
+
+  /// Barrier across \p group: each member calls arrive(); all callbacks
+  /// fire when the last member arrives.
+  class Barrier {
+   public:
+    Barrier(RcceComm& comm, std::vector<CoreId> group);
+    void arrive(CoreId core, Callback on_release);
+
+   private:
+    RcceComm& comm_;
+    std::vector<CoreId> group_;
+    std::vector<std::pair<CoreId, Callback>> waiting_;
+  };
+
+  /// Number of MPB chunk rounds for a message size.
+  int chunk_count(double bytes) const;
+
+  // --- power-management API (mirrors RCCE_iset_power and friends) -------
+  /// Request a frequency for the tile hosting \p core; voltage follows the
+  /// DVFS table at the chip's configured granularity (§VI-D).
+  void iset_power(CoreId core, int mhz);
+  /// The voltage domain the core's tile belongs to (RCCE_power_domain).
+  int power_domain(CoreId core) const;
+
+  /// Estimated duration of a transfer on an idle system (for tests and
+  /// back-of-envelope checks; does not advance any contention state).
+  SimTime ideal_transfer_time(CoreId from, CoreId to, double bytes) const;
+
+  std::uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  struct PendingSend {
+    double bytes;
+    Callback on_complete;
+  };
+  using Key = std::pair<CoreId, CoreId>;  // (from, to)
+
+  void start_transfer(CoreId from, CoreId to, double bytes,
+                      Callback sender_done, Callback receiver_done);
+
+  SccChip& chip_;
+  RcceConfig cfg_;
+  std::map<Key, std::deque<PendingSend>> sends_;
+  std::map<Key, std::deque<Callback>> recvs_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace sccpipe

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file rasterizer.hpp
+/// Software triangle rasterizer: clip-space input, near-plane clipping,
+/// perspective divide, top-left-filled barycentric raster with a z-buffer.
+/// Stands in for the os-mesa renderer of the paper's setup.
+
+#include <cstdint>
+#include <vector>
+
+#include "sccpipe/filters/image.hpp"
+#include "sccpipe/geom/vec.hpp"
+
+namespace sccpipe {
+
+/// Color + depth target.
+class Framebuffer {
+ public:
+  Framebuffer(int width, int height);
+
+  void clear(Color c = Color{16, 18, 24, 255}, float depth = 1.0f);
+
+  int width() const { return color_.width(); }
+  int height() const { return color_.height(); }
+  Image& color() { return color_; }
+  const Image& color() const { return color_; }
+  float depth(int x, int y) const;
+  void set_pixel(int x, int y, float z, Color c);
+
+ private:
+  Image color_;
+  std::vector<float> depth_;
+};
+
+struct RasterStats {
+  std::uint64_t triangles_submitted = 0;
+  std::uint64_t triangles_clipped_away = 0;
+  std::uint64_t pixels_filled = 0;
+  std::uint64_t pixels_tested = 0;
+};
+
+/// Maps NDC onto a (possibly larger) virtual viewport and writes a row
+/// window of it into the frame buffer. Sort-first strip rendering uses the
+/// *full-frame* viewport with a row offset, so every strip rasterises the
+/// same screen-space triangles bit-for-bit as a whole-frame pass —
+/// assembling the strips reproduces the full frame exactly.
+struct Viewport {
+  int width = 0;
+  int height = 0;    ///< full virtual viewport height
+  int y_offset = 0;  ///< first virtual row written to the framebuffer
+
+  static Viewport full(const Framebuffer& fb);
+};
+
+/// Draw one triangle given in clip space (pre-multiplied by
+/// projection * view * model). Near-plane clipping may emit up to two
+/// screen triangles.
+void draw_triangle_clip(Framebuffer& fb, const Viewport& vp, Vec4 c0, Vec4 c1,
+                        Vec4 c2, Color col, RasterStats* stats = nullptr);
+
+}  // namespace sccpipe

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file chip.hpp
+/// SccChip — the façade the communication library and pipeline framework
+/// program against. Owns the mesh, the memory system, per-tile operating
+/// points, core allocation state, and the power meter.
+///
+/// The same class models the Mogon cluster node of §VI (Fig. 13): a chip
+/// with fast cores, a flat high-bandwidth "mesh" and effectively
+/// uncontended memory — see ChipConfig::mogon_node().
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sccpipe/mem/memory.hpp"
+#include "sccpipe/noc/mesh.hpp"
+#include "sccpipe/noc/topology.hpp"
+#include "sccpipe/scc/dvfs.hpp"
+#include "sccpipe/scc/power.hpp"
+#include "sccpipe/sim/simulator.hpp"
+
+namespace sccpipe {
+
+/// How finely the supply voltage can be set. Frequency is always per tile;
+/// the SCC's silicon couples voltage across 2x2-tile domains (8 cores, six
+/// domains per chip), while the paper reasons as if a single tile could be
+/// raised alone (Fig. 18). Both are supported; the ablation bench compares
+/// their §VI-D power bills.
+enum class VoltageGranularity { PerTile, PerQuadTileDomain };
+
+struct ChipConfig {
+  MeshLayout mesh_layout{};
+  MeshTimingConfig mesh_timing{};
+  MemoryConfig memory{};
+  PowerConfig power{};
+  VoltageGranularity voltage_granularity = VoltageGranularity::PerTile;
+  int default_mhz = 533;
+  /// Instructions-per-cycle scaling relative to the P54C reference; >1 for
+  /// modern cores (Mogon), 1 for the SCC.
+  double ipc_factor = 1.0;
+  /// Copy throughput of one core through its blocking cache misses (caps
+  /// bulk DRAM streams). Frequency-independent: the P54C's copies are
+  /// DRAM-latency-bound, so raising the core clock does not speed them —
+  /// one reason the 800 MHz blur core gains less than the clock ratio
+  /// (§VI-D).
+  double copy_rate_bytes_per_sec = 133.0e6;
+  /// Scaling of the render stage's raster cycle counts relative to the
+  /// P54C reference. Modern cluster cores gain disproportionately on the
+  /// SIMD-friendly transform/rasterise loop compared to the byte-wise
+  /// filters (calibrated to the Fig. 13 "single renderer" floor).
+  double render_cycles_scale = 1.0;
+
+  /// The default: Intel SCC, 6x4 tiles, 48 cores.
+  static ChipConfig scc();
+  /// A Mogon HPC cluster node: 64 cores at 2.1 GHz, modern IPC, flat fast
+  /// memory (no on-chip memory wall).
+  static ChipConfig mogon_node();
+};
+
+class SccChip {
+ public:
+  SccChip(Simulator& sim, ChipConfig cfg = ChipConfig::scc());
+
+  SccChip(const SccChip&) = delete;
+  SccChip& operator=(const SccChip&) = delete;
+
+  Simulator& sim() { return sim_; }
+  const ChipConfig& config() const { return cfg_; }
+  const MeshTopology& topology() const { return topo_; }
+  MeshModel& mesh() { return mesh_; }
+  MemorySystem& memory() { return mem_; }
+  const DvfsTable& dvfs() const { return dvfs_; }
+
+  int core_count() const { return topo_.core_count(); }
+
+  // --- DVFS ------------------------------------------------------------
+  /// Set a tile's frequency; the voltage follows the DVFS table. Affects
+  /// both cores of the tile (§VI-D / Fig. 18). Under PerQuadTileDomain
+  /// granularity the *voltage* additionally propagates to the tile's whole
+  /// 2x2 domain (the domain runs at the maximum voltage any of its tiles
+  /// requires).
+  void set_tile_frequency(TileId tile, int mhz);
+
+  /// The 2x2-tile voltage domain a tile belongs to.
+  int voltage_domain_of(TileId tile) const;
+  /// Convenience: set the tile that hosts \p core.
+  void set_core_frequency(CoreId core, int mhz);
+  OperatingPoint operating_point(CoreId core) const;
+  /// Core clock in Hz.
+  double frequency_hz(CoreId core) const;
+  /// Effective compute speed in "reference cycles" per second (clock * IPC
+  /// factor): divide a P54C cycle count by this to get a duration.
+  double effective_hz(CoreId core) const;
+  /// Bulk copy bandwidth cap of the core (frequency-independent; see
+  /// ChipConfig::copy_rate_bytes_per_sec).
+  double copy_rate(CoreId core) const;
+
+  // --- allocation & power ------------------------------------------------
+  /// Mark a core as running pipeline work (allocated cores draw dynamic
+  /// power continuously — RCCE waits are spin loops).
+  void allocate_core(CoreId core);
+  void release_core(CoreId core);
+  bool allocated(CoreId core) const;
+  int allocated_count() const;
+
+  /// Busy/waiting accounting for metrics (does not change power).
+  void set_core_busy(CoreId core, bool busy);
+  SimTime core_busy_time(CoreId core) const;
+
+  double current_watts() const { return meter_.current_watts(); }
+  const PowerMeter& power_meter() const { return meter_; }
+  const PowerModel& power_model() const { return power_model_; }
+
+  // --- timed execution ---------------------------------------------------
+  /// Run \p ref_cycles of computation on \p core, then call \p on_done.
+  /// The core is marked busy for the duration.
+  void compute(CoreId core, double ref_cycles, std::function<void()> on_done);
+
+  /// Run a latency-bound memory walk (octree traversal): \p line_accesses
+  /// dependent misses under current MC load, then \p on_done.
+  void memory_walk(CoreId core, double line_accesses,
+                   std::function<void()> on_done);
+
+  /// Stream \p bytes between the core and its DRAM partition (capped at
+  /// the core's copy rate, contended at the MC), then \p on_done.
+  void dram_stream(CoreId core, double bytes, std::function<void()> on_done);
+
+ private:
+  struct CoreState {
+    bool allocated = false;
+    bool busy = false;
+    SimTime busy_since = SimTime::zero();
+    SimTime busy_total = SimTime::zero();
+  };
+
+  void refresh_power();
+  void refresh_voltages();
+
+  Simulator& sim_;
+  ChipConfig cfg_;
+  MeshTopology topo_;
+  MeshModel mesh_;
+  MemorySystem mem_;
+  DvfsTable dvfs_;
+  PowerModel power_model_;
+  PowerMeter meter_;
+  std::vector<int> tile_mhz_;             ///< requested frequency per tile
+  std::vector<OperatingPoint> tile_points_;  ///< effective (freq, voltage)
+  std::vector<CoreState> cores_;
+};
+
+}  // namespace sccpipe

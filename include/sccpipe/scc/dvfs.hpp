@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file dvfs.hpp
+/// Frequency/voltage control. The SCC changes frequency per tile; raising a
+/// core's frequency requires raising the whole tile's voltage (paper §VI-D,
+/// Fig. 18), so the operating point lives on the tile. Levels follow the
+/// figures the paper quotes: 400 MHz @ 0.7 V, 533 MHz @ 1.1 V (default),
+/// 800 MHz @ 1.3 V; 1066 MHz is the chip's upper tier, also at 1.3 V.
+
+#include <vector>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+struct OperatingPoint {
+  int mhz = 533;
+  double volts = 1.1;
+  friend bool operator==(const OperatingPoint&, const OperatingPoint&) = default;
+};
+
+/// The discrete operating points a tile may use.
+class DvfsTable {
+ public:
+  DvfsTable();
+
+  /// Operating point for a requested frequency; throws CheckError if the
+  /// frequency is not an allowed level.
+  OperatingPoint point_for(int mhz) const;
+
+  bool allowed(int mhz) const;
+  const std::vector<OperatingPoint>& points() const { return points_; }
+
+ private:
+  std::vector<OperatingPoint> points_;
+};
+
+}  // namespace sccpipe

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file power.hpp
+/// Analytic chip power model, calibrated against the wattages the paper
+/// publishes (22 W idle; ~50 W with 27 allocated cores; 58 W with 43; the
+/// +4..5 W of one tile at 800 MHz/1.3 V; the ~-5 W of the 400 MHz tail —
+/// §II, §VI-B, §VI-D).
+///
+/// Structure: P = idle + uncore(app running) + sum over allocated cores of
+/// dynamic(f, V) + sum over tiles of static_offset(V). Cores waiting in
+/// RCCE receive loops spin-poll at full speed on the real SCC, so an
+/// *allocated* core draws its dynamic power whether or not its stage is
+/// mid-computation.
+
+#include "sccpipe/scc/dvfs.hpp"
+#include "sccpipe/sim/simulator.hpp"
+#include "sccpipe/sim/trace.hpp"
+#include "sccpipe/support/time.hpp"
+
+namespace sccpipe {
+
+struct PowerConfig {
+  double chip_idle_watts = 22.0;       ///< all 48 cores idle (paper §II)
+  double uncore_active_watts = 10.0;   ///< mesh+MCs busy while the app runs
+  /// Dynamic power of one allocated core at the 533 MHz / 1.1 V reference.
+  double core_dynamic_watts_ref = 0.714;
+  int ref_mhz = 533;
+  double ref_volts = 1.1;
+  /// Per-tile static adder when a tile runs off-reference voltage
+  /// (calibrated to Fig. 17): +2.5 W at 1.3 V, -1.2 W at 0.7 V.
+  double tile_static_watts_high = 2.5;   // at 1.3 V
+  double tile_static_watts_low = -1.2;   // at 0.7 V
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(PowerConfig cfg = {}) : cfg_(cfg) {}
+
+  const PowerConfig& config() const { return cfg_; }
+
+  /// Dynamic draw of one allocated core at an operating point:
+  /// ref * (f/f_ref) * (V/V_ref)^2.
+  double core_dynamic_watts(const OperatingPoint& op) const;
+
+  /// Static offset of a whole tile at voltage \p volts (0 at reference).
+  double tile_static_watts(double volts) const;
+
+ private:
+  PowerConfig cfg_;
+};
+
+/// Accumulates the chip's power level over simulated time and integrates
+/// energy. Drive it with level changes; read traces/energy afterwards.
+class PowerMeter {
+ public:
+  explicit PowerMeter(Simulator& sim) : sim_(sim) {}
+
+  /// Record that total chip power becomes \p watts now.
+  void set_power(double watts);
+
+  double current_watts() const;
+  /// Energy in joules over [from, to].
+  double energy_joules(SimTime from, SimTime to) const;
+  /// Mean power over a window (used for 1-second power plots).
+  double mean_watts(SimTime from, SimTime to) const;
+  const StepTrace& trace() const { return trace_; }
+
+ private:
+  Simulator& sim_;
+  StepTrace trace_;
+};
+
+}  // namespace sccpipe

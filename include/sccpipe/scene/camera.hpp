@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file camera.hpp
+/// The virtual walkthrough: a deterministic camera path through the city
+/// (the paper's 400-frame flight through the NYC model), plus the
+/// strip-adjusted projection used by sort-first rendering — each renderer
+/// narrows the view frustum to its horizontal strip (§V, "additional
+/// computation is necessary to adjust the viewing frustum of the camera").
+
+#include "sccpipe/filters/image.hpp"  // StripRange
+#include "sccpipe/geom/aabb.hpp"
+#include "sccpipe/geom/mat4.hpp"
+
+namespace sccpipe {
+
+struct CameraConfig {
+  float fovy_radians = 1.0471976f;  // 60 degrees
+  float z_near = 0.5f;
+  float z_far = 600.0f;
+};
+
+/// Off-axis projection covering only the rows [strip.y0, strip.y0+rows) of
+/// a full frame of \p height rows. strip == {0, height} reproduces the
+/// symmetric full-frame projection exactly.
+Mat4 strip_projection(const CameraConfig& cfg, int width, int height,
+                      StripRange strip);
+
+/// Deterministic orbit-and-weave path over the scene: the eye circles the
+/// city at varying radius and height, always looking ahead along the path.
+class WalkthroughPath {
+ public:
+  WalkthroughPath(const Aabb& scene_bounds, int frame_count = 400);
+
+  int frame_count() const { return frames_; }
+  Vec3 eye(int frame) const;
+  Vec3 target(int frame) const;
+  Mat4 view(int frame) const;
+
+ private:
+  Vec3 position_at(float t) const;  // t in [0,1)
+
+  Aabb bounds_;
+  int frames_;
+};
+
+}  // namespace sccpipe

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file city.hpp
+/// Procedural city generator — the stand-in for the paper's NYC CAD model
+/// (a licensed asset we substitute per DESIGN.md). A seeded grid of blocks
+/// with box buildings of varying footprint/height, pyramid roofs on some,
+/// and ground quads. What matters for the reproduction is the cost profile
+/// it induces in the render stage: tens of thousands of triangles, deep
+/// octree, view-dependent visible set along the walkthrough.
+
+#include <cstdint>
+
+#include "sccpipe/scene/mesh.hpp"
+
+namespace sccpipe {
+
+struct CityParams {
+  int blocks_x = 14;
+  int blocks_z = 14;
+  float block_size = 18.0f;
+  float street_width = 8.0f;
+  int min_buildings_per_block = 2;
+  int max_buildings_per_block = 5;
+  float min_height = 6.0f;
+  float max_height = 60.0f;
+  double roof_probability = 0.35;
+  std::uint64_t seed = 0x5cc91234;
+};
+
+Mesh generate_city(const CityParams& params = {});
+
+}  // namespace sccpipe

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file mesh.hpp
+/// Triangle-soup scene geometry: "a large amount of colored triangles"
+/// (paper §IV, Render stage). Colours live per triangle; there is no
+/// texturing, matching the flat-shaded CAD look of the paper's NYC model.
+
+#include <vector>
+
+#include "sccpipe/geom/aabb.hpp"
+#include "sccpipe/geom/vec.hpp"
+#include "sccpipe/filters/image.hpp"  // Color
+
+namespace sccpipe {
+
+struct Triangle {
+  Vec3 v0, v1, v2;
+  Color color;
+
+  Aabb bounds() const {
+    Aabb b;
+    b.extend(v0);
+    b.extend(v1);
+    b.extend(v2);
+    return b;
+  }
+};
+
+class Mesh {
+ public:
+  void add(const Triangle& t);
+  /// Axis-aligned box from two opposite corners (12 triangles).
+  void add_box(Vec3 lo, Vec3 hi, Color color);
+  /// Horizontal rectangle at height y (2 triangles).
+  void add_ground_quad(float x0, float z0, float x1, float z1, float y,
+                       Color color);
+  /// Four-sided pyramid roof over the rectangle [lo, hi] at apex height.
+  void add_pyramid(Vec3 lo, Vec3 hi, float apex_y, Color color);
+
+  const std::vector<Triangle>& triangles() const { return tris_; }
+  std::size_t size() const { return tris_.size(); }
+  bool empty() const { return tris_.empty(); }
+  const Aabb& bounds() const { return bounds_; }
+
+ private:
+  std::vector<Triangle> tris_;
+  Aabb bounds_;
+};
+
+}  // namespace sccpipe

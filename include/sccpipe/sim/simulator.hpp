@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Single-threaded discrete-event simulation core. All timed behaviour in
+/// sccpipe (NoC transfers, memory accesses, stage compute, power sampling)
+/// is expressed as events on one Simulator instance.
+///
+/// Determinism: events with equal timestamps are dispatched in scheduling
+/// order (a monotonically increasing sequence number breaks ties), so a
+/// given workload always produces bit-identical results.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sccpipe/support/time.hpp"
+
+namespace sccpipe {
+
+/// Opaque handle used to cancel a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// The event-driven scheduler.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedule \p fn at absolute time \p when (must not be in the past).
+  EventHandle schedule_at(SimTime when, Callback fn);
+
+  /// Schedule \p fn \p delay after now (delay must be non-negative).
+  EventHandle schedule_after(SimTime delay, Callback fn);
+
+  /// Cancel a pending event. Returns false if it already ran, was already
+  /// cancelled, or the handle is empty.
+  bool cancel(EventHandle handle);
+
+  /// Dispatch the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains. Returns the final simulated time.
+  SimTime run();
+
+  /// Run until the queue drains or simulated time would exceed \p deadline.
+  /// Events at exactly \p deadline still run.
+  SimTime run_until(SimTime deadline);
+
+  /// Number of events dispatched so far (for tests and sanity limits).
+  std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Number of events currently pending (cancelled events are counted until
+  /// their timestamp is reached and they are discarded).
+  std::size_t pending() const;
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;  // empty when cancelled
+
+    // Min-heap on (when, seq) via std::priority_queue's max-heap comparator.
+    friend bool operator<(const Event& a, const Event& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  // priority_queue hides mutable access to top(); we manage our own heap so
+  // we can move the callback out before invoking it.
+  std::vector<Event> heap_;
+  std::vector<std::uint64_t> cancelled_;  // sorted-on-demand tombstones
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::size_t live_pending_ = 0;
+
+  bool is_cancelled(std::uint64_t seq) const;
+};
+
+}  // namespace sccpipe

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file trace.hpp
+/// Step-function time series. Used for the power traces of Figures 14 and
+/// 17: the chip's power level changes at discrete instants (a core starts or
+/// finishes work, a frequency change is applied), and the bench samples the
+/// resulting step function on a regular grid.
+
+#include <cstddef>
+#include <vector>
+
+#include "sccpipe/support/time.hpp"
+
+namespace sccpipe {
+
+/// Piecewise-constant value-over-time recorder.
+class StepTrace {
+ public:
+  /// Record that the value becomes \p value at time \p at. Times must be
+  /// non-decreasing; a repeat timestamp overwrites the previous value at
+  /// that instant.
+  void record(SimTime at, double value);
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  /// Value at time \p at (value of the last record <= at; 0 before first).
+  double at(SimTime at) const;
+
+  /// Integral of the step function over [from, to] — energy when the trace
+  /// is power in watts and time is seconds: returns value*seconds.
+  double integrate(SimTime from, SimTime to) const;
+
+  /// Sample on a regular grid [start, end] inclusive with spacing \p step.
+  std::vector<double> sample(SimTime start, SimTime end, SimTime step) const;
+
+  struct Point {
+    SimTime at;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace sccpipe

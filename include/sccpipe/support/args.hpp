@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file args.hpp
+/// Minimal command-line flag parser for the CLI driver and examples.
+/// Flags are --name value or --name=value; bool flags may omit the value.
+/// Unknown flags are an error (catches typos in experiment scripts).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sccpipe {
+
+class ArgParser {
+ public:
+  /// Register flags before parse(). \p help is printed by usage().
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value = "");
+
+  /// Parse argv; returns false (and fills error()) on unknown or malformed
+  /// flags. Positional arguments are collected separately.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool seen = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace sccpipe

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file check.hpp
+/// Precondition / invariant checking. SCCPIPE_CHECK is always on (simulation
+/// correctness beats the last few percent of speed); violations throw so that
+/// tests can assert on misuse and applications fail loudly instead of
+/// producing silently wrong timing results.
+
+#include <stdexcept>
+#include <sstream>
+#include <string>
+
+namespace sccpipe {
+
+/// Thrown when an SCCPIPE_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace sccpipe
+
+/// Verify an invariant; throws sccpipe::CheckError with location on failure.
+#define SCCPIPE_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::sccpipe::detail::check_failed(#cond, __FILE__, __LINE__, {});        \
+    }                                                                        \
+  } while (false)
+
+/// Same, with a streamed message: SCCPIPE_CHECK_MSG(x > 0, "x=" << x).
+#define SCCPIPE_CHECK_MSG(cond, stream_expr)                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream sccpipe_check_oss_;                                 \
+      sccpipe_check_oss_ << stream_expr;                                     \
+      ::sccpipe::detail::check_failed(#cond, __FILE__, __LINE__,             \
+                                      sccpipe_check_oss_.str());             \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal severity-filtered logging to stderr. Benches run with Warn by
+/// default; tests raise the level to keep output clean. Not thread-safe by
+/// design: the simulator is single-threaded (determinism requirement).
+
+#include <sstream>
+#include <string>
+
+namespace sccpipe {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace sccpipe
+
+#define SCCPIPE_LOG(level, stream_expr)                               \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::sccpipe::log_level())) {                   \
+      std::ostringstream sccpipe_log_oss_;                            \
+      sccpipe_log_oss_ << stream_expr;                                \
+      ::sccpipe::detail::log_emit(level, sccpipe_log_oss_.str());     \
+    }                                                                 \
+  } while (false)
+
+#define SCCPIPE_DEBUG(stream_expr) SCCPIPE_LOG(::sccpipe::LogLevel::Debug, stream_expr)
+#define SCCPIPE_INFO(stream_expr) SCCPIPE_LOG(::sccpipe::LogLevel::Info, stream_expr)
+#define SCCPIPE_WARN(stream_expr) SCCPIPE_LOG(::sccpipe::LogLevel::Warn, stream_expr)
+#define SCCPIPE_ERROR(stream_expr) SCCPIPE_LOG(::sccpipe::LogLevel::Error, stream_expr)

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file svg_plot.hpp
+/// Dependency-free SVG line/step charts. The figure harnesses use this to
+/// regenerate the paper's plots (time vs pipeline count, power vs time) as
+/// standalone .svg files next to their textual tables.
+
+#include <string>
+#include <vector>
+
+namespace sccpipe {
+
+struct PlotSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  /// Stroke colour (CSS); empty = automatic from a built-in palette.
+  std::string color;
+  bool dashed = false;   ///< e.g. for the paper's published values
+  bool markers = true;   ///< draw point markers
+};
+
+class SvgPlot {
+ public:
+  SvgPlot(std::string title, std::string x_label, std::string y_label);
+
+  void add_series(PlotSeries series);
+
+  /// Force axis ranges (otherwise fitted to the data with small margins).
+  void set_x_range(double lo, double hi);
+  void set_y_range(double lo, double hi);
+  /// Force the y axis to start at zero (default: true — the paper's plots
+  /// mostly do, and truncated axes mislead).
+  void y_from_zero(bool on) { y_from_zero_ = on; }
+
+  std::size_t series_count() const { return series_.size(); }
+
+  /// Render the SVG document.
+  std::string to_svg(int width = 640, int height = 420) const;
+
+  /// Write to a file; throws CheckError on I/O failure.
+  void write(const std::string& path, int width = 640,
+             int height = 420) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<PlotSeries> series_;
+  bool has_x_range_ = false, has_y_range_ = false;
+  double x_lo_ = 0, x_hi_ = 1, y_lo_ = 0, y_hi_ = 1;
+  bool y_from_zero_ = true;
+};
+
+/// "Nice" tick positions covering [lo, hi] (1-2-5 progression).
+std::vector<double> nice_ticks(double lo, double hi, int target_count = 6);
+
+}  // namespace sccpipe

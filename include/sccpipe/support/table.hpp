@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table rendering for the benchmark harnesses. Every figure /
+/// table reproduction prints its rows through this so output is uniform and
+/// grep-friendly.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sccpipe {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendered with a header rule, e.g.
+///
+///   config            1 pl.  2 pl.  3 pl.
+///   ----------------  -----  -----  -----
+///   1 rend, unordered  207.0  107.3  101.8
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent add_* calls append cells to it.
+  TextTable& row();
+  TextTable& add(std::string cell);
+  TextTable& add(double value, int precision = 1);
+  TextTable& add(std::size_t value);
+  TextTable& add(int value);
+
+  /// Number of data rows so far.
+  std::size_t size() const { return rows_.size(); }
+
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared with CSV output).
+std::string format_fixed(double value, int precision);
+
+/// Write rows as CSV (used by benches that also emit machine-readable data).
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace sccpipe

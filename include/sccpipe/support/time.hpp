@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file time.hpp
+/// Fixed-point simulated time. All simulator timestamps and durations are
+/// held as signed 64-bit nanosecond counts so that event ordering is exact
+/// and platform independent (no floating-point drift between runs).
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace sccpipe {
+
+/// A point on the simulated time line, or a span between two points.
+/// One type serves both roles (like std::chrono::nanoseconds); the
+/// arithmetic provided is the closed set {+, -, scalar *, /}.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Named constructors. Fractional inputs round to the nearest nanosecond.
+  static constexpr SimTime ns(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime us(double v) { return from_scaled(v, 1e3); }
+  static constexpr SimTime ms(double v) { return from_scaled(v, 1e6); }
+  static constexpr SimTime sec(double v) { return from_scaled(v, 1e9); }
+
+  /// Duration of \p cycles clock cycles at \p hz core frequency.
+  static constexpr SimTime cycles(double cycles, double hz) {
+    return from_scaled(cycles / hz, 1e9);
+  }
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() { return SimTime{INT64_MAX}; }
+
+  constexpr std::int64_t to_ns() const { return ns_; }
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  friend constexpr SimTime operator*(SimTime a, double k) {
+    return from_scaled(static_cast<double>(a.ns_) * k, 1.0);
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) { return a * k; }
+  friend constexpr SimTime operator/(SimTime a, double k) {
+    return from_scaled(static_cast<double>(a.ns_) / k, 1.0);
+  }
+  /// Ratio of two spans, e.g. utilisation computations.
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  constexpr SimTime& operator+=(SimTime o) { ns_ += o.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime o) { ns_ -= o.ns_; return *this; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  /// Human-readable rendering with an auto-selected unit ("1.25 ms").
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t v) : ns_{v} {}
+
+  static constexpr SimTime from_scaled(double v, double scale) {
+    const double scaled = v * scale;
+    // Round-half-away-from-zero keeps symmetric behaviour for negatives.
+    return SimTime{static_cast<std::int64_t>(scaled + (scaled < 0 ? -0.5 : 0.5))};
+  }
+
+  std::int64_t ns_ = 0;
+};
+
+inline constexpr SimTime min(SimTime a, SimTime b) { return a < b ? a : b; }
+inline constexpr SimTime max(SimTime a, SimTime b) { return a < b ? b : a; }
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime::ns(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::us(static_cast<double>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::ms(static_cast<double>(v));
+}
+constexpr SimTime operator""_sec(unsigned long long v) {
+  return SimTime::sec(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace sccpipe

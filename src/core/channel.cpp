@@ -1,0 +1,112 @@
+#include "sccpipe/core/channel.hpp"
+
+#include <utility>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+// ---------------------------------------------------------------- SccChannel
+
+SccChannel::SccChannel(RcceComm& comm, CoreId from, CoreId to)
+    : comm_(comm), from_(from), to_(to) {
+  SCCPIPE_CHECK(comm.chip().topology().valid_core(from));
+  SCCPIPE_CHECK(comm.chip().topology().valid_core(to));
+}
+
+void SccChannel::send(FrameToken token, SendDone on_sent) {
+  SCCPIPE_CHECK(on_sent != nullptr);
+  const double bytes = token.bytes;
+  tokens_.push_back(std::move(token));
+  send_posted_.push_back(comm_.chip().sim().now());
+  comm_.send(from_, to_, bytes, std::move(on_sent));
+}
+
+void SccChannel::recv(RecvDone on_token) {
+  SCCPIPE_CHECK(on_token != nullptr);
+  recv_posted_.push_back(comm_.chip().sim().now());
+  comm_.recv(to_, from_, [this, cb = std::move(on_token)]() mutable {
+    // RCCE delivers per-pair messages in FIFO order, so the head entries of
+    // all three queues describe this delivery.
+    SCCPIPE_CHECK(!tokens_.empty() && !send_posted_.empty() &&
+                  !recv_posted_.empty());
+    FrameToken token = std::move(tokens_.front());
+    tokens_.pop_front();
+    const SimTime matched = max(send_posted_.front(), recv_posted_.front());
+    send_posted_.pop_front();
+    recv_posted_.pop_front();
+    cb(std::move(token), matched);
+  });
+}
+
+// --------------------------------------------------------- HostToChipChannel
+
+HostToChipChannel::HostToChipChannel(HostCpu& host, SccChip& chip,
+                                     CoreId consumer_core,
+                                     HostLinkConfig link_cfg)
+    : host_(host),
+      chip_(chip),
+      consumer_(consumer_core),
+      wire_(chip.sim(), link_cfg) {
+  SCCPIPE_CHECK(chip.topology().valid_core(consumer_core));
+}
+
+void HostToChipChannel::send(FrameToken token, SendDone on_sent) {
+  SCCPIPE_CHECK(on_sent != nullptr);
+  const double bytes = token.bytes;
+  tokens_.push_back(std::move(token));
+  // Host-side stack cost, then the wire (credit-bounded).
+  host_.compute(wire_.host_side_cycles(bytes),
+                [this, bytes, cb = std::move(on_sent)]() mutable {
+                  wire_.push(bytes, std::move(cb));
+                });
+}
+
+void HostToChipChannel::recv(RecvDone on_token) {
+  SCCPIPE_CHECK(on_token != nullptr);
+  wire_.pop([this, cb = std::move(on_token)](double bytes) mutable {
+    const SimTime matched = chip_.sim().now();
+    // The consumer core works the UDP stack before the data is usable.
+    chip_.compute(consumer_, wire_.scc_recv_cycles(bytes),
+                  [this, matched, cb = std::move(cb)]() mutable {
+                    SCCPIPE_CHECK(!tokens_.empty());
+                    FrameToken token = std::move(tokens_.front());
+                    tokens_.pop_front();
+                    cb(std::move(token), matched);
+                  });
+  });
+}
+
+// ------------------------------------------------------- ChipToViewerChannel
+
+ChipToViewerChannel::ChipToViewerChannel(SccChip& chip, CoreId producer_core,
+                                         HostLinkConfig link_cfg,
+                                         FrameSink sink)
+    : chip_(chip),
+      producer_(producer_core),
+      wire_(chip.sim(), link_cfg),
+      sink_(std::move(sink)) {
+  SCCPIPE_CHECK(chip.topology().valid_core(producer_core));
+  SCCPIPE_CHECK(sink_ != nullptr);
+}
+
+void ChipToViewerChannel::send(FrameToken token, SendDone on_sent) {
+  SCCPIPE_CHECK(on_sent != nullptr);
+  const double bytes = token.bytes;
+  // UDP send cost on the producer core, then the wire; the viewer drains
+  // the channel immediately on arrival.
+  chip_.compute(producer_, wire_.scc_send_cycles(bytes),
+                [this, bytes, t = std::move(token),
+                 cb = std::move(on_sent)]() mutable {
+                  wire_.push(bytes, std::move(cb));
+                  wire_.pop([this, t = std::move(t)](double) mutable {
+                    sink_(t, chip_.sim().now());
+                  });
+                });
+}
+
+void ChipToViewerChannel::recv(RecvDone) {
+  SCCPIPE_CHECK_MSG(false, "the viewer channel is a sink; recv() is internal");
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,76 @@
+#include "sccpipe/core/stage.hpp"
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+const char* stage_name(StageKind kind) {
+  switch (kind) {
+    case StageKind::Render: return "render";
+    case StageKind::Connect: return "connect";
+    case StageKind::Sepia: return "sepia";
+    case StageKind::Blur: return "blur";
+    case StageKind::Scratch: return "scratch";
+    case StageKind::Flicker: return "flicker";
+    case StageKind::Swap: return "swap";
+    case StageKind::Transfer: return "transfer";
+  }
+  return "?";
+}
+
+StageWork filter_work(const Calibration& cal, StageKind kind, double pixels,
+                      int scratch_count) {
+  SCCPIPE_CHECK(pixels >= 0.0);
+  SCCPIPE_CHECK(scratch_count >= 0);
+  const double bytes = pixels * 4.0;
+  StageWork w;
+  w.dram_bytes = cal.filter_traffic_factor * bytes;
+  switch (kind) {
+    case StageKind::Sepia:
+      w.cycles = cal.sepia_cycles_per_pixel * pixels;
+      break;
+    case StageKind::Blur:
+      w.cycles = cal.blur_cycles_per_pixel * pixels;
+      break;
+    case StageKind::Scratch:
+      // Per-column work: the per-pixel constant is scaled by how many
+      // scratch columns this frame draws relative to a nominal six.
+      w.cycles = cal.scratch_base_cycles +
+                 cal.scratch_cycles_per_pixel * pixels *
+                     (static_cast<double>(scratch_count) / 6.0);
+      // Scratches touch only a few columns; traffic is a fraction of the
+      // strip (the filter reads nothing it does not write).
+      w.dram_bytes = 0.2 * bytes;
+      break;
+    case StageKind::Flicker:
+      w.cycles = cal.flicker_cycles_per_pixel * pixels;
+      break;
+    case StageKind::Swap:
+      w.cycles = cal.swap_cycles_per_pixel * pixels;
+      break;
+    default:
+      SCCPIPE_CHECK_MSG(false, "not a filter stage: " << stage_name(kind));
+  }
+  return w;
+}
+
+StageWork render_work(const Calibration& cal, const RenderLoad& load,
+                      bool adjust_frustum) {
+  StageWork w;
+  w.walk_accesses = cal.cull_accesses_per_node * load.nodes_visited +
+                    cal.cull_accesses_per_tri * load.tris_accepted;
+  w.cycles = cal.raster_setup_cycles_per_tri * load.tris_accepted +
+             cal.raster_fill_cycles_per_pixel * load.projected_pixels;
+  if (adjust_frustum) w.cycles += cal.frustum_adjust_cycles;
+  w.dram_bytes = cal.render_traffic_per_pixel * load.projected_pixels;
+  return w;
+}
+
+StageWork assemble_work(const Calibration& cal, double frame_bytes) {
+  StageWork w;
+  w.cycles = cal.assemble_cycles_per_byte * frame_bytes;
+  w.dram_bytes = cal.assemble_traffic_factor * frame_bytes;
+  return w;
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,41 @@
+#include "sccpipe/core/timeline.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+void TimelineRecorder::add_span(CoreId core, const std::string& name,
+                                const std::string& category, SimTime start,
+                                SimTime end) {
+  SCCPIPE_CHECK_MSG(end >= start, "span '" << name << "' ends before it starts");
+  if (start == end) return;  // zero-length spans carry no information
+  spans_.push_back(Span{core, name, category, start, end});
+}
+
+std::string TimelineRecorder::to_chrome_json() const {
+  std::ostringstream oss;
+  oss << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (!first) oss << ",\n";
+    first = false;
+    oss << "{\"name\":\"" << s.name << "\",\"cat\":\"" << s.category
+        << "\",\"ph\":\"X\",\"ts\":" << s.start.to_us()
+        << ",\"dur\":" << (s.end - s.start).to_us()
+        << ",\"pid\":0,\"tid\":" << s.core << "}";
+  }
+  oss << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return oss.str();
+}
+
+void TimelineRecorder::write(const std::string& path) const {
+  std::ofstream f(path);
+  SCCPIPE_CHECK_MSG(f.is_open(), "cannot open " << path);
+  f << to_chrome_json();
+  SCCPIPE_CHECK_MSG(f.good(), "write failed: " << path);
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,759 @@
+#include "sccpipe/core/walkthrough.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sccpipe/filters/filters.hpp"
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::SingleCore: return "single-core";
+    case Scenario::SingleRenderer: return "1-renderer";
+    case Scenario::RendererPerPipeline: return "n-renderers";
+    case Scenario::HostRenderer: return "host-renderer";
+  }
+  return "?";
+}
+
+const StageReport* RunResult::stage(StageKind kind, int pipeline) const {
+  for (const StageReport& r : stages) {
+    if (r.kind == kind && (r.pipeline == pipeline || r.pipeline < 0)) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+SimTime SingleCoreBreakdown::stage_time(StageKind kind) const {
+  SimTime t = SimTime::zero();
+  for (const auto& [k, v] : per_stage) {
+    if (k == kind) t += v;
+  }
+  return t;
+}
+
+namespace {
+
+constexpr StageKind kFilterChain[] = {StageKind::Sepia, StageKind::Blur,
+                                      StageKind::Scratch, StageKind::Flicker,
+                                      StageKind::Swap};
+constexpr int kFilterCount = 5;
+
+/// Reference cycles the host spends rendering a whole frame: the Xeon's
+/// SIMD advantage discounts the raster loop, and its caches/prefetchers cut
+/// the per-access walk cost. Calibrated so the MCPC renders the 400-frame
+/// walkthrough in ~3.3 s of busy time (§VI-B).
+double host_render_cycles(const Calibration& cal, const RenderLoad& load) {
+  const StageWork w = render_work(cal, load, /*adjust_frustum=*/false);
+  return w.cycles + 100.0 * w.walk_accesses;
+}
+
+void apply_stage_functional(StageKind kind, Image& img, int frame,
+                            std::uint64_t seed, int max_scratches) {
+  switch (kind) {
+    case StageKind::Sepia:
+      apply_sepia(img);
+      break;
+    case StageKind::Blur:
+      apply_blur(img);
+      break;
+    case StageKind::Scratch:
+      apply_scratches(img, scratch_params_for_frame(seed, frame, img.width(),
+                                                    max_scratches));
+      break;
+    case StageKind::Flicker:
+      apply_flicker(img, flicker_params_for_frame(seed, frame));
+      break;
+    case StageKind::Swap:
+      apply_vflip(img);
+      break;
+    default:
+      SCCPIPE_CHECK_MSG(false, "not a functional filter stage");
+  }
+}
+
+/// One timed walkthrough run. Owns the simulator, the platform models and
+/// all stage actors; run() drives the event loop to completion.
+class WalkthroughSim {
+ public:
+  WalkthroughSim(const SceneBundle& scene, const WorkloadTrace& trace,
+                 const RunConfig& cfg)
+      : scene_(scene), trace_(trace), cfg_(cfg) {
+    SCCPIPE_CHECK_MSG(cfg.scenario != Scenario::SingleCore,
+                      "use run_single_core() for the one-core baseline");
+    SCCPIPE_CHECK(cfg.pipelines >= 1);
+    SCCPIPE_CHECK_MSG(trace.max_k() >= cfg.pipelines,
+                      "workload trace built for max_k=" << trace.max_k());
+    SCCPIPE_CHECK_MSG(trace.frame_count() >= scene.frame_count(),
+                      "trace shorter than the walkthrough");
+    build_platform();
+    build_placement();
+    apply_dvfs();
+    build_channels_and_stages();
+  }
+
+  RunResult run() {
+    allocate_cores();
+    start_producer();
+    start_filter_stages();
+    start_transfer();
+    sim_.run();
+    return collect();
+  }
+
+ private:
+  // ------------------------------------------------------------ platform
+  void build_platform() {
+    ChipConfig chip_cfg;
+    if (cfg_.platform == PlatformKind::Scc) {
+      chip_cfg = ChipConfig::scc();
+      viewer_link_ = HostLinkConfig::mcpc();
+      producer_link_ = HostLinkConfig::mcpc();
+      if (cfg_.scenario == Scenario::HostRenderer) {
+        host_ = std::make_unique<HostCpu>(sim_, HostCpuConfig::mcpc());
+      }
+    } else {
+      chip_cfg = ChipConfig::mogon_node();
+      viewer_link_ = HostLinkConfig::cluster();
+      producer_link_ = HostLinkConfig::cluster_external();
+      if (cfg_.scenario == Scenario::HostRenderer) {
+        host_ = std::make_unique<HostCpu>(sim_, HostCpuConfig::cluster_node());
+      }
+    }
+    const PlatformOverrides& ov = cfg_.overrides;
+    if (ov.link_bandwidth_bytes_per_sec > 0.0) {
+      chip_cfg.mesh_timing.link_bandwidth_bytes_per_sec =
+          ov.link_bandwidth_bytes_per_sec;
+    }
+    if (ov.mc_bandwidth_bytes_per_sec > 0.0) {
+      chip_cfg.memory.mc_bandwidth_bytes_per_sec =
+          ov.mc_bandwidth_bytes_per_sec;
+    }
+    if (ov.core_copy_rate_bytes_per_sec > 0.0) {
+      chip_cfg.copy_rate_bytes_per_sec = ov.core_copy_rate_bytes_per_sec;
+    }
+    if (ov.quad_tile_voltage_domains) {
+      chip_cfg.voltage_granularity = VoltageGranularity::PerQuadTileDomain;
+    }
+    chip_ = std::make_unique<SccChip>(sim_, chip_cfg);
+    rcce_ = std::make_unique<RcceComm>(*chip_, cfg_.rcce);
+  }
+
+  void build_placement() {
+    PlacementRequest req;
+    req.pipelines = cfg_.pipelines;
+    req.stages_per_pipeline =
+        kFilterCount +
+        (cfg_.scenario == Scenario::RendererPerPipeline ? 1 : 0);
+    req.needs_producer = cfg_.scenario == Scenario::SingleRenderer ||
+                         cfg_.scenario == Scenario::HostRenderer;
+    req.isolate_blur_tile = cfg_.isolate_blur_tile;
+    placement_ = make_placement(chip_->topology(), cfg_.arrangement, req);
+  }
+
+  void apply_dvfs() {
+    if (cfg_.blur_mhz > 0) {
+      for (const auto& pl : placement_.pipeline_cores) {
+        chip_->set_core_frequency(blur_core_of(pl), cfg_.blur_mhz);
+      }
+    }
+    if (cfg_.tail_mhz > 0) {
+      for (const auto& pl : placement_.pipeline_cores) {
+        // Stages strictly after blur: scratch, flicker, swap.
+        const std::size_t blur_idx = pl.size() - 4;
+        for (std::size_t s = blur_idx + 1; s < pl.size(); ++s) {
+          chip_->set_core_frequency(pl[s], cfg_.tail_mhz);
+        }
+      }
+      chip_->set_core_frequency(placement_.transfer, cfg_.tail_mhz);
+    }
+  }
+
+  CoreId blur_core_of(const std::vector<CoreId>& pipeline_cores) const {
+    return pipeline_cores[pipeline_cores.size() - 4];
+  }
+
+  // --------------------------------------------------------- construction
+  struct StageState {
+    StageKind kind{};
+    int pipeline = -1;
+    CoreId core = -1;
+    Channel* in = nullptr;
+    Channel* out = nullptr;
+    SampleSet wait_ms;
+    int frames_done = 0;
+    SimTime recv_posted = SimTime::zero();
+  };
+
+  Channel* make_scc_channel(CoreId from, CoreId to) {
+    channels_.push_back(std::make_unique<SccChannel>(*rcce_, from, to));
+    return channels_.back().get();
+  }
+
+  void build_channels_and_stages() {
+    const int k = cfg_.pipelines;
+
+    // Viewer sink.
+    channels_.push_back(std::make_unique<ChipToViewerChannel>(
+        *chip_, placement_.transfer, viewer_link_,
+        [this](const FrameToken& tok, SimTime at) {
+          frame_done_ms_.push_back(at.to_ms());
+          if (cfg_.functional && tok.image) {
+            out_frames_.push_back(*tok.image);
+          }
+        }));
+    viewer_ = channels_.back().get();
+
+    // Producer feed into the chip (host scenarios only).
+    if (cfg_.scenario == Scenario::HostRenderer) {
+      channels_.push_back(std::make_unique<HostToChipChannel>(
+          *host_, *chip_, placement_.producer, producer_link_));
+      host_in_ = channels_.back().get();
+    }
+
+    // Per-pipeline stages and channels.
+    for (int p = 0; p < k; ++p) {
+      const auto& cores = placement_.pipeline_cores[static_cast<std::size_t>(p)];
+      const bool own_renderer =
+          cfg_.scenario == Scenario::RendererPerPipeline;
+      const std::size_t first_filter = own_renderer ? 1 : 0;
+      SCCPIPE_CHECK(cores.size() == first_filter + kFilterCount);
+
+      // Head channel: producer/renderer -> sepia.
+      Channel* head;
+      if (own_renderer) {
+        head = make_scc_channel(cores[0], cores[1]);
+        head_channels_.push_back(head);
+      } else {
+        head = make_scc_channel(placement_.producer, cores[0]);
+        head_channels_.push_back(head);
+      }
+
+      Channel* in = head;
+      for (int f = 0; f < kFilterCount; ++f) {
+        const CoreId core = cores[first_filter + static_cast<std::size_t>(f)];
+        Channel* out;
+        if (f + 1 < kFilterCount) {
+          const CoreId next =
+              cores[first_filter + static_cast<std::size_t>(f) + 1];
+          out = make_scc_channel(core, next);
+        } else {
+          out = make_scc_channel(core, placement_.transfer);
+          tail_channels_.push_back(out);
+        }
+        auto st = std::make_unique<StageState>();
+        st->kind = kFilterChain[f];
+        st->pipeline = p;
+        st->core = core;
+        st->in = in;
+        st->out = out;
+        stages_.push_back(std::move(st));
+        in = out;
+      }
+    }
+  }
+
+  void allocate_cores() {
+    for (const CoreId c : placement_.all_cores()) chip_->allocate_core(c);
+  }
+
+  void release_cores() {
+    for (const CoreId c : placement_.all_cores()) chip_->release_core(c);
+  }
+
+  // --------------------------------------------------------------- actors
+  int frames_total() const { return scene_.frame_count(); }
+  int side() const { return scene_.image_side(); }
+  double strip_bytes(StripRange r) const {
+    return static_cast<double>(r.rows) * side() * 4.0;
+  }
+
+  /// Render cost with the platform's raster scaling applied (see
+  /// ChipConfig::render_cycles_scale).
+  StageWork scaled_render_work(const RenderLoad& load,
+                               bool adjust_frustum) const {
+    StageWork w = render_work(cfg_.cal, load, adjust_frustum);
+    w.cycles *= chip_->config().render_cycles_scale;
+    return w;
+  }
+
+  void start_producer() {
+    switch (cfg_.scenario) {
+      case Scenario::SingleRenderer:
+        render_single_frame(0);
+        break;
+      case Scenario::RendererPerPipeline:
+        for (int p = 0; p < cfg_.pipelines; ++p) {
+          render_pipeline_frame(p, 0);
+        }
+        break;
+      case Scenario::HostRenderer:
+        host_render_frame(0);
+        connect_loop();
+        break;
+      case Scenario::SingleCore:
+        break;  // unreachable (checked in ctor)
+    }
+  }
+
+  /// Scenario 1: one core renders the whole frame, splits it, feeds every
+  /// pipeline, then starts the next frame.
+  void render_single_frame(int frame) {
+    if (frame >= frames_total()) return;
+    producer_span_start_ = sim_.now();
+    const CoreId core = placement_.producer;
+    const RenderLoad& load = trace_.load(frame, 1, 0);
+    const StageWork w = scaled_render_work(load, /*adjust_frustum=*/false);
+    chip_->memory_walk(core, w.walk_accesses, [this, frame, core, w] {
+      chip_->compute(core, w.cycles, [this, frame, core, w] {
+        chip_->dram_stream(core, w.dram_bytes, [this, frame] {
+          std::shared_ptr<Image> whole;
+          if (cfg_.functional) {
+            whole = std::make_shared<Image>(
+                scene_.renderer().render(scene_.path().view(frame)));
+          }
+          send_strips(frame, 0, whole);
+        });
+      });
+    });
+  }
+
+  /// Sequentially hand strip s of \p frame to pipeline s (scenario 1 and
+  /// the connect stage of scenario 3 share this).
+  void send_strips(int frame, int s, std::shared_ptr<Image> whole) {
+    if (s >= cfg_.pipelines) {
+      // Frame fully distributed; produce the next one.
+      if (cfg_.scenario == Scenario::SingleRenderer) {
+        record_span(placement_.producer, StageKind::Render, frame, "process",
+                    producer_span_start_, sim_.now());
+        render_single_frame(frame + 1);
+      } else {
+        record_span(placement_.producer, StageKind::Connect, frame, "process",
+                    producer_span_start_, sim_.now());
+        connect_loop();
+      }
+      return;
+    }
+    const auto strips = divide_rows(side(), cfg_.pipelines);
+    FrameToken tok;
+    tok.frame = frame;
+    tok.strip = strips[static_cast<std::size_t>(s)];
+    tok.bytes = strip_bytes(tok.strip);
+    if (whole) tok.image = std::make_shared<Image>(whole->strip(tok.strip));
+    head_channels_[static_cast<std::size_t>(s)]->send(
+        std::move(tok), [this, frame, s, whole] {
+          send_strips(frame, s + 1, whole);
+        });
+  }
+
+  /// Scenario 2: each pipeline's own renderer draws just its strip with an
+  /// adjusted frustum.
+  void render_pipeline_frame(int p, int frame) {
+    if (frame >= frames_total()) return;
+    const auto& cores = placement_.pipeline_cores[static_cast<std::size_t>(p)];
+    const CoreId core = cores[0];
+    const RenderLoad& load = trace_.load(frame, cfg_.pipelines, p);
+    const StageWork w = scaled_render_work(load, /*adjust_frustum=*/true);
+    chip_->memory_walk(core, w.walk_accesses, [this, p, frame, core, w] {
+      chip_->compute(core, w.cycles, [this, p, frame, core, w] {
+        chip_->dram_stream(core, w.dram_bytes, [this, p, frame] {
+          const auto strips = divide_rows(side(), cfg_.pipelines);
+          FrameToken tok;
+          tok.frame = frame;
+          tok.strip = strips[static_cast<std::size_t>(p)];
+          tok.bytes = strip_bytes(tok.strip);
+          if (cfg_.functional) {
+            tok.image = std::make_shared<Image>(scene_.renderer().render_strip(
+                scene_.path().view(frame), tok.strip));
+          }
+          head_channels_[static_cast<std::size_t>(p)]->send(
+              std::move(tok),
+              [this, p, frame] { render_pipeline_frame(p, frame + 1); });
+        });
+      });
+    });
+  }
+
+  /// Scenario 3 producer: the host renders whole frames and pushes them
+  /// down the UDP path as fast as its credits allow.
+  void host_render_frame(int frame) {
+    if (frame >= frames_total()) return;
+    const RenderLoad& load = trace_.load(frame, 1, 0);
+    host_->compute(host_render_cycles(cfg_.cal, load), [this, frame] {
+      FrameToken tok;
+      tok.frame = frame;
+      tok.strip = StripRange{0, side()};
+      tok.bytes = static_cast<double>(side()) * side() * 4.0;
+      if (cfg_.functional) {
+        tok.image = std::make_shared<Image>(
+            scene_.renderer().render(scene_.path().view(frame)));
+      }
+      host_in_->send(std::move(tok),
+                     [this, frame] { host_render_frame(frame + 1); });
+    });
+  }
+
+  /// Scenario 3 connect stage: receive a whole frame from the host, split
+  /// it into strips (one read+write pass through its partition), feed the
+  /// pipelines, repeat.
+  void connect_loop() {
+    if (connect_frames_ >= frames_total()) return;
+    const CoreId core = placement_.producer;
+    connect_wait_posted_ = sim_.now();
+    host_in_->recv([this, core](FrameToken tok, SimTime matched) {
+      connect_wait_.add((matched - connect_wait_posted_).to_ms());
+      producer_span_start_ = matched;
+      const int frame = connect_frames_++;
+      SCCPIPE_CHECK(tok.frame == frame);
+      chip_->dram_stream(core, 2.0 * tok.bytes,
+                         [this, frame, img = tok.image] {
+                           send_strips(frame, 0, img);
+                         });
+    });
+  }
+
+  void start_filter_stages() {
+    for (auto& st : stages_) arm_filter_stage(*st);
+  }
+
+  void record_span(CoreId core, StageKind kind, int frame,
+                   const char* category, SimTime start, SimTime end) {
+    if (!cfg_.timeline) return;
+    std::string name = stage_name(kind);
+    name += " f";
+    name += std::to_string(frame);
+    cfg_.timeline->add_span(core, name, category, start, end);
+  }
+
+  void arm_filter_stage(StageState& st) {
+    st.recv_posted = sim_.now();
+    st.in->recv([this, &st](FrameToken tok, SimTime matched) {
+      st.wait_ms.add((matched - st.recv_posted).to_ms());
+      record_span(st.core, st.kind, tok.frame, "wait", st.recv_posted,
+                  matched);
+      const double pixels =
+          static_cast<double>(tok.strip.rows) * static_cast<double>(side());
+      const int scratches =
+          scratch_params_for_frame(cfg_.seed, tok.frame, side(),
+                                   cfg_.cal.max_scratches)
+              .count;
+      const StageWork w = filter_work(cfg_.cal, st.kind, pixels, scratches);
+      chip_->compute(st.core, w.cycles, [this, &st, w, matched,
+                                         tok = std::move(tok)]() mutable {
+        chip_->dram_stream(st.core, w.dram_bytes, [this, &st, matched,
+                                                   tok = std::move(tok)]() mutable {
+          if (cfg_.functional && tok.image) {
+            apply_stage_functional(st.kind, *tok.image, tok.frame, cfg_.seed,
+                                   cfg_.cal.max_scratches);
+          }
+          const int frame = tok.frame;
+          st.out->send(std::move(tok), [this, &st, frame, matched] {
+            record_span(st.core, st.kind, frame, "process", matched,
+                        sim_.now());
+            if (++st.frames_done < frames_total()) arm_filter_stage(st);
+          });
+        });
+      });
+    });
+  }
+
+  /// Transfer stage: gather one strip from every pipeline (in pipeline
+  /// order, as RCCE receives are posted one at a time), assemble, send to
+  /// the viewer.
+  void start_transfer() { transfer_collect(0); }
+
+  void transfer_collect(int s) {
+    if (s == 0) {
+      transfer_wait_posted_ = sim_.now();
+      transfer_assembly_.clear();
+      if (cfg_.functional) {
+        transfer_image_ = std::make_shared<Image>(side(), side());
+      }
+    }
+    if (s >= cfg_.pipelines) {
+      transfer_assemble();
+      return;
+    }
+    tail_channels_[static_cast<std::size_t>(s)]->recv(
+        [this, s](FrameToken tok, SimTime matched) {
+          if (s == 0) {
+            transfer_wait_.add((matched - transfer_wait_posted_).to_ms());
+          }
+          if (cfg_.functional && tok.image) {
+            // The swap stage flipped each strip; mirroring the strip order
+            // completes the whole-frame vertical flip the viewer expects.
+            const int dst_y0 = side() - tok.strip.y0 - tok.strip.rows;
+            transfer_image_->paste(*tok.image, dst_y0);
+          }
+          transfer_assembly_.push_back(tok.frame);
+          transfer_collect(s + 1);
+        });
+  }
+
+  void transfer_assemble() {
+    const CoreId core = placement_.transfer;
+    const int frame = transfer_assembly_.front();
+    for (const int f : transfer_assembly_) {
+      SCCPIPE_CHECK_MSG(f == frame, "transfer stage mixed frames");
+    }
+    const double frame_bytes = static_cast<double>(side()) * side() * 4.0;
+    const StageWork w = assemble_work(cfg_.cal, frame_bytes);
+    chip_->compute(core, w.cycles, [this, core, w, frame, frame_bytes] {
+      chip_->dram_stream(core, w.dram_bytes, [this, frame, frame_bytes] {
+        FrameToken tok;
+        tok.frame = frame;
+        tok.strip = StripRange{0, side()};
+        tok.bytes = frame_bytes;
+        tok.image = transfer_image_;
+        transfer_image_.reset();
+        const SimTime span_start = sim_.now();
+        viewer_->send(std::move(tok), [this, frame, span_start] {
+          record_span(placement_.transfer, StageKind::Transfer, frame,
+                      "process", span_start, sim_.now());
+          if (frame + 1 < frames_total()) transfer_collect(0);
+        });
+      });
+    });
+  }
+
+  // -------------------------------------------------------------- results
+  RunResult collect() {
+    RunResult r;
+    SCCPIPE_CHECK_MSG(static_cast<int>(frame_done_ms_.size()) ==
+                          frames_total(),
+                      "walkthrough did not complete: " << frame_done_ms_.size()
+                          << '/' << frames_total() << " frames");
+    r.frame_done_ms = frame_done_ms_;
+    r.walkthrough = SimTime::ms(frame_done_ms_.back());
+    r.placement = placement_;
+
+    for (const auto& st : stages_) {
+      StageReport rep;
+      rep.kind = st->kind;
+      rep.pipeline = st->pipeline;
+      rep.core = st->core;
+      rep.wait_ms = st->wait_ms.summary();
+      rep.busy_ms = chip_->core_busy_time(st->core).to_ms();
+      rep.frames = st->frames_done;
+      r.stages.push_back(rep);
+    }
+    if (cfg_.scenario == Scenario::HostRenderer) {
+      StageReport rep;
+      rep.kind = StageKind::Connect;
+      rep.core = placement_.producer;
+      rep.wait_ms = connect_wait_.summary();
+      rep.busy_ms = chip_->core_busy_time(placement_.producer).to_ms();
+      rep.frames = connect_frames_;
+      r.stages.push_back(rep);
+    } else if (cfg_.scenario == Scenario::SingleRenderer) {
+      StageReport rep;
+      rep.kind = StageKind::Render;
+      rep.core = placement_.producer;
+      rep.busy_ms = chip_->core_busy_time(placement_.producer).to_ms();
+      rep.frames = frames_total();
+      r.stages.push_back(rep);
+    } else if (cfg_.scenario == Scenario::RendererPerPipeline) {
+      for (int p = 0; p < cfg_.pipelines; ++p) {
+        const CoreId core =
+            placement_.pipeline_cores[static_cast<std::size_t>(p)][0];
+        StageReport rep;
+        rep.kind = StageKind::Render;
+        rep.pipeline = p;
+        rep.core = core;
+        rep.busy_ms = chip_->core_busy_time(core).to_ms();
+        rep.frames = frames_total();
+        r.stages.push_back(rep);
+      }
+    }
+    {
+      StageReport rep;
+      rep.kind = StageKind::Transfer;
+      rep.core = placement_.transfer;
+      rep.wait_ms = transfer_wait_.summary();
+      rep.busy_ms = chip_->core_busy_time(placement_.transfer).to_ms();
+      rep.frames = frames_total();
+      r.stages.push_back(rep);
+    }
+
+    // Fabric accounting (§VI-A: where the bytes actually went).
+    r.fabric.mesh_total_bytes = chip_->mesh().total_bytes();
+    const MeshTopology& topo = chip_->topology();
+    for (TileId t = 0; t < topo.tile_count(); ++t) {
+      for (int d = 0; d < 4; ++d) {
+        const LinkId link{topo.coord_of(t), static_cast<Direction>(d)};
+        r.fabric.mesh_max_link_bytes = std::max(
+            r.fabric.mesh_max_link_bytes, chip_->mesh().traffic(link).bytes);
+      }
+    }
+    for (McId m = 0; m < topo.mc_count(); ++m) {
+      const McStats& st = chip_->memory().stats(m);
+      r.fabric.mc_bulk_bytes.push_back(st.bulk_bytes);
+      r.fabric.mc_latency_streams_peak.push_back(st.latency_streams_peak);
+    }
+
+    release_cores();
+    r.power_trace = chip_->power_meter().trace();
+    r.chip_energy_joules =
+        chip_->power_meter().energy_joules(SimTime::zero(), r.walkthrough);
+    r.mean_chip_watts =
+        chip_->power_meter().mean_watts(SimTime::zero(), r.walkthrough);
+    if (host_) {
+      r.host_busy_sec = host_->busy_time().to_sec();
+      r.host_extra_energy_joules =
+          r.host_busy_sec *
+          (host_->config().busy_watts - host_->config().idle_watts);
+    }
+    r.frames = std::move(out_frames_);
+    return r;
+  }
+
+  // ---------------------------------------------------------------- state
+  const SceneBundle& scene_;
+  const WorkloadTrace& trace_;
+  RunConfig cfg_;
+
+  Simulator sim_;
+  std::unique_ptr<SccChip> chip_;
+  std::unique_ptr<RcceComm> rcce_;
+  std::unique_ptr<HostCpu> host_;
+  HostLinkConfig viewer_link_{};
+  HostLinkConfig producer_link_{};
+  Placement placement_;
+
+  std::vector<std::unique_ptr<Channel>> channels_;
+  Channel* viewer_ = nullptr;
+  Channel* host_in_ = nullptr;
+  std::vector<Channel*> head_channels_;  // producer/renderer -> sepia, per pl
+  std::vector<Channel*> tail_channels_;  // swap -> transfer, per pipeline
+  std::vector<std::unique_ptr<StageState>> stages_;
+
+  int connect_frames_ = 0;
+  SimTime connect_wait_posted_ = SimTime::zero();
+  SimTime producer_span_start_ = SimTime::zero();
+  SampleSet connect_wait_;
+
+  std::vector<int> transfer_assembly_;
+  SimTime transfer_wait_posted_ = SimTime::zero();
+  SampleSet transfer_wait_;
+  std::shared_ptr<Image> transfer_image_;
+
+  std::vector<double> frame_done_ms_;
+  std::vector<Image> out_frames_;
+};
+
+}  // namespace
+
+RunResult run_walkthrough(const SceneBundle& scene, const WorkloadTrace& trace,
+                          const RunConfig& cfg) {
+  WalkthroughSim sim(scene, trace, cfg);
+  return sim.run();
+}
+
+SingleCoreBreakdown run_single_core(const SceneBundle& scene,
+                                    const WorkloadTrace& trace,
+                                    const RunConfig& cfg, bool include_filters,
+                                    bool include_transfer) {
+  Simulator sim;
+  SccChip chip(sim, cfg.platform == PlatformKind::Scc
+                        ? ChipConfig::scc()
+                        : ChipConfig::mogon_node());
+  const HostLinkConfig viewer_link = cfg.platform == PlatformKind::Scc
+                                         ? HostLinkConfig::mcpc()
+                                         : HostLinkConfig::cluster();
+  HostChannel viewer_wire(sim, viewer_link);
+  const CoreId core = 0;
+  chip.allocate_core(core);
+
+  SingleCoreBreakdown out;
+  std::vector<std::pair<StageKind, SimTime>>& acc = out.per_stage;
+  acc.emplace_back(StageKind::Render, SimTime::zero());
+  if (include_filters) {
+    for (const StageKind k : kFilterChain) acc.emplace_back(k, SimTime::zero());
+  }
+  if (include_transfer) acc.emplace_back(StageKind::Transfer, SimTime::zero());
+
+  const double frame_bytes =
+      static_cast<double>(scene.image_side()) * scene.image_side() * 4.0;
+  const double pixels =
+      static_cast<double>(scene.image_side()) * scene.image_side();
+
+  // Sequential: every stage of every frame on one core. Timing is additive
+  // (no pipelining), so we can walk the stage list with chained callbacks.
+  struct Driver {
+    Simulator& sim;
+    SccChip& chip;
+    HostChannel& viewer_wire;
+    const SceneBundle& scene;
+    const WorkloadTrace& trace;
+    const RunConfig& cfg;
+    std::vector<std::pair<StageKind, SimTime>>& acc;
+    double frame_bytes;
+    double pixels;
+    int frame = 0;
+
+    void run_frame() {
+      if (frame >= scene.frame_count()) return;
+      run_stage(0, sim.now());
+    }
+
+    void run_stage(std::size_t idx, SimTime stage_start) {
+      if (idx >= acc.size()) {
+        ++frame;
+        run_frame();
+        return;
+      }
+      const StageKind kind = acc[idx].first;
+      auto done = [this, idx, stage_start] {
+        acc[idx].second += sim.now() - stage_start;
+        run_stage(idx + 1, sim.now());
+      };
+      switch (kind) {
+        case StageKind::Render: {
+          StageWork w = render_work(cfg.cal, trace.load(frame, 1, 0),
+                                    /*adjust_frustum=*/false);
+          w.cycles *= chip.config().render_cycles_scale;
+          chip.memory_walk(0, w.walk_accesses, [this, w, done] {
+            chip.compute(0, w.cycles, [this, w, done] {
+              chip.dram_stream(0, w.dram_bytes, done);
+            });
+          });
+          break;
+        }
+        case StageKind::Transfer: {
+          // No assembly needed (single strip); just the UDP send.
+          chip.compute(0, viewer_wire.scc_send_cycles(frame_bytes),
+                       [this, done] {
+                         viewer_wire.push(frame_bytes, done);
+                         viewer_wire.pop([](double) {});
+                       });
+          break;
+        }
+        default: {
+          const int scratches =
+              scratch_params_for_frame(cfg.seed, frame, scene.image_side(),
+                                       cfg.cal.max_scratches)
+                  .count;
+          const StageWork w = filter_work(cfg.cal, kind, pixels, scratches);
+          chip.compute(0, w.cycles, [this, w, done] {
+            chip.dram_stream(0, w.dram_bytes, done);
+          });
+          break;
+        }
+      }
+    }
+  };
+
+  Driver driver{sim,  chip,        viewer_wire, scene, trace,
+                cfg,  out.per_stage, frame_bytes, pixels};
+  driver.run_frame();
+  sim.run();
+  chip.release_core(core);
+
+  for (const auto& [k, v] : out.per_stage) out.total += v;
+  return out;
+}
+
+}  // namespace sccpipe

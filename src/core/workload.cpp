@@ -1,0 +1,154 @@
+#include "sccpipe/core/workload.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "sccpipe/support/check.hpp"
+#include "sccpipe/support/log.hpp"
+
+namespace sccpipe {
+
+SceneBundle::SceneBundle(CityParams city, CameraConfig camera, int image_side,
+                         int frame_count)
+    : city_(city),
+      camera_(camera),
+      side_(image_side),
+      frames_(frame_count),
+      mesh_(generate_city(city)),
+      octree_(mesh_),
+      renderer_(mesh_, octree_, camera, image_side, image_side),
+      path_(mesh_.bounds(), frame_count) {
+  SCCPIPE_CHECK(image_side > 0 && frame_count > 0);
+}
+
+WorkloadTrace::WorkloadTrace(int frames, int max_k)
+    : frames_(frames), max_k_(max_k) {
+  SCCPIPE_CHECK(frames > 0 && max_k > 0);
+  // Per frame we store strips for k = 1..max_k: sum_{k=1..K} k entries.
+  k_offset_.assign(static_cast<std::size_t>(max_k) + 1, 0);
+  std::size_t off = 0;
+  for (int k = 1; k <= max_k; ++k) {
+    k_offset_[static_cast<std::size_t>(k)] = off;
+    off += static_cast<std::size_t>(k);
+  }
+  per_frame_ = off;
+  loads_.resize(static_cast<std::size_t>(frames) * per_frame_);
+}
+
+std::size_t WorkloadTrace::index(int frame, int k, int strip) const {
+  SCCPIPE_CHECK_MSG(frame >= 0 && frame < frames_, "frame " << frame);
+  SCCPIPE_CHECK_MSG(k >= 1 && k <= max_k_, "k " << k);
+  SCCPIPE_CHECK_MSG(strip >= 0 && strip < k, "strip " << strip << " of " << k);
+  return static_cast<std::size_t>(frame) * per_frame_ +
+         k_offset_[static_cast<std::size_t>(k)] +
+         static_cast<std::size_t>(strip);
+}
+
+const RenderLoad& WorkloadTrace::load(int frame, int k, int strip) const {
+  return loads_[index(frame, k, strip)];
+}
+
+namespace {
+
+constexpr std::uint64_t kTraceMagic = 0x5cc9'7bac'e001ULL;  // format v1
+
+struct TraceHeader {
+  std::uint64_t magic = kTraceMagic;
+  std::uint64_t scene_seed = 0;
+  std::int32_t blocks_x = 0;
+  std::int32_t blocks_z = 0;
+  std::int32_t image_side = 0;
+  std::int32_t frames = 0;
+  std::int32_t max_k = 0;
+  std::int32_t reserved = 0;
+};
+
+TraceHeader make_header(const SceneBundle& scene, int max_k) {
+  TraceHeader h;
+  h.scene_seed = scene.city().seed;
+  h.blocks_x = scene.city().blocks_x;
+  h.blocks_z = scene.city().blocks_z;
+  h.image_side = scene.image_side();
+  h.frames = scene.frame_count();
+  h.max_k = max_k;
+  return h;
+}
+
+bool headers_match(const TraceHeader& a, const TraceHeader& b) {
+  return a.magic == b.magic && a.scene_seed == b.scene_seed &&
+         a.blocks_x == b.blocks_x && a.blocks_z == b.blocks_z &&
+         a.image_side == b.image_side && a.frames == b.frames &&
+         a.max_k == b.max_k;
+}
+
+}  // namespace
+
+void WorkloadTrace::save(const std::string& path,
+                         const SceneBundle& scene) const {
+  std::ofstream f(path, std::ios::binary);
+  SCCPIPE_CHECK_MSG(f.is_open(), "cannot open " << path);
+  const TraceHeader header = make_header(scene, max_k_);
+  f.write(reinterpret_cast<const char*>(&header), sizeof header);
+  f.write(reinterpret_cast<const char*>(loads_.data()),
+          static_cast<std::streamsize>(loads_.size() * sizeof(RenderLoad)));
+  SCCPIPE_CHECK_MSG(f.good(), "write failed: " << path);
+}
+
+std::optional<WorkloadTrace> WorkloadTrace::load(const std::string& path,
+                                                 const SceneBundle& scene,
+                                                 int max_k) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) return std::nullopt;
+  TraceHeader header;
+  f.read(reinterpret_cast<char*>(&header), sizeof header);
+  if (!f.good() || !headers_match(header, make_header(scene, max_k))) {
+    return std::nullopt;
+  }
+  WorkloadTrace trace(scene.frame_count(), max_k);
+  f.read(reinterpret_cast<char*>(trace.loads_.data()),
+         static_cast<std::streamsize>(trace.loads_.size() *
+                                      sizeof(RenderLoad)));
+  if (!f.good()) return std::nullopt;
+  // The file must end exactly here (truncated/oversized files rejected).
+  f.peek();
+  if (!f.eof()) return std::nullopt;
+  return trace;
+}
+
+WorkloadTrace WorkloadTrace::build_cached(const SceneBundle& scene, int max_k,
+                                          const std::string& cache_path) {
+  if (auto cached = load(cache_path, scene, max_k)) {
+    SCCPIPE_INFO("workload trace loaded from " << cache_path);
+    return std::move(*cached);
+  }
+  WorkloadTrace trace = build(scene, max_k);
+  try {
+    trace.save(cache_path, scene);
+  } catch (const CheckError&) {
+    SCCPIPE_WARN("could not write workload cache " << cache_path);
+  }
+  return trace;
+}
+
+WorkloadTrace WorkloadTrace::build(const SceneBundle& scene, int max_k) {
+  WorkloadTrace trace(scene.frame_count(), max_k);
+  const Renderer& renderer = scene.renderer();
+  const int side = scene.image_side();
+  for (int frame = 0; frame < scene.frame_count(); ++frame) {
+    const Mat4 view = scene.path().view(frame);
+    for (int k = 1; k <= max_k; ++k) {
+      const auto strips = divide_rows(side, k);
+      for (int s = 0; s < k; ++s) {
+        const RenderStats st =
+            renderer.estimate_strip(view, strips[static_cast<std::size_t>(s)]);
+        RenderLoad& load = trace.loads_[trace.index(frame, k, s)];
+        load.nodes_visited = st.cull.nodes_visited;
+        load.tris_accepted = st.cull.tris_accepted;
+        load.projected_pixels = st.projected_pixels;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,57 @@
+#include "sccpipe/geom/frustum.hpp"
+
+#include <cmath>
+
+namespace sccpipe {
+
+namespace {
+Plane normalize_plane(float a, float b, float c, float d) {
+  const Vec3 n{a, b, c};
+  const float len = length(n);
+  if (len <= 0.0f) return Plane{{0.0f, 0.0f, 0.0f}, 0.0f};
+  return Plane{n * (1.0f / len), d / len};
+}
+}  // namespace
+
+Frustum::Frustum(const Mat4& vp) {
+  // Gribb/Hartmann extraction. Rows of the (row-vector) matrix; our storage
+  // is column-major m[col][row], so row i component of column c is m[c][i].
+  auto row = [&](int i) {
+    return Vec4{vp.m[0][i], vp.m[1][i], vp.m[2][i], vp.m[3][i]};
+  };
+  const Vec4 r0 = row(0), r1 = row(1), r2 = row(2), r3 = row(3);
+
+  auto plane_from = [&](Vec4 v) {
+    return normalize_plane(v.x, v.y, v.z, v.w);
+  };
+  planes_[0] = plane_from(r3 + r0);  // left
+  planes_[1] = plane_from(r3 - r0);  // right
+  planes_[2] = plane_from(r3 + r1);  // bottom
+  planes_[3] = plane_from(r3 - r1);  // top
+  planes_[4] = plane_from(r3 + r2);  // near
+  planes_[5] = plane_from(r3 - r2);  // far
+}
+
+CullResult Frustum::classify(const Aabb& box) const {
+  const Vec3 c = box.center();
+  const Vec3 e = box.extent();
+  bool intersects = false;
+  for (const Plane& p : planes_) {
+    // Projected radius of the box onto the plane normal.
+    const float r = e.x * std::fabs(p.normal.x) + e.y * std::fabs(p.normal.y) +
+                    e.z * std::fabs(p.normal.z);
+    const float dist = p.signed_distance(c);
+    if (dist < -r) return CullResult::Outside;
+    if (dist < r) intersects = true;
+  }
+  return intersects ? CullResult::Intersects : CullResult::Inside;
+}
+
+bool Frustum::contains(Vec3 p) const {
+  for (const Plane& pl : planes_) {
+    if (pl.signed_distance(p) < 0.0f) return false;
+  }
+  return true;
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,48 @@
+#include "sccpipe/host/host_cpu.hpp"
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+HostCpu::HostCpu(Simulator& sim, HostCpuConfig cfg)
+    : sim_(sim), cfg_(cfg), meter_(sim) {
+  SCCPIPE_CHECK(cfg_.effective_hz > 0.0);
+  meter_.set_power(cfg_.idle_watts);
+}
+
+void HostCpu::compute(double ref_cycles, std::function<void()> on_done) {
+  SCCPIPE_CHECK(ref_cycles >= 0.0);
+  SCCPIPE_CHECK(on_done != nullptr);
+  const SimTime dur = SimTime::sec(ref_cycles / cfg_.effective_hz);
+  // Serialise behind queued work.
+  const SimTime start = max(sim_.now(), horizon_);
+  horizon_ = start + dur;
+  set_busy(true);
+  sim_.schedule_at(horizon_, [this, cb = std::move(on_done)]() mutable {
+    set_busy(false);
+    cb();
+  });
+}
+
+void HostCpu::set_busy(bool busy) {
+  if (busy) {
+    if (busy_depth_++ == 0) {
+      busy_since_ = sim_.now();
+      meter_.set_power(cfg_.busy_watts);
+    }
+  } else {
+    SCCPIPE_CHECK(busy_depth_ > 0);
+    if (--busy_depth_ == 0) {
+      busy_total_ += sim_.now() - busy_since_;
+      meter_.set_power(cfg_.idle_watts);
+    }
+  }
+}
+
+SimTime HostCpu::busy_time() const {
+  SimTime t = busy_total_;
+  if (busy_depth_ > 0) t += sim_.now() - busy_since_;
+  return t;
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,77 @@
+#include "sccpipe/host/host_link.hpp"
+
+#include <cmath>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+HostChannel::HostChannel(Simulator& sim, HostLinkConfig cfg)
+    : sim_(sim), cfg_(cfg), wire_("host-wire"), credits_(cfg.credit_frames) {
+  SCCPIPE_CHECK(cfg_.wire_bandwidth_bytes_per_sec > 0.0);
+  SCCPIPE_CHECK(cfg_.datagram_bytes > 0.0);
+  SCCPIPE_CHECK(cfg_.credit_frames > 0);
+}
+
+double HostChannel::datagrams(double bytes) const {
+  if (bytes <= 0.0) return 1.0;
+  return std::ceil(bytes / cfg_.datagram_bytes);
+}
+
+double HostChannel::host_side_cycles(double bytes) const {
+  return cfg_.host_cycles_per_byte * bytes;
+}
+
+double HostChannel::scc_send_cycles(double bytes) const {
+  return cfg_.scc_send_cycles_per_byte * bytes +
+         cfg_.per_datagram_cycles * datagrams(bytes);
+}
+
+double HostChannel::scc_recv_cycles(double bytes) const {
+  return cfg_.scc_recv_cycles_per_byte * bytes +
+         cfg_.per_datagram_cycles * datagrams(bytes);
+}
+
+void HostChannel::push(double bytes, PushCallback on_accepted) {
+  SCCPIPE_CHECK(bytes >= 0.0);
+  SCCPIPE_CHECK(on_accepted != nullptr);
+  waiting_admission_.push_back(PendingPush{bytes, std::move(on_accepted)});
+  try_admit();
+}
+
+void HostChannel::try_admit() {
+  while (credits_ > 0 && !waiting_admission_.empty()) {
+    --credits_;
+    PendingPush p = std::move(waiting_admission_.front());
+    waiting_admission_.pop_front();
+    const SimTime wire_time =
+        SimTime::sec(p.bytes / cfg_.wire_bandwidth_bytes_per_sec);
+    const SimTime done = wire_.acquire(sim_.now(), wire_time);
+    sim_.schedule_at(done, [this, bytes = p.bytes,
+                            cb = std::move(p.on_accepted)]() mutable {
+      arrived_.push_back(bytes);
+      cb();  // producer may prepare the next frame
+      try_deliver();
+    });
+  }
+}
+
+void HostChannel::pop(PopCallback on_message) {
+  SCCPIPE_CHECK(on_message != nullptr);
+  waiting_pop_.push_back(std::move(on_message));
+  try_deliver();
+}
+
+void HostChannel::try_deliver() {
+  while (!arrived_.empty() && !waiting_pop_.empty()) {
+    const double bytes = arrived_.front();
+    arrived_.pop_front();
+    PopCallback cb = std::move(waiting_pop_.front());
+    waiting_pop_.pop_front();
+    ++credits_;
+    try_admit();
+    cb(bytes);
+  }
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,48 @@
+#include "sccpipe/mem/cache.hpp"
+
+#include <cmath>
+
+namespace sccpipe {
+
+namespace {
+// A 4-way cache holds somewhat less than its nominal capacity of a
+// streaming working set before conflict misses start; classic rule of
+// thumb used by analytic models.
+constexpr double kAssocHeadroom = 0.85;
+}  // namespace
+
+CacheModel::CacheModel(CacheConfig cfg) : cfg_(cfg) {
+  SCCPIPE_CHECK(cfg_.line_bytes > 0);
+  SCCPIPE_CHECK(cfg_.l1_bytes > 0 && cfg_.l2_bytes >= cfg_.l1_bytes);
+  SCCPIPE_CHECK(cfg_.ways > 0);
+}
+
+double CacheModel::lines(double bytes) const {
+  return std::ceil(bytes / static_cast<double>(cfg_.line_bytes));
+}
+
+bool CacheModel::fits_l1(double working_set_bytes) const {
+  return working_set_bytes <= kAssocHeadroom * cfg_.l1_bytes;
+}
+
+bool CacheModel::fits_l2(double working_set_bytes) const {
+  return working_set_bytes <= kAssocHeadroom * cfg_.l2_bytes;
+}
+
+double CacheModel::dram_traffic(double bytes_in, double bytes_out,
+                                double reuse_window_bytes,
+                                double touches_per_byte) const {
+  SCCPIPE_CHECK(bytes_in >= 0.0 && bytes_out >= 0.0);
+  SCCPIPE_CHECK(touches_per_byte >= 0.0);
+  // Compulsory read traffic: every input line fetched once.
+  double traffic = bytes_in;
+  // Re-touches miss only if the reuse window spills past L2.
+  if (touches_per_byte > 1.0 && !fits_l2(reuse_window_bytes)) {
+    traffic += bytes_in * (touches_per_byte - 1.0);
+  }
+  // Streaming stores: write-allocate fetch + eventual write-back.
+  traffic += 2.0 * bytes_out;
+  return traffic;
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,95 @@
+#include "sccpipe/mem/memory.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace sccpipe {
+
+MemorySystem::MemorySystem(Simulator& sim, const MeshTopology& topo,
+                           MeshModel& mesh, MemoryConfig cfg)
+    : sim_(sim), topo_(topo), mesh_(mesh), cfg_(cfg), cache_(cfg.cache) {
+  SCCPIPE_CHECK(cfg_.mc_bandwidth_bytes_per_sec > 0.0);
+  const int n = topo_.mc_count();
+  mcs_.reserve(static_cast<std::size_t>(n));
+  for (McId m = 0; m < n; ++m) {
+    mcs_.push_back(std::make_unique<FairShareResource>(
+        sim_, "mc" + std::to_string(m), cfg_.mc_bandwidth_bytes_per_sec));
+  }
+  latency_streams_.assign(static_cast<std::size_t>(n), 0);
+  stats_.resize(static_cast<std::size_t>(n));
+}
+
+void MemorySystem::bulk(CoreId core, double bytes, double core_rate_cap,
+                        std::function<void()> on_done) {
+  SCCPIPE_CHECK(topo_.valid_core(core));
+  SCCPIPE_CHECK(bytes >= 0.0);
+  SCCPIPE_CHECK(on_done != nullptr);
+  const McId mc = topo_.home_mc(core);
+  const auto mci = static_cast<std::size_t>(mc);
+  McStats& st = stats_[mci];
+  st.bulk_bytes += bytes;
+  ++st.bulk_flows;
+
+  // Charge the mesh route between the core's tile and the controller; this
+  // advances link horizons (contention) and yields the extra head latency
+  // the stream pays before DRAM starts answering.
+  const SimTime now = sim_.now();
+  const SimTime mesh_done = mesh_.transfer(now, topo_.core_coord(core),
+                                           topo_.mc_position(mc), bytes);
+  const SimTime mesh_extra = mesh_done - now;
+
+  mcs_[mci]->start_flow(
+      bytes,
+      [this, mesh_extra, cb = std::move(on_done)]() mutable {
+        if (mesh_extra.is_zero()) {
+          cb();
+        } else {
+          sim_.schedule_after(mesh_extra, std::move(cb));
+        }
+      },
+      core_rate_cap);
+}
+
+SimTime MemorySystem::latency_bound(CoreId core, double n_accesses) const {
+  SCCPIPE_CHECK(topo_.valid_core(core));
+  SCCPIPE_CHECK(n_accesses >= 0.0);
+  const McId mc = topo_.home_mc(core);
+  const int hops =
+      topo_.hop_distance(topo_.core_coord(core), topo_.mc_position(mc));
+  const double load = mc_load(mc);
+  const double inflation = std::min(
+      cfg_.latency_contention_cap,
+      1.0 + cfg_.latency_contention_coeff * (load > 1.0 ? load - 1.0 : 0.0));
+  const SimTime per_access =
+      cfg_.base_line_latency * inflation +
+      cfg_.per_hop_latency * static_cast<double>(hops);
+  return per_access * n_accesses;
+}
+
+void MemorySystem::register_latency_stream(CoreId core) {
+  const auto mc = static_cast<std::size_t>(topo_.home_mc(core));
+  ++latency_streams_[mc];
+  stats_[mc].latency_streams_peak =
+      std::max<std::uint64_t>(stats_[mc].latency_streams_peak,
+                              static_cast<std::uint64_t>(latency_streams_[mc]));
+}
+
+void MemorySystem::unregister_latency_stream(CoreId core) {
+  const auto mc = static_cast<std::size_t>(topo_.home_mc(core));
+  SCCPIPE_CHECK_MSG(latency_streams_[mc] > 0, "unbalanced unregister");
+  --latency_streams_[mc];
+}
+
+double MemorySystem::mc_load(McId mc) const {
+  const auto i = static_cast<std::size_t>(mc);
+  SCCPIPE_CHECK(mc >= 0 && mc < topo_.mc_count());
+  return static_cast<double>(mcs_[i]->active_flows()) +
+         static_cast<double>(latency_streams_[i]);
+}
+
+const McStats& MemorySystem::stats(McId mc) const {
+  SCCPIPE_CHECK(mc >= 0 && mc < topo_.mc_count());
+  return stats_[static_cast<std::size_t>(mc)];
+}
+
+}  // namespace sccpipe

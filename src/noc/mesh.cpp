@@ -1,0 +1,60 @@
+#include "sccpipe/noc/mesh.hpp"
+
+#include <string>
+
+namespace sccpipe {
+
+MeshModel::MeshModel(const MeshTopology& topo, MeshTimingConfig cfg)
+    : topo_(topo), cfg_(cfg) {
+  SCCPIPE_CHECK(cfg_.link_bandwidth_bytes_per_sec > 0.0);
+  const int n = topo_.link_index_count();
+  links_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    links_.emplace_back("link" + std::to_string(i));
+  }
+  traffic_.resize(static_cast<std::size_t>(n));
+}
+
+SimTime MeshModel::transfer(SimTime start, TileCoord from, TileCoord to,
+                            double bytes) {
+  SCCPIPE_CHECK(bytes >= 0.0);
+  const auto route = topo_.route(from, to);
+  const SimTime serialisation =
+      SimTime::sec(bytes / cfg_.link_bandwidth_bytes_per_sec);
+  // Injection router always charges once, even for a local (same-tile) hop.
+  SimTime t = start + cfg_.router_latency;
+  for (const LinkId& link : route) {
+    const auto idx = static_cast<std::size_t>(topo_.link_index(link));
+    const SimTime before = t;
+    t = links_[idx].acquire(t, serialisation) + cfg_.router_latency;
+    LinkTraffic& tr = traffic_[idx];
+    ++tr.messages;
+    tr.bytes += bytes;
+    // queue_delay here is time spent waiting for the link beyond pure
+    // serialisation + router latency.
+    const SimTime pure = serialisation + cfg_.router_latency;
+    tr.queue_delay += (t - before) - pure;
+  }
+  return t;
+}
+
+SimTime MeshModel::ideal_latency(TileCoord from, TileCoord to,
+                                 double bytes) const {
+  const int hops = topo_.hop_distance(from, to);
+  const SimTime serialisation =
+      SimTime::sec(bytes / cfg_.link_bandwidth_bytes_per_sec);
+  return cfg_.router_latency * static_cast<double>(hops + 1) +
+         serialisation * static_cast<double>(hops);
+}
+
+const LinkTraffic& MeshModel::traffic(const LinkId& link) const {
+  return traffic_[static_cast<std::size_t>(topo_.link_index(link))];
+}
+
+double MeshModel::total_bytes() const {
+  double sum = 0.0;
+  for (const LinkTraffic& t : traffic_) sum += t.bytes;
+  return sum;
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,102 @@
+#include "sccpipe/rcce/collectives.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+namespace {
+
+std::vector<CoreId> others(CoreId root, const std::vector<CoreId>& group) {
+  SCCPIPE_CHECK_MSG(std::find(group.begin(), group.end(), root) != group.end(),
+                    "root " << root << " not in the group");
+  std::vector<CoreId> out;
+  out.reserve(group.size() - 1);
+  for (const CoreId c : group) {
+    if (c != root) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void RcceCollectives::rooted_linear(CoreId root, std::vector<CoreId> members,
+                                    double bytes_each, bool root_sends,
+                                    double root_post_cycles,
+                                    Callback on_complete) {
+  SCCPIPE_CHECK(on_complete != nullptr);
+  if (members.empty()) {
+    on_complete();
+    return;
+  }
+
+  struct State {
+    RcceCollectives* self;
+    CoreId root;
+    std::vector<CoreId> members;
+    double bytes_each;
+    bool root_sends;
+    double root_post_cycles;
+    std::size_t next = 0;
+    Callback on_complete;
+
+    void step(const std::shared_ptr<State>& keep) {
+      if (next == members.size()) {
+        on_complete();
+        return;
+      }
+      const CoreId peer = members[next++];
+      auto after_transfer = [this, keep] {
+        if (root_post_cycles > 0.0) {
+          self->comm_.chip().compute(root, root_post_cycles,
+                                     [this, keep] { step(keep); });
+        } else {
+          step(keep);
+        }
+      };
+      if (root_sends) {
+        // Receiver posts first (it is idle), then the root's send matches.
+        self->comm_.recv(peer, root, [] {});
+        self->comm_.send(root, peer, bytes_each, std::move(after_transfer));
+      } else {
+        self->comm_.send(peer, root, bytes_each, [] {});
+        self->comm_.recv(root, peer, std::move(after_transfer));
+      }
+    }
+  };
+
+  auto state = std::make_shared<State>(
+      State{this, root, std::move(members), bytes_each, root_sends,
+            root_post_cycles, 0, std::move(on_complete)});
+  state->step(state);
+}
+
+void RcceCollectives::broadcast(CoreId root, const std::vector<CoreId>& group,
+                                double bytes, Callback on_complete) {
+  rooted_linear(root, others(root, group), bytes, /*root_sends=*/true, 0.0,
+                std::move(on_complete));
+}
+
+void RcceCollectives::scatter(CoreId root, const std::vector<CoreId>& group,
+                              double bytes_per_member, Callback on_complete) {
+  rooted_linear(root, others(root, group), bytes_per_member,
+                /*root_sends=*/true, 0.0, std::move(on_complete));
+}
+
+void RcceCollectives::gather(CoreId root, const std::vector<CoreId>& group,
+                             double bytes_per_member, Callback on_complete) {
+  rooted_linear(root, others(root, group), bytes_per_member,
+                /*root_sends=*/false, 0.0, std::move(on_complete));
+}
+
+void RcceCollectives::reduce(CoreId root, const std::vector<CoreId>& group,
+                             double bytes, double combine_cycles,
+                             Callback on_complete) {
+  SCCPIPE_CHECK(combine_cycles >= 0.0);
+  rooted_linear(root, others(root, group), bytes, /*root_sends=*/false,
+                combine_cycles, std::move(on_complete));
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,105 @@
+#include "sccpipe/rcce/mpb.hpp"
+
+#include <utility>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+MpbSystem::MpbSystem(SccChip& chip, MpbConfig cfg) : chip_(chip), cfg_(cfg) {
+  SCCPIPE_CHECK(cfg_.bytes_per_core > 0.0);
+  used_.assign(static_cast<std::size_t>(chip.core_count()), 0.0);
+}
+
+void MpbSystem::allocate(CoreId owner, double bytes) {
+  SCCPIPE_CHECK(chip_.topology().valid_core(owner));
+  SCCPIPE_CHECK(bytes >= 0.0);
+  auto& used = used_[static_cast<std::size_t>(owner)];
+  SCCPIPE_CHECK_MSG(used + bytes <= cfg_.bytes_per_core,
+                    "MPB overflow on core " << owner << ": " << used << " + "
+                                            << bytes << " > "
+                                            << cfg_.bytes_per_core);
+  used += bytes;
+}
+
+void MpbSystem::release(CoreId owner, double bytes) {
+  SCCPIPE_CHECK(chip_.topology().valid_core(owner));
+  auto& used = used_[static_cast<std::size_t>(owner)];
+  SCCPIPE_CHECK_MSG(bytes <= used + 1e-9, "MPB release below zero");
+  used -= bytes;
+}
+
+double MpbSystem::used(CoreId owner) const {
+  SCCPIPE_CHECK(chip_.topology().valid_core(owner));
+  return used_[static_cast<std::size_t>(owner)];
+}
+
+double MpbSystem::available(CoreId owner) const {
+  return cfg_.bytes_per_core - used(owner);
+}
+
+void MpbSystem::put(CoreId from, CoreId to, double bytes, Callback on_done) {
+  SCCPIPE_CHECK(on_done != nullptr);
+  SCCPIPE_CHECK_MSG(bytes <= cfg_.bytes_per_core,
+                    "single put larger than the MPB window");
+  // Writer's copy loop, then the mesh crossing to the owner's tile.
+  chip_.compute(from, cfg_.write_cycles_per_byte * bytes,
+                [this, from, to, bytes, cb = std::move(on_done)]() mutable {
+                  const MeshTopology& topo = chip_.topology();
+                  const SimTime done = chip_.mesh().transfer(
+                      chip_.sim().now(), topo.core_coord(from),
+                      topo.core_coord(to), bytes);
+                  chip_.sim().schedule_at(done, std::move(cb));
+                });
+}
+
+void MpbSystem::get(CoreId reader, CoreId owner, double bytes,
+                    Callback on_done) {
+  SCCPIPE_CHECK(on_done != nullptr);
+  SCCPIPE_CHECK_MSG(bytes <= cfg_.bytes_per_core,
+                    "single get larger than the MPB window");
+  const MeshTopology& topo = chip_.topology();
+  const SimTime arrived = chip_.mesh().transfer(
+      chip_.sim().now(), topo.core_coord(owner), topo.core_coord(reader),
+      bytes);
+  chip_.sim().schedule_at(
+      arrived, [this, reader, bytes, cb = std::move(on_done)]() mutable {
+        chip_.compute(reader, cfg_.read_cycles_per_byte * bytes,
+                      std::move(cb));
+      });
+}
+
+void MpbSystem::flag_wait(CoreId waiter, CoreId owner, int flag_id,
+                          Callback on_set) {
+  SCCPIPE_CHECK(on_set != nullptr);
+  const FlagKey key{owner, flag_id};
+  auto pending = pending_sets_.find(key);
+  if (pending != pending_sets_.end() && pending->second > 0) {
+    --pending->second;
+    // One poll round to observe the already-set flag.
+    chip_.compute(waiter, cfg_.flag_poll_cycles, std::move(on_set));
+    return;
+  }
+  waiters_[key].push_back(std::move(on_set));
+}
+
+void MpbSystem::flag_set(CoreId setter, CoreId owner, int flag_id) {
+  SCCPIPE_CHECK(chip_.topology().valid_core(setter));
+  const FlagKey key{owner, flag_id};
+  auto it = waiters_.find(key);
+  if (it != waiters_.end() && !it->second.empty()) {
+    Callback cb = std::move(it->second.front());
+    it->second.erase(it->second.begin());
+    // The write crosses the mesh to the flag's MPB before the waiter's
+    // poll can observe it.
+    const MeshTopology& topo = chip_.topology();
+    const SimTime visible = chip_.mesh().transfer(
+        chip_.sim().now(), topo.core_coord(setter), topo.core_coord(owner),
+        4.0 /* one flag line */);
+    chip_.sim().schedule_at(visible, std::move(cb));
+    return;
+  }
+  ++pending_sets_[key];
+}
+
+}  // namespace sccpipe

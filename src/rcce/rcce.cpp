@@ -1,0 +1,150 @@
+#include "sccpipe/rcce/rcce.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sccpipe {
+
+RcceComm::RcceComm(SccChip& chip, RcceConfig cfg) : chip_(chip), cfg_(cfg) {
+  SCCPIPE_CHECK(cfg_.mpb_chunk_bytes > 0.0);
+}
+
+int RcceComm::chunk_count(double bytes) const {
+  if (bytes <= 0.0) return 1;
+  return static_cast<int>(std::ceil(bytes / cfg_.mpb_chunk_bytes));
+}
+
+void RcceComm::send(CoreId from, CoreId to, double bytes,
+                    Callback on_complete) {
+  SCCPIPE_CHECK(chip_.topology().valid_core(from));
+  SCCPIPE_CHECK(chip_.topology().valid_core(to));
+  SCCPIPE_CHECK_MSG(from != to, "RCCE send to self (core " << from << ")");
+  SCCPIPE_CHECK(bytes >= 0.0);
+  SCCPIPE_CHECK(on_complete != nullptr);
+
+  const Key key{from, to};
+  auto& rq = recvs_[key];
+  if (!rq.empty()) {
+    Callback receiver_done = std::move(rq.front());
+    rq.pop_front();
+    start_transfer(from, to, bytes, std::move(on_complete),
+                   std::move(receiver_done));
+    return;
+  }
+  sends_[key].push_back(PendingSend{bytes, std::move(on_complete)});
+}
+
+void RcceComm::recv(CoreId to, CoreId from, Callback on_complete) {
+  SCCPIPE_CHECK(chip_.topology().valid_core(from));
+  SCCPIPE_CHECK(chip_.topology().valid_core(to));
+  SCCPIPE_CHECK(on_complete != nullptr);
+
+  const Key key{from, to};
+  auto& sq = sends_[key];
+  if (!sq.empty()) {
+    PendingSend ps = std::move(sq.front());
+    sq.pop_front();
+    start_transfer(from, to, ps.bytes, std::move(ps.on_complete),
+                   std::move(on_complete));
+    return;
+  }
+  recvs_[key].push_back(std::move(on_complete));
+}
+
+void RcceComm::start_transfer(CoreId from, CoreId to, double bytes,
+                              Callback sender_done, Callback receiver_done) {
+  // Stage 1: sender software overhead + per-chunk handshakes.
+  const double sender_cycles =
+      cfg_.send_overhead_cycles + cfg_.per_chunk_cycles * chunk_count(bytes);
+  chip_.compute(from, sender_cycles, [this, from, to, bytes,
+                                      sd = std::move(sender_done),
+                                      rd = std::move(receiver_done)]() mutable {
+    // Stage 2: sender streams the source buffer out of its own partition.
+    // With hypothetical local memory banks (ablation) the source already
+    // sits in the sender's local store — skip the partition read.
+    auto after_source = [this, from, to, bytes, sd = std::move(sd),
+                         rd = std::move(rd)]() mutable {
+      // Stage 3: payload crosses the mesh.
+      const MeshTopology& topo = chip_.topology();
+      const SimTime now = chip_.sim().now();
+      const SimTime mesh_done = chip_.mesh().transfer(
+          now, topo.core_coord(from), topo.core_coord(to), bytes);
+      chip_.sim().schedule_at(mesh_done, [this, to, bytes, sd = std::move(sd),
+                                          rd = std::move(rd)]() mutable {
+        // Stage 4: receiver software overhead.
+        const double recv_cycles =
+            cfg_.recv_overhead_cycles +
+            cfg_.per_chunk_cycles * chunk_count(bytes);
+        chip_.compute(to, recv_cycles, [this, to, bytes, sd = std::move(sd),
+                                        rd = std::move(rd)]() mutable {
+          auto finish = [this, sd = std::move(sd),
+                         rd = std::move(rd)]() mutable {
+            ++delivered_;
+            // Sender unblocks first (its ack returns), then the receiver
+            // proceeds with the data.
+            sd();
+            rd();
+          };
+          if (cfg_.local_memory_banks) {
+            // Data lands directly in the receiver's local bank.
+            finish();
+          } else {
+            // Stage 5: the bounce — data lands in the receiver's DRAM
+            // partition (the SCC reality, §VI-A).
+            chip_.dram_stream(to, bytes, std::move(finish));
+          }
+        });
+      });
+    };
+    if (cfg_.local_memory_banks) {
+      after_source();
+    } else {
+      chip_.dram_stream(from, bytes, std::move(after_source));
+    }
+  });
+}
+
+SimTime RcceComm::ideal_transfer_time(CoreId from, CoreId to,
+                                      double bytes) const {
+  const MeshTopology& topo = chip_.topology();
+  const double cycles = cfg_.send_overhead_cycles + cfg_.recv_overhead_cycles +
+                        2.0 * cfg_.per_chunk_cycles * chunk_count(bytes);
+  const SimTime sw =
+      SimTime::sec(cycles / std::min(chip_.effective_hz(from),
+                                     chip_.effective_hz(to)));
+  const SimTime copies = SimTime::sec(bytes / chip_.copy_rate(from) +
+                                      bytes / chip_.copy_rate(to));
+  const SimTime mesh = chip_.mesh().ideal_latency(
+      topo.core_coord(from), topo.core_coord(to), bytes);
+  return sw + copies + mesh;
+}
+
+void RcceComm::iset_power(CoreId core, int mhz) {
+  chip_.set_core_frequency(core, mhz);
+}
+
+int RcceComm::power_domain(CoreId core) const {
+  return chip_.voltage_domain_of(chip_.topology().tile_of(core));
+}
+
+RcceComm::Barrier::Barrier(RcceComm& comm, std::vector<CoreId> group)
+    : comm_(comm), group_(std::move(group)) {
+  SCCPIPE_CHECK(!group_.empty());
+}
+
+void RcceComm::Barrier::arrive(CoreId core, Callback on_release) {
+  SCCPIPE_CHECK_MSG(std::find(group_.begin(), group_.end(), core) !=
+                        group_.end(),
+                    "core " << core << " not in barrier group");
+  for (const auto& [c, cb] : waiting_) {
+    SCCPIPE_CHECK_MSG(c != core, "core " << core << " arrived twice");
+  }
+  waiting_.emplace_back(core, std::move(on_release));
+  if (waiting_.size() == group_.size()) {
+    auto released = std::move(waiting_);
+    waiting_.clear();
+    for (auto& [c, cb] : released) cb();
+  }
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,140 @@
+#include "sccpipe/render/rasterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+Framebuffer::Framebuffer(int width, int height)
+    : color_(width, height),
+      depth_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+             1.0f) {}
+
+void Framebuffer::clear(Color c, float depth) {
+  color_ = Image(color_.width(), color_.height(), c);
+  std::fill(depth_.begin(), depth_.end(), depth);
+}
+
+float Framebuffer::depth(int x, int y) const {
+  return depth_[static_cast<std::size_t>(y) *
+                    static_cast<std::size_t>(color_.width()) +
+                static_cast<std::size_t>(x)];
+}
+
+void Framebuffer::set_pixel(int x, int y, float z, Color c) {
+  depth_[static_cast<std::size_t>(y) * static_cast<std::size_t>(color_.width()) +
+         static_cast<std::size_t>(x)] = z;
+  color_.set(x, y, c);
+}
+
+namespace {
+
+struct ScreenVertex {
+  float x, y, z;  // viewport coordinates + NDC depth
+};
+
+float edge(const ScreenVertex& a, const ScreenVertex& b,
+           const ScreenVertex& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+void raster_screen_triangle(Framebuffer& fb, const Viewport& vp,
+                            ScreenVertex v0, ScreenVertex v1, ScreenVertex v2,
+                            Color col, RasterStats* stats) {
+  // Ensure counter-clockwise orientation for a positive area (no face
+  // culling: CAD models are not consistently wound).
+  float area = edge(v0, v1, v2);
+  if (area == 0.0f) return;
+  if (area < 0.0f) {
+    std::swap(v1, v2);
+    area = -area;
+  }
+
+  // Pixel coordinates run over the *virtual* viewport; only rows
+  // [y_offset, y_offset + fb.height()) are materialised.
+  const int w = fb.width();
+  const int min_x = std::max(0, static_cast<int>(std::floor(
+                                    std::min({v0.x, v1.x, v2.x}))));
+  const int max_x = std::min(w - 1, static_cast<int>(std::ceil(
+                                        std::max({v0.x, v1.x, v2.x}))));
+  const int min_y = std::max(vp.y_offset,
+                             static_cast<int>(std::floor(
+                                 std::min({v0.y, v1.y, v2.y}))));
+  const int max_y = std::min(vp.y_offset + fb.height() - 1,
+                             static_cast<int>(std::ceil(
+                                 std::max({v0.y, v1.y, v2.y}))));
+  if (min_x > max_x || min_y > max_y) return;
+
+  const float inv_area = 1.0f / area;
+  for (int y = min_y; y <= max_y; ++y) {
+    for (int x = min_x; x <= max_x; ++x) {
+      const ScreenVertex p{static_cast<float>(x) + 0.5f,
+                           static_cast<float>(y) + 0.5f, 0.0f};
+      const float w0 = edge(v1, v2, p);
+      const float w1 = edge(v2, v0, p);
+      const float w2 = edge(v0, v1, p);
+      if (stats) ++stats->pixels_tested;
+      if (w0 < 0.0f || w1 < 0.0f || w2 < 0.0f) continue;
+      const float z = (w0 * v0.z + w1 * v1.z + w2 * v2.z) * inv_area;
+      if (z < -1.0f || z > 1.0f) continue;
+      const int row = y - vp.y_offset;
+      if (z >= fb.depth(x, row)) continue;
+      fb.set_pixel(x, row, z, col);
+      if (stats) ++stats->pixels_filled;
+    }
+  }
+}
+
+ScreenVertex to_screen(Vec4 clip, const Viewport& vp) {
+  const float inv_w = 1.0f / clip.w;
+  const float ndc_x = clip.x * inv_w;
+  const float ndc_y = clip.y * inv_w;
+  const float ndc_z = clip.z * inv_w;
+  return ScreenVertex{
+      (ndc_x * 0.5f + 0.5f) * static_cast<float>(vp.width),
+      // NDC +y is up; virtual row 0 is the top of the full frame.
+      (0.5f - ndc_y * 0.5f) * static_cast<float>(vp.height), ndc_z};
+}
+
+}  // namespace
+
+Viewport Viewport::full(const Framebuffer& fb) {
+  return Viewport{fb.width(), fb.height(), 0};
+}
+
+void draw_triangle_clip(Framebuffer& fb, const Viewport& vp, Vec4 c0, Vec4 c1,
+                        Vec4 c2, Color col, RasterStats* stats) {
+  if (stats) ++stats->triangles_submitted;
+
+  // Clip against the near plane w > epsilon (points behind the eye cannot
+  // be projected). Sutherland–Hodgman on the single plane w = kNearW.
+  constexpr float kNearW = 1e-4f;
+  Vec4 in[3] = {c0, c1, c2};
+  Vec4 out[4];
+  int out_n = 0;
+  for (int i = 0; i < 3; ++i) {
+    const Vec4 a = in[i];
+    const Vec4 b = in[(i + 1) % 3];
+    const bool a_in = a.w > kNearW;
+    const bool b_in = b.w > kNearW;
+    if (a_in) out[out_n++] = a;
+    if (a_in != b_in) {
+      const float t = (kNearW - a.w) / (b.w - a.w);
+      out[out_n++] = lerp(a, b, t);
+    }
+  }
+  if (out_n < 3) {
+    if (stats) ++stats->triangles_clipped_away;
+    return;
+  }
+
+  const ScreenVertex s0 = to_screen(out[0], vp);
+  for (int i = 1; i + 1 < out_n; ++i) {
+    raster_screen_triangle(fb, vp, s0, to_screen(out[i], vp),
+                           to_screen(out[i + 1], vp), col, stats);
+  }
+}
+
+}  // namespace sccpipe

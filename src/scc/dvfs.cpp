@@ -1,0 +1,23 @@
+#include "sccpipe/scc/dvfs.hpp"
+
+namespace sccpipe {
+
+DvfsTable::DvfsTable()
+    : points_{{400, 0.7}, {533, 1.1}, {800, 1.3}, {1066, 1.3}} {}
+
+OperatingPoint DvfsTable::point_for(int mhz) const {
+  for (const OperatingPoint& p : points_) {
+    if (p.mhz == mhz) return p;
+  }
+  SCCPIPE_CHECK_MSG(false, "unsupported frequency " << mhz << " MHz");
+  return {};
+}
+
+bool DvfsTable::allowed(int mhz) const {
+  for (const OperatingPoint& p : points_) {
+    if (p.mhz == mhz) return true;
+  }
+  return false;
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,30 @@
+#include "sccpipe/scc/power.hpp"
+
+namespace sccpipe {
+
+double PowerModel::core_dynamic_watts(const OperatingPoint& op) const {
+  const double f_ratio = static_cast<double>(op.mhz) / cfg_.ref_mhz;
+  const double v_ratio = op.volts / cfg_.ref_volts;
+  return cfg_.core_dynamic_watts_ref * f_ratio * v_ratio * v_ratio;
+}
+
+double PowerModel::tile_static_watts(double volts) const {
+  if (volts > cfg_.ref_volts) return cfg_.tile_static_watts_high;
+  if (volts < cfg_.ref_volts) return cfg_.tile_static_watts_low;
+  return 0.0;
+}
+
+void PowerMeter::set_power(double watts) { trace_.record(sim_.now(), watts); }
+
+double PowerMeter::current_watts() const { return trace_.at(sim_.now()); }
+
+double PowerMeter::energy_joules(SimTime from, SimTime to) const {
+  return trace_.integrate(from, to);
+}
+
+double PowerMeter::mean_watts(SimTime from, SimTime to) const {
+  if (from == to) return trace_.at(from);
+  return trace_.integrate(from, to) / (to - from).to_sec();
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,69 @@
+#include "sccpipe/scene/camera.hpp"
+
+#include <cmath>
+
+#include "sccpipe/geom/aabb.hpp"
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+Mat4 strip_projection(const CameraConfig& cfg, int width, int height,
+                      StripRange strip) {
+  SCCPIPE_CHECK(width > 0 && height > 0);
+  SCCPIPE_CHECK(strip.y0 >= 0 && strip.rows > 0 &&
+                strip.y0 + strip.rows <= height);
+  const float aspect =
+      static_cast<float>(width) / static_cast<float>(height);
+  const float top_full = cfg.z_near * std::tan(cfg.fovy_radians * 0.5f);
+  const float right = top_full * aspect;
+  // Screen row 0 is the top of the image (NDC y = +1); rows grow downward.
+  const float ndc_top =
+      1.0f - 2.0f * static_cast<float>(strip.y0) / static_cast<float>(height);
+  const float ndc_bottom =
+      1.0f - 2.0f * static_cast<float>(strip.y0 + strip.rows) /
+                 static_cast<float>(height);
+  return Mat4::frustum(-right, right, top_full * ndc_bottom,
+                       top_full * ndc_top, cfg.z_near, cfg.z_far);
+}
+
+WalkthroughPath::WalkthroughPath(const Aabb& scene_bounds, int frame_count)
+    : bounds_(scene_bounds), frames_(frame_count) {
+  SCCPIPE_CHECK(frame_count > 0);
+  SCCPIPE_CHECK(scene_bounds.valid());
+}
+
+Vec3 WalkthroughPath::position_at(float t) const {
+  // Spiral-ish orbit: radius and height oscillate so the visible set (and
+  // therefore the render load) varies over the walkthrough like a real
+  // fly-through does.
+  const Vec3 c = bounds_.center();
+  const Vec3 e = bounds_.extent();
+  const float angle = t * 6.2831853f;  // one full orbit
+  const float radius =
+      0.55f * std::max(e.x, e.z) * (1.0f + 0.35f * std::sin(3.0f * angle));
+  const float h = bounds_.lo.y + 0.35f * (bounds_.hi.y - bounds_.lo.y) *
+                                     (1.2f + std::sin(2.0f * angle));
+  return Vec3{c.x + radius * std::cos(angle), h,
+              c.z + radius * std::sin(angle)};
+}
+
+Vec3 WalkthroughPath::eye(int frame) const {
+  SCCPIPE_CHECK(frame >= 0 && frame < frames_);
+  return position_at(static_cast<float>(frame) / static_cast<float>(frames_));
+}
+
+Vec3 WalkthroughPath::target(int frame) const {
+  SCCPIPE_CHECK(frame >= 0 && frame < frames_);
+  // Look a few frames ahead along the path, biased toward the city centre.
+  const float t =
+      static_cast<float>(frame + 6) / static_cast<float>(frames_);
+  const Vec3 ahead = position_at(t - std::floor(t));
+  const Vec3 c = bounds_.center();
+  return lerp(ahead, Vec3{c.x, bounds_.lo.y + 8.0f, c.z}, 0.55f);
+}
+
+Mat4 WalkthroughPath::view(int frame) const {
+  return Mat4::look_at(eye(frame), target(frame), Vec3{0.0f, 1.0f, 0.0f});
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,72 @@
+#include "sccpipe/scene/city.hpp"
+
+#include "sccpipe/support/check.hpp"
+#include "sccpipe/support/rng.hpp"
+
+namespace sccpipe {
+
+namespace {
+
+Color building_color(Rng& rng) {
+  // Muted facade palette; brightness varies per building.
+  const auto base = static_cast<std::uint8_t>(90 + rng.below(120));
+  const auto warm = static_cast<std::uint8_t>(rng.below(40));
+  return Color{static_cast<std::uint8_t>(base + warm),
+               static_cast<std::uint8_t>(base + warm / 2), base, 255};
+}
+
+}  // namespace
+
+Mesh generate_city(const CityParams& p) {
+  SCCPIPE_CHECK(p.blocks_x > 0 && p.blocks_z > 0);
+  SCCPIPE_CHECK(p.block_size > 0.0f && p.street_width >= 0.0f);
+  SCCPIPE_CHECK(p.min_buildings_per_block >= 1);
+  SCCPIPE_CHECK(p.max_buildings_per_block >= p.min_buildings_per_block);
+  SCCPIPE_CHECK(p.max_height >= p.min_height && p.min_height > 0.0f);
+
+  Rng rng{p.seed};
+  Mesh mesh;
+  const float pitch = p.block_size + p.street_width;
+  const float city_w = static_cast<float>(p.blocks_x) * pitch;
+  const float city_d = static_cast<float>(p.blocks_z) * pitch;
+  const float ox = -city_w * 0.5f;
+  const float oz = -city_d * 0.5f;
+
+  // One ground slab under everything.
+  mesh.add_ground_quad(ox - pitch, oz - pitch, ox + city_w + pitch,
+                       oz + city_d + pitch, 0.0f, Color{60, 62, 58, 255});
+
+  for (int bz = 0; bz < p.blocks_z; ++bz) {
+    for (int bx = 0; bx < p.blocks_x; ++bx) {
+      const float x0 = ox + static_cast<float>(bx) * pitch;
+      const float z0 = oz + static_cast<float>(bz) * pitch;
+      const int count = static_cast<int>(
+          rng.range(p.min_buildings_per_block, p.max_buildings_per_block));
+      for (int i = 0; i < count; ++i) {
+        // Random sub-footprint inside the block, with margins.
+        const float fw = static_cast<float>(
+            rng.uniform(0.25 * p.block_size, 0.55 * p.block_size));
+        const float fd = static_cast<float>(
+            rng.uniform(0.25 * p.block_size, 0.55 * p.block_size));
+        const float px = x0 + static_cast<float>(
+                                  rng.uniform(0.0, p.block_size - fw));
+        const float pz = z0 + static_cast<float>(
+                                  rng.uniform(0.0, p.block_size - fd));
+        const float h = static_cast<float>(
+            rng.uniform(p.min_height, p.max_height));
+        const Color color = building_color(rng);
+        mesh.add_box(Vec3{px, 0.0f, pz}, Vec3{px + fw, h, pz + fd}, color);
+        if (rng.uniform() < p.roof_probability) {
+          mesh.add_pyramid(Vec3{px, h, pz}, Vec3{px + fw, h, pz + fd},
+                           h + 0.3f * fw,
+                           Color{static_cast<std::uint8_t>(color.r / 2),
+                                 static_cast<std::uint8_t>(color.g / 2),
+                                 static_cast<std::uint8_t>(color.b / 2), 255});
+        }
+      }
+    }
+  }
+  return mesh;
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,44 @@
+#include "sccpipe/scene/mesh.hpp"
+
+namespace sccpipe {
+
+void Mesh::add(const Triangle& t) {
+  tris_.push_back(t);
+  bounds_.extend(t.bounds());
+}
+
+void Mesh::add_box(Vec3 lo, Vec3 hi, Color color) {
+  const Vec3 c000{lo.x, lo.y, lo.z}, c100{hi.x, lo.y, lo.z};
+  const Vec3 c010{lo.x, hi.y, lo.z}, c110{hi.x, hi.y, lo.z};
+  const Vec3 c001{lo.x, lo.y, hi.z}, c101{hi.x, lo.y, hi.z};
+  const Vec3 c011{lo.x, hi.y, hi.z}, c111{hi.x, hi.y, hi.z};
+  auto quad = [&](Vec3 a, Vec3 b, Vec3 c, Vec3 d) {
+    add(Triangle{a, b, c, color});
+    add(Triangle{a, c, d, color});
+  };
+  quad(c000, c100, c110, c010);  // -z
+  quad(c101, c001, c011, c111);  // +z
+  quad(c001, c000, c010, c011);  // -x
+  quad(c100, c101, c111, c110);  // +x
+  quad(c010, c110, c111, c011);  // +y (top)
+  quad(c001, c101, c100, c000);  // -y (bottom)
+}
+
+void Mesh::add_ground_quad(float x0, float z0, float x1, float z1, float y,
+                           Color color) {
+  const Vec3 a{x0, y, z0}, b{x1, y, z0}, c{x1, y, z1}, d{x0, y, z1};
+  add(Triangle{a, b, c, color});
+  add(Triangle{a, c, d, color});
+}
+
+void Mesh::add_pyramid(Vec3 lo, Vec3 hi, float apex_y, Color color) {
+  const Vec3 apex{(lo.x + hi.x) * 0.5f, apex_y, (lo.z + hi.z) * 0.5f};
+  const Vec3 c00{lo.x, lo.y, lo.z}, c10{hi.x, lo.y, lo.z};
+  const Vec3 c11{hi.x, lo.y, hi.z}, c01{lo.x, lo.y, hi.z};
+  add(Triangle{c00, c10, apex, color});
+  add(Triangle{c10, c11, apex, color});
+  add(Triangle{c11, c01, apex, color});
+  add(Triangle{c01, c00, apex, color});
+}
+
+}  // namespace sccpipe

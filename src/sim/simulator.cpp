@@ -1,0 +1,84 @@
+#include "sccpipe/sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
+  SCCPIPE_CHECK_MSG(when >= now_, "schedule_at(" << when.to_string()
+                                                 << ") is before now="
+                                                 << now_.to_string());
+  SCCPIPE_CHECK(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Event{when, seq, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end());
+  ++live_pending_;
+  return EventHandle{seq};
+}
+
+EventHandle Simulator::schedule_after(SimTime delay, Callback fn) {
+  SCCPIPE_CHECK_MSG(!delay.is_negative(),
+                    "negative delay " << delay.to_string());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  if (handle.seq_ >= next_seq_) return false;
+  if (is_cancelled(handle.seq_)) return false;
+  // Only pending events can be cancelled; scan the heap to confirm the
+  // event still exists (it may have been dispatched already).
+  const auto it = std::find_if(heap_.begin(), heap_.end(),
+                               [&](const Event& e) { return e.seq == handle.seq_; });
+  if (it == heap_.end()) return false;
+  cancelled_.push_back(handle.seq_);
+  std::sort(cancelled_.begin(), cancelled_.end());
+  --live_pending_;
+  return true;
+}
+
+bool Simulator::is_cancelled(std::uint64_t seq) const {
+  return std::binary_search(cancelled_.begin(), cancelled_.end(), seq);
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (is_cancelled(ev.seq)) {
+      cancelled_.erase(
+          std::remove(cancelled_.begin(), cancelled_.end(), ev.seq),
+          cancelled_.end());
+      continue;  // tombstone: skip without advancing dispatch count
+    }
+    now_ = ev.when;
+    --live_pending_;
+    ++dispatched_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  while (!heap_.empty()) {
+    // Peek: the heap front is the earliest event.
+    const Event& front = heap_.front();
+    if (front.when > deadline) break;
+    step();
+  }
+  return now_;
+}
+
+std::size_t Simulator::pending() const { return live_pending_; }
+
+}  // namespace sccpipe

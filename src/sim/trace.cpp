@@ -1,0 +1,60 @@
+#include "sccpipe/sim/trace.hpp"
+
+#include <algorithm>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+void StepTrace::record(SimTime at, double value) {
+  if (!points_.empty()) {
+    SCCPIPE_CHECK_MSG(at >= points_.back().at,
+                      "trace times must be non-decreasing");
+    if (points_.back().at == at) {
+      points_.back().value = value;
+      return;
+    }
+    if (points_.back().value == value) return;  // coalesce equal steps
+  }
+  points_.push_back({at, value});
+}
+
+double StepTrace::at(SimTime t) const {
+  // Last point with .at <= t.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](SimTime lhs, const Point& p) { return lhs < p.at; });
+  if (it == points_.begin()) return 0.0;
+  return std::prev(it)->value;
+}
+
+double StepTrace::integrate(SimTime from, SimTime to) const {
+  SCCPIPE_CHECK(from <= to);
+  if (points_.empty() || from == to) return 0.0;
+  double total = 0.0;
+  SimTime cursor = from;
+  double value = at(from);
+  // Walk points strictly inside (from, to].
+  for (const Point& p : points_) {
+    if (p.at <= cursor) continue;
+    if (p.at >= to) break;
+    total += value * (p.at - cursor).to_sec();
+    cursor = p.at;
+    value = p.value;
+  }
+  total += value * (to - cursor).to_sec();
+  return total;
+}
+
+std::vector<double> StepTrace::sample(SimTime start, SimTime end,
+                                      SimTime step) const {
+  SCCPIPE_CHECK(start <= end);
+  SCCPIPE_CHECK(step > SimTime::zero());
+  std::vector<double> out;
+  for (SimTime t = start; t <= end; t += step) {
+    out.push_back(at(t));
+  }
+  return out;
+}
+
+}  // namespace sccpipe

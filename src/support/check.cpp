@@ -1,0 +1,15 @@
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream oss;
+  oss << "check failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw CheckError(oss.str());
+}
+
+}  // namespace sccpipe::detail

@@ -1,0 +1,219 @@
+#include "sccpipe/support/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+namespace {
+
+constexpr const char* kPalette[] = {
+    "#2f6fb2", "#c23b3b", "#3d9950", "#8b5cb5",
+    "#c28a2f", "#3ba6a6", "#b53d7f", "#6b7280",
+};
+constexpr int kPaletteSize = 8;
+
+std::string fmt(double v) {
+  char buf[32];
+  if (std::fabs(v) >= 1000.0 || v == std::floor(v)) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else if (std::fabs(v) >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> nice_ticks(double lo, double hi, int target_count) {
+  SCCPIPE_CHECK(hi >= lo);
+  SCCPIPE_CHECK(target_count >= 2);
+  if (hi == lo) return {lo};
+  const double raw_step = (hi - lo) / (target_count - 1);
+  const double mag = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = mag;
+  for (const double m : {1.0, 2.0, 5.0, 10.0}) {
+    if (mag * m >= raw_step) {
+      step = mag * m;
+      break;
+    }
+  }
+  std::vector<double> ticks;
+  const double start = std::ceil(lo / step) * step;
+  for (double t = start; t <= hi + 1e-9 * step; t += step) {
+    // Snap tiny float residue to zero.
+    ticks.push_back(std::fabs(t) < step * 1e-9 ? 0.0 : t);
+  }
+  return ticks;
+}
+
+SvgPlot::SvgPlot(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void SvgPlot::add_series(PlotSeries series) {
+  SCCPIPE_CHECK_MSG(series.x.size() == series.y.size(),
+                    "series '" << series.label << "' x/y size mismatch");
+  SCCPIPE_CHECK_MSG(!series.x.empty(), "empty series '" << series.label << "'");
+  if (series.color.empty()) {
+    series.color = kPalette[series_.size() % kPaletteSize];
+  }
+  series_.push_back(std::move(series));
+}
+
+void SvgPlot::set_x_range(double lo, double hi) {
+  SCCPIPE_CHECK(hi > lo);
+  has_x_range_ = true;
+  x_lo_ = lo;
+  x_hi_ = hi;
+}
+
+void SvgPlot::set_y_range(double lo, double hi) {
+  SCCPIPE_CHECK(hi > lo);
+  has_y_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string SvgPlot::to_svg(int width, int height) const {
+  SCCPIPE_CHECK(!series_.empty());
+  // Data ranges.
+  double x_lo = x_lo_, x_hi = x_hi_, y_lo = y_lo_, y_hi = y_hi_;
+  if (!has_x_range_) {
+    x_lo = series_[0].x[0];
+    x_hi = x_lo;
+    for (const PlotSeries& s : series_) {
+      for (const double v : s.x) {
+        x_lo = std::min(x_lo, v);
+        x_hi = std::max(x_hi, v);
+      }
+    }
+    if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  }
+  if (!has_y_range_) {
+    y_lo = y_from_zero_ ? 0.0 : series_[0].y[0];
+    y_hi = series_[0].y[0];
+    for (const PlotSeries& s : series_) {
+      for (const double v : s.y) {
+        if (!y_from_zero_) y_lo = std::min(y_lo, v);
+        y_hi = std::max(y_hi, v);
+      }
+    }
+    const double pad = 0.06 * (y_hi - y_lo + 1e-12);
+    y_hi += pad;
+    if (!y_from_zero_) y_lo -= pad;
+    if (y_hi == y_lo) y_hi = y_lo + 1.0;
+  }
+
+  // Plot area.
+  const double ml = 62, mr = 16, mt = 34, mb = 46;
+  const double pw = width - ml - mr;
+  const double ph = height - mt - mb;
+  auto px = [&](double x) { return ml + (x - x_lo) / (x_hi - x_lo) * pw; };
+  auto py = [&](double y) {
+    return mt + ph - (y - y_lo) / (y_hi - y_lo) * ph;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' '
+      << height << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << "<text x=\"" << width / 2 << "\" y=\"20\" text-anchor=\"middle\" "
+         "font-family=\"sans-serif\" font-size=\"14\">"
+      << escape_xml(title_) << "</text>\n";
+
+  // Grid and ticks.
+  svg << "<g font-family=\"sans-serif\" font-size=\"11\" fill=\"#444\">\n";
+  for (const double t : nice_ticks(x_lo, x_hi)) {
+    const double x = px(t);
+    svg << "<line x1=\"" << x << "\" y1=\"" << mt << "\" x2=\"" << x
+        << "\" y2=\"" << mt + ph << "\" stroke=\"#e5e5e5\"/>\n";
+    svg << "<text x=\"" << x << "\" y=\"" << mt + ph + 16
+        << "\" text-anchor=\"middle\">" << fmt(t) << "</text>\n";
+  }
+  for (const double t : nice_ticks(y_lo, y_hi)) {
+    const double y = py(t);
+    svg << "<line x1=\"" << ml << "\" y1=\"" << y << "\" x2=\"" << ml + pw
+        << "\" y2=\"" << y << "\" stroke=\"#e5e5e5\"/>\n";
+    svg << "<text x=\"" << ml - 6 << "\" y=\"" << y + 4
+        << "\" text-anchor=\"end\">" << fmt(t) << "</text>\n";
+  }
+  // Axis labels.
+  svg << "<text x=\"" << ml + pw / 2 << "\" y=\"" << height - 8
+      << "\" text-anchor=\"middle\">" << escape_xml(x_label_) << "</text>\n";
+  svg << "<text x=\"14\" y=\"" << mt + ph / 2
+      << "\" text-anchor=\"middle\" transform=\"rotate(-90 14 " << mt + ph / 2
+      << ")\">" << escape_xml(y_label_) << "</text>\n";
+  svg << "</g>\n";
+  // Frame.
+  svg << "<rect x=\"" << ml << "\" y=\"" << mt << "\" width=\"" << pw
+      << "\" height=\"" << ph << "\" fill=\"none\" stroke=\"#888\"/>\n";
+
+  // Series.
+  for (const PlotSeries& s : series_) {
+    svg << "<polyline fill=\"none\" stroke=\"" << s.color
+        << "\" stroke-width=\"1.8\"";
+    if (s.dashed) svg << " stroke-dasharray=\"6 4\"";
+    svg << " points=\"";
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      svg << px(s.x[i]) << ',' << py(s.y[i]) << ' ';
+    }
+    svg << "\"/>\n";
+    if (s.markers) {
+      for (std::size_t i = 0; i < s.x.size(); ++i) {
+        svg << "<circle cx=\"" << px(s.x[i]) << "\" cy=\"" << py(s.y[i])
+            << "\" r=\"2.6\" fill=\"" << s.color << "\"/>\n";
+      }
+    }
+  }
+
+  // Legend.
+  double ly = mt + 8;
+  for (const PlotSeries& s : series_) {
+    const double lx = ml + pw - 170;
+    svg << "<line x1=\"" << lx << "\" y1=\"" << ly << "\" x2=\"" << lx + 22
+        << "\" y2=\"" << ly << "\" stroke=\"" << s.color
+        << "\" stroke-width=\"2\"";
+    if (s.dashed) svg << " stroke-dasharray=\"6 4\"";
+    svg << "/>\n";
+    svg << "<text x=\"" << lx + 28 << "\" y=\"" << ly + 4
+        << "\" font-family=\"sans-serif\" font-size=\"11\" fill=\"#333\">"
+        << escape_xml(s.label) << "</text>\n";
+    ly += 16;
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void SvgPlot::write(const std::string& path, int width, int height) const {
+  std::ofstream f(path);
+  SCCPIPE_CHECK_MSG(f.is_open(), "cannot open " << path);
+  f << to_svg(width, height);
+  SCCPIPE_CHECK_MSG(f.good(), "write failed: " << path);
+}
+
+}  // namespace sccpipe

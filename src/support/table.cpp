@@ -1,0 +1,99 @@
+#include "sccpipe/support/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SCCPIPE_CHECK(!header_.empty());
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  SCCPIPE_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  SCCPIPE_CHECK_MSG(rows_.back().size() < header_.size(),
+                    "row has more cells than header columns");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add(double value, int precision) {
+  return add(format_fixed(value, precision));
+}
+
+TextTable& TextTable::add(std::size_t value) {
+  return add(std::to_string(value));
+}
+
+TextTable& TextTable::add(int value) { return add(std::to_string(value)); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      if (c) oss << "  ";
+      // Left-align the first column (labels), right-align the rest (numbers).
+      if (c == 0) {
+        oss << cell << std::string(widths[c] - cell.size(), ' ');
+      } else {
+        oss << std::string(widths[c] - cell.size(), ' ') << cell;
+      }
+    }
+    oss << '\n';
+  };
+
+  emit_row(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule.emplace_back(widths[c], '-');
+  }
+  emit_row(rule);
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) oss << ',';
+      oss << cells[c];
+    }
+    oss << '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) emit(row);
+  return oss.str();
+}
+
+}  // namespace sccpipe

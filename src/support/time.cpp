@@ -1,0 +1,23 @@
+#include "sccpipe/support/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sccpipe {
+
+std::string SimTime::to_string() const {
+  const double abs_ns = std::fabs(static_cast<double>(ns_));
+  char buf[48];
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(ns_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", to_us());
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_ms());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", to_sec());
+  }
+  return buf;
+}
+
+}  // namespace sccpipe

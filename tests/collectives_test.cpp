@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sccpipe/rcce/collectives.hpp"
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+namespace {
+
+struct CollectivesFixture : ::testing::Test {
+  Simulator sim;
+  SccChip chip{sim};
+  RcceComm comm{chip};
+  RcceCollectives coll{comm};
+  const std::vector<CoreId> group{0, 2, 4, 6};
+};
+
+TEST_F(CollectivesFixture, BroadcastReachesEveryMember) {
+  bool done = false;
+  coll.broadcast(0, group, 4096.0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  // One message per non-root member.
+  EXPECT_EQ(comm.messages_delivered(), 3u);
+}
+
+TEST_F(CollectivesFixture, ScatterDeliversPerMemberSlices) {
+  bool done = false;
+  coll.scatter(0, group, 91.0 * 1024.0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(comm.messages_delivered(), 3u);
+}
+
+TEST_F(CollectivesFixture, GatherCollectsAtRoot) {
+  bool done = false;
+  coll.gather(6, group, 2048.0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(comm.messages_delivered(), 3u);
+}
+
+TEST_F(CollectivesFixture, ReduceAddsCombineTime) {
+  SimTime gather_done, reduce_done;
+  coll.gather(0, group, 8192.0, [&] { gather_done = sim.now(); });
+  sim.run();
+  const SimTime base = sim.now();
+  coll.reduce(0, group, 8192.0, /*combine_cycles=*/5.0e6,
+              [&] { reduce_done = sim.now(); });
+  sim.run();
+  // Reduce = gather + 3 combines of ~9.4 ms at 533 MHz.
+  const double combine_ms = 3.0 * 5.0e6 / 533e6 * 1e3;
+  EXPECT_NEAR((reduce_done - base).to_ms() - gather_done.to_ms(), combine_ms,
+              0.15 * combine_ms + 0.5);
+}
+
+TEST_F(CollectivesFixture, TimeGrowsWithGroupSize) {
+  SimTime small_done;
+  coll.broadcast(0, {0, 2}, 65536.0, [&] { small_done = sim.now(); });
+  sim.run();
+  const SimTime base = sim.now();
+  SimTime large_done;
+  coll.broadcast(0, {0, 2, 4, 6, 8, 10}, 65536.0,
+                 [&] { large_done = sim.now(); });
+  sim.run();
+  // Linear rooted collective: ~5x the single-transfer cost vs ~1x.
+  EXPECT_GT((large_done - base).to_ms(), 3.0 * small_done.to_ms());
+}
+
+TEST_F(CollectivesFixture, SingletonGroupIsImmediate) {
+  bool done = false;
+  coll.broadcast(3, {3}, 1.0e6, [&] { done = true; });
+  EXPECT_TRUE(done);  // nothing to send
+  EXPECT_EQ(comm.messages_delivered(), 0u);
+}
+
+TEST_F(CollectivesFixture, RootMustBeInGroup) {
+  EXPECT_THROW(coll.broadcast(9, group, 10.0, [] {}), CheckError);
+  EXPECT_THROW(coll.gather(1, group, 10.0, [] {}), CheckError);
+}
+
+TEST_F(CollectivesFixture, CollectivesCompose) {
+  // Scatter strips, then gather results — the paper's distribute/collect
+  // pattern as collectives.
+  bool done = false;
+  coll.scatter(0, group, 50000.0, [&] {
+    coll.gather(0, group, 50000.0, [&] { done = true; });
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(comm.messages_delivered(), 6u);
+}
+
+}  // namespace
+}  // namespace sccpipe

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sccpipe/geom/aabb.hpp"
+#include "sccpipe/geom/frustum.hpp"
+#include "sccpipe/geom/mat4.hpp"
+#include "sccpipe/geom/vec.hpp"
+#include "sccpipe/support/rng.hpp"
+
+namespace sccpipe {
+namespace {
+
+constexpr float kEps = 1e-5f;
+
+void expect_vec_near(Vec3 a, Vec3 b, float eps = kEps) {
+  EXPECT_NEAR(a.x, b.x, eps);
+  EXPECT_NEAR(a.y, b.y, eps);
+  EXPECT_NEAR(a.z, b.z, eps);
+}
+
+// ---------------------------------------------------------------------- Vec
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  expect_vec_near(a + b, {5, 7, 9});
+  expect_vec_near(b - a, {3, 3, 3});
+  expect_vec_near(a * 2.0f, {2, 4, 6});
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+}
+
+TEST(Vec3, CrossProductOrthogonality) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  expect_vec_near(cross(x, y), {0, 0, 1});
+  Rng rng{5};
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 a{static_cast<float>(rng.uniform(-1, 1)),
+                 static_cast<float>(rng.uniform(-1, 1)),
+                 static_cast<float>(rng.uniform(-1, 1))};
+    const Vec3 b{static_cast<float>(rng.uniform(-1, 1)),
+                 static_cast<float>(rng.uniform(-1, 1)),
+                 static_cast<float>(rng.uniform(-1, 1))};
+    const Vec3 c = cross(a, b);
+    EXPECT_NEAR(dot(c, a), 0.0f, 1e-5f);
+    EXPECT_NEAR(dot(c, b), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Vec3, NormalizeUnitLength) {
+  const Vec3 v = normalize({3, 4, 0});
+  EXPECT_NEAR(length(v), 1.0f, kEps);
+  expect_vec_near(v, {0.6f, 0.8f, 0.0f});
+  expect_vec_near(normalize({0, 0, 0}), {0, 0, 0});  // degenerate input
+}
+
+TEST(Vec4, LerpEndpointsAndMidpoint) {
+  const Vec4 a{0, 0, 0, 1};
+  const Vec4 b{2, 4, 6, 1};
+  const Vec4 mid = lerp(a, b, 0.5f);
+  EXPECT_FLOAT_EQ(mid.x, 1.0f);
+  EXPECT_FLOAT_EQ(mid.w, 1.0f);
+  EXPECT_FLOAT_EQ(lerp(a, b, 0.0f).y, 0.0f);
+  EXPECT_FLOAT_EQ(lerp(a, b, 1.0f).z, 6.0f);
+}
+
+TEST(Scalar, Clamp01) {
+  EXPECT_FLOAT_EQ(clamp01(-0.5f), 0.0f);
+  EXPECT_FLOAT_EQ(clamp01(0.5f), 0.5f);
+  EXPECT_FLOAT_EQ(clamp01(1.5f), 1.0f);
+}
+
+// --------------------------------------------------------------------- Mat4
+
+TEST(Mat4, IdentityIsNeutral) {
+  const Mat4 id = Mat4::identity();
+  const Vec4 v{1, 2, 3, 1};
+  const Vec4 r = id * v;
+  EXPECT_FLOAT_EQ(r.x, 1.0f);
+  EXPECT_FLOAT_EQ(r.y, 2.0f);
+  EXPECT_FLOAT_EQ(r.z, 3.0f);
+  EXPECT_FLOAT_EQ(r.w, 1.0f);
+}
+
+TEST(Mat4, TranslateAndScale) {
+  const Vec4 p = Mat4::translate({1, 2, 3}) * Vec4{0, 0, 0, 1};
+  EXPECT_FLOAT_EQ(p.x, 1.0f);
+  EXPECT_FLOAT_EQ(p.z, 3.0f);
+  const Vec4 s = Mat4::scale({2, 3, 4}) * Vec4{1, 1, 1, 1};
+  EXPECT_FLOAT_EQ(s.y, 3.0f);
+  // Direction vectors (w = 0) ignore translation.
+  const Vec4 d = Mat4::translate({5, 5, 5}) * Vec4{1, 0, 0, 0};
+  EXPECT_FLOAT_EQ(d.x, 1.0f);
+  EXPECT_FLOAT_EQ(d.w, 0.0f);
+}
+
+TEST(Mat4, RotateYQuarterTurn) {
+  const Vec4 r = Mat4::rotate_y(3.14159265f / 2.0f) * Vec4{1, 0, 0, 1};
+  EXPECT_NEAR(r.x, 0.0f, kEps);
+  EXPECT_NEAR(r.z, -1.0f, kEps);
+}
+
+TEST(Mat4, MultiplicationComposesRightToLeft) {
+  const Mat4 t = Mat4::translate({1, 0, 0});
+  const Mat4 s = Mat4::scale({2, 2, 2});
+  // (t * s) * v == t * (s * v): scale then translate.
+  const Vec4 v = (t * s) * Vec4{1, 0, 0, 1};
+  EXPECT_FLOAT_EQ(v.x, 3.0f);
+}
+
+TEST(Mat4, PerspectiveMapsNearFarToNdc) {
+  const Mat4 p = Mat4::perspective(1.0f, 1.0f, 1.0f, 100.0f);
+  // Point on the near plane -> NDC z = -1.
+  Vec4 n = p * Vec4{0, 0, -1.0f, 1};
+  EXPECT_NEAR(n.z / n.w, -1.0f, 1e-4f);
+  Vec4 f = p * Vec4{0, 0, -100.0f, 1};
+  EXPECT_NEAR(f.z / f.w, 1.0f, 1e-4f);
+}
+
+TEST(Mat4, FrustumMatchesSymmetricPerspective) {
+  const float fovy = 1.0f, aspect = 1.5f, zn = 0.5f, zf = 50.0f;
+  const float top = zn * std::tan(fovy * 0.5f);
+  const Mat4 a = Mat4::perspective(fovy, aspect, zn, zf);
+  const Mat4 b = Mat4::frustum(-top * aspect, top * aspect, -top, top, zn, zf);
+  Rng rng{3};
+  for (int i = 0; i < 20; ++i) {
+    const Vec4 v{static_cast<float>(rng.uniform(-5, 5)),
+                 static_cast<float>(rng.uniform(-5, 5)),
+                 static_cast<float>(rng.uniform(-40, -1)), 1.0f};
+    const Vec4 ra = a * v;
+    const Vec4 rb = b * v;
+    EXPECT_NEAR(ra.x, rb.x, 1e-3f);
+    EXPECT_NEAR(ra.y, rb.y, 1e-3f);
+    EXPECT_NEAR(ra.z, rb.z, 1e-3f);
+    EXPECT_NEAR(ra.w, rb.w, 1e-3f);
+  }
+}
+
+TEST(Mat4, LookAtPutsEyeAtOrigin) {
+  const Mat4 v = Mat4::look_at({5, 5, 5}, {0, 0, 0}, {0, 1, 0});
+  const Vec4 eye = v * Vec4{5, 5, 5, 1};
+  EXPECT_NEAR(eye.x, 0.0f, kEps);
+  EXPECT_NEAR(eye.y, 0.0f, kEps);
+  EXPECT_NEAR(eye.z, 0.0f, kEps);
+  // The target lies straight ahead (negative z in eye space).
+  const Vec4 tgt = v * Vec4{0, 0, 0, 1};
+  EXPECT_NEAR(tgt.x, 0.0f, kEps);
+  EXPECT_LT(tgt.z, 0.0f);
+}
+
+// --------------------------------------------------------------------- Aabb
+
+TEST(Aabb, ExtendAndContain) {
+  Aabb box;
+  EXPECT_FALSE(box.valid());
+  box.extend(Vec3{0, 0, 0});
+  box.extend(Vec3{1, 2, 3});
+  EXPECT_TRUE(box.valid());
+  EXPECT_TRUE(box.contains({0.5f, 1.0f, 1.5f}));
+  EXPECT_FALSE(box.contains({1.5f, 0, 0}));
+  expect_vec_near(box.center(), {0.5f, 1.0f, 1.5f});
+}
+
+TEST(Aabb, Overlaps) {
+  Aabb a;
+  a.extend(Vec3{0, 0, 0});
+  a.extend(Vec3{2, 2, 2});
+  Aabb b;
+  b.extend(Vec3{1, 1, 1});
+  b.extend(Vec3{3, 3, 3});
+  Aabb c;
+  c.extend(Vec3{5, 5, 5});
+  c.extend(Vec3{6, 6, 6});
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  // Touching faces count as overlap.
+  Aabb d;
+  d.extend(Vec3{2, 0, 0});
+  d.extend(Vec3{4, 2, 2});
+  EXPECT_TRUE(a.overlaps(d));
+}
+
+// ------------------------------------------------------------------ Frustum
+
+struct FrustumFixture : ::testing::Test {
+  const Mat4 proj = Mat4::perspective(1.0472f, 1.0f, 0.5f, 100.0f);
+  const Mat4 view = Mat4::look_at({0, 0, 0}, {0, 0, -1}, {0, 1, 0});
+  const Frustum frustum{proj * view};
+};
+
+TEST_F(FrustumFixture, ContainsPointsAhead) {
+  EXPECT_TRUE(frustum.contains({0, 0, -10}));
+  EXPECT_FALSE(frustum.contains({0, 0, 10}));    // behind the eye
+  EXPECT_FALSE(frustum.contains({0, 0, -0.1f})); // before near plane
+  EXPECT_FALSE(frustum.contains({0, 0, -200}));  // beyond far plane
+  EXPECT_FALSE(frustum.contains({50, 0, -10}));  // far off to the side
+}
+
+TEST_F(FrustumFixture, ClassifyBoxes) {
+  Aabb inside;
+  inside.extend(Vec3{-1, -1, -10});
+  inside.extend(Vec3{1, 1, -12});
+  EXPECT_EQ(frustum.classify(inside), CullResult::Inside);
+
+  Aabb outside;
+  outside.extend(Vec3{0, 0, 10});
+  outside.extend(Vec3{1, 1, 12});
+  EXPECT_EQ(frustum.classify(outside), CullResult::Outside);
+
+  Aabb straddling;
+  straddling.extend(Vec3{-1, -1, 1});
+  straddling.extend(Vec3{1, 1, -5});
+  EXPECT_EQ(frustum.classify(straddling), CullResult::Intersects);
+}
+
+TEST_F(FrustumFixture, ClassificationIsConservative) {
+  // Property: a box containing a point that the frustum contains must not
+  // be classified Outside.
+  Rng rng{17};
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 p{static_cast<float>(rng.uniform(-30, 30)),
+                 static_cast<float>(rng.uniform(-30, 30)),
+                 static_cast<float>(rng.uniform(-90, 0))};
+    Aabb box;
+    box.extend(p);
+    box.extend(p + Vec3{2, 2, 2});
+    if (frustum.contains(p)) {
+      EXPECT_NE(frustum.classify(box), CullResult::Outside);
+    }
+    // And an Inside box must contain only contained corners.
+    if (frustum.classify(box) == CullResult::Inside) {
+      EXPECT_TRUE(frustum.contains(box.lo));
+      EXPECT_TRUE(frustum.contains(box.hi));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sccpipe

@@ -1,0 +1,142 @@
+// Cross-module integration scenarios beyond the per-module suites: maximum
+// configurations, platform-independence of the functional pixels, seed
+// behaviour, and CLI-facing override plumbing.
+
+#include <gtest/gtest.h>
+
+#include "sccpipe/core/walkthrough.hpp"
+#include "sccpipe/filters/filters.hpp"
+
+namespace sccpipe {
+namespace {
+
+struct IntegrationFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    CityParams city;
+    city.blocks_x = 4;
+    city.blocks_z = 4;
+    scene_ = new SceneBundle(city, CameraConfig{}, 96, 8);
+    trace_ = new WorkloadTrace(WorkloadTrace::build(*scene_, 8));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete scene_;
+  }
+  static SceneBundle* scene_;
+  static WorkloadTrace* trace_;
+};
+
+SceneBundle* IntegrationFixture::scene_ = nullptr;
+WorkloadTrace* IntegrationFixture::trace_ = nullptr;
+
+TEST_F(IntegrationFixture, EightPipelinesFitUnorderedOnly) {
+  RunConfig cfg;
+  cfg.scenario = Scenario::HostRenderer;
+  cfg.pipelines = 8;
+  cfg.arrangement = Arrangement::Unordered;
+  const RunResult r = run_walkthrough(*scene_, *trace_, cfg);
+  EXPECT_EQ(r.frame_done_ms.size(), 8u);
+  EXPECT_EQ(r.placement.all_cores().size(), 42u);  // 8*5 + connect + transfer
+
+  // The row-slot arrangements cannot host 8 five-stage pipelines plus the
+  // producer/transfer slot on a 6x4 chip.
+  cfg.arrangement = Arrangement::Ordered;
+  EXPECT_THROW(run_walkthrough(*scene_, *trace_, cfg), CheckError);
+}
+
+TEST_F(IntegrationFixture, FunctionalPixelsArePlatformIndependent) {
+  // The timing platform must never change the pixels: the same walkthrough
+  // on the SCC and on the cluster yields identical frames.
+  RunConfig scc;
+  scc.scenario = Scenario::HostRenderer;
+  scc.pipelines = 2;
+  scc.functional = true;
+  RunConfig hpc = scc;
+  hpc.platform = PlatformKind::Cluster;
+  const RunResult a = run_walkthrough(*scene_, *trace_, scc);
+  const RunResult b = run_walkthrough(*scene_, *trace_, hpc);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_EQ(a.frames[i], b.frames[i]) << "frame " << i;
+  }
+  // But the timing differs enormously.
+  EXPECT_LT(b.walkthrough.to_sec(), 0.4 * a.walkthrough.to_sec());
+}
+
+TEST_F(IntegrationFixture, SeedChangesScratchesNotGeometry) {
+  RunConfig a;
+  a.scenario = Scenario::SingleRenderer;
+  a.pipelines = 2;
+  a.functional = true;
+  a.seed = 1;
+  RunConfig b = a;
+  b.seed = 2;
+  const RunResult ra = run_walkthrough(*scene_, *trace_, a);
+  const RunResult rb = run_walkthrough(*scene_, *trace_, b);
+  // Scratch columns / flicker deltas differ somewhere across the frames.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ra.frames.size(); ++i) {
+    if (!(ra.frames[i] == rb.frames[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(IntegrationFixture, OverridesChangeTheOutcome) {
+  RunConfig base;
+  base.scenario = Scenario::RendererPerPipeline;
+  base.pipelines = 4;
+  RunConfig starved = base;
+  starved.overrides.link_bandwidth_bytes_per_sec = 5.0e6;
+  RunConfig slow_mc = base;
+  slow_mc.overrides.mc_bandwidth_bytes_per_sec = 2.0e7;
+  RunConfig slow_copy = base;
+  slow_copy.overrides.core_copy_rate_bytes_per_sec = 2.0e7;
+  const double t0 = run_walkthrough(*scene_, *trace_, base).walkthrough.to_sec();
+  EXPECT_GT(run_walkthrough(*scene_, *trace_, starved).walkthrough.to_sec(),
+            1.5 * t0);
+  EXPECT_GT(run_walkthrough(*scene_, *trace_, slow_mc).walkthrough.to_sec(),
+            t0);
+  EXPECT_GT(run_walkthrough(*scene_, *trace_, slow_copy).walkthrough.to_sec(),
+            1.2 * t0);
+}
+
+TEST_F(IntegrationFixture, QuadVoltageDomainsCostPowerNotTime) {
+  RunConfig base;
+  base.scenario = Scenario::HostRenderer;
+  base.pipelines = 1;
+  base.isolate_blur_tile = true;
+  base.blur_mhz = 800;
+  RunConfig quad = base;
+  quad.overrides.quad_tile_voltage_domains = true;
+  const RunResult a = run_walkthrough(*scene_, *trace_, base);
+  const RunResult b = run_walkthrough(*scene_, *trace_, quad);
+  EXPECT_EQ(a.walkthrough, b.walkthrough);
+  EXPECT_GT(b.mean_chip_watts, a.mean_chip_watts + 1.0);
+}
+
+TEST_F(IntegrationFixture, SingleCoreBaselineOnClusterIsFaster) {
+  RunConfig scc;
+  RunConfig hpc;
+  hpc.platform = PlatformKind::Cluster;
+  const SimTime a = run_single_core(*scene_, *trace_, scc).total;
+  const SimTime b = run_single_core(*scene_, *trace_, hpc).total;
+  EXPECT_LT(b.to_sec(), 0.25 * a.to_sec());
+}
+
+TEST_F(IntegrationFixture, WaitPlusBusyIsBoundedByWalkthrough) {
+  // For every filter stage: its total busy time plus its total recorded
+  // waiting cannot exceed the walkthrough (sanity of the two metrics).
+  RunConfig cfg;
+  cfg.scenario = Scenario::HostRenderer;
+  cfg.pipelines = 3;
+  const RunResult r = run_walkthrough(*scene_, *trace_, cfg);
+  for (const StageReport& st : r.stages) {
+    if (st.wait_ms.count == 0) continue;
+    const double wait_total = st.wait_ms.median * st.wait_ms.count;
+    EXPECT_LT(st.busy_ms + 0.8 * wait_total, r.walkthrough.to_ms() * 1.05)
+        << stage_name(st.kind);
+  }
+}
+
+}  // namespace
+}  // namespace sccpipe

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "sccpipe/rcce/mpb.hpp"
+#include "sccpipe/rcce/rcce.hpp"
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+namespace {
+
+using namespace sccpipe::literals;
+
+struct MpbFixture : ::testing::Test {
+  Simulator sim;
+  SccChip chip{sim};
+  MpbSystem mpb{chip};
+};
+
+TEST_F(MpbFixture, CapacityAccounting) {
+  EXPECT_DOUBLE_EQ(mpb.available(0), 8192.0);
+  mpb.allocate(0, 4096.0);
+  EXPECT_DOUBLE_EQ(mpb.used(0), 4096.0);
+  EXPECT_DOUBLE_EQ(mpb.available(0), 4096.0);
+  mpb.release(0, 4096.0);
+  EXPECT_DOUBLE_EQ(mpb.used(0), 0.0);
+}
+
+TEST_F(MpbFixture, OverflowAndUnderflowRejected) {
+  mpb.allocate(3, 8000.0);
+  EXPECT_THROW(mpb.allocate(3, 200.0), CheckError);
+  EXPECT_THROW(mpb.release(3, 9000.0), CheckError);
+  // Other cores' windows are independent.
+  EXPECT_NO_THROW(mpb.allocate(4, 8000.0));
+}
+
+TEST_F(MpbFixture, PutCompletesAndScalesWithSize) {
+  SimTime small_done, large_done;
+  mpb.put(0, 2, 512.0, [&] { small_done = sim.now(); });
+  sim.run();
+  const SimTime base = sim.now();
+  mpb.put(0, 2, 8192.0, [&] { large_done = sim.now(); });
+  sim.run();
+  EXPECT_GT(small_done, SimTime::zero());
+  EXPECT_GT((large_done - base).to_us(), 4.0 * small_done.to_us());
+}
+
+TEST_F(MpbFixture, PutAvoidsDram) {
+  // The whole point of the MPB: no controller traffic.
+  mpb.put(0, 2, 8192.0, [] {});
+  sim.run();
+  for (McId m = 0; m < chip.topology().mc_count(); ++m) {
+    EXPECT_DOUBLE_EQ(chip.memory().stats(m).bulk_bytes, 0.0);
+  }
+}
+
+TEST_F(MpbFixture, GetChargesTheReader) {
+  mpb.get(5, 0, 4096.0, [] {});
+  sim.run();
+  EXPECT_GT(chip.core_busy_time(5), SimTime::zero());
+  EXPECT_EQ(chip.core_busy_time(0), SimTime::zero());
+}
+
+TEST_F(MpbFixture, OversizedTransferRejected) {
+  EXPECT_THROW(mpb.put(0, 2, 10000.0, [] {}), CheckError);
+  EXPECT_THROW(mpb.get(0, 2, 10000.0, [] {}), CheckError);
+}
+
+TEST_F(MpbFixture, FlagWaitThenSet) {
+  bool woke = false;
+  mpb.flag_wait(2, 2, 7, [&] { woke = true; });
+  sim.run();
+  EXPECT_FALSE(woke);
+  mpb.flag_set(0, 2, 7);
+  sim.run();
+  EXPECT_TRUE(woke);
+}
+
+TEST_F(MpbFixture, FlagSetBeforeWait) {
+  mpb.flag_set(0, 2, 1);
+  bool woke = false;
+  mpb.flag_wait(2, 2, 1, [&] { woke = true; });
+  sim.run();
+  EXPECT_TRUE(woke);
+}
+
+TEST_F(MpbFixture, FlagsMatchPerIdFifo) {
+  std::vector<int> order;
+  mpb.flag_wait(2, 2, 1, [&] { order.push_back(1); });
+  mpb.flag_wait(2, 2, 1, [&] { order.push_back(2); });
+  mpb.flag_wait(2, 2, 9, [&] { order.push_back(9); });
+  mpb.flag_set(0, 2, 1);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  mpb.flag_set(0, 2, 9);
+  mpb.flag_set(0, 2, 1);
+  sim.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[2], 2);  // second waiter on flag 1 woke last
+}
+
+TEST_F(MpbFixture, PutGetRoundTripModelsSendRecvSkeleton) {
+  // The shape RCCE send/recv is built from: allocate window, put payload,
+  // set flag, receiver waits on flag then gets and releases.
+  bool received = false;
+  mpb.allocate(2, 8192.0);
+  mpb.flag_wait(2, 2, 0, [&] {
+    mpb.get(2, 2, 8192.0, [&] {
+      mpb.release(2, 8192.0);
+      received = true;
+    });
+  });
+  mpb.put(0, 2, 8192.0, [&] { mpb.flag_set(0, 2, 0); });
+  sim.run();
+  EXPECT_TRUE(received);
+  EXPECT_DOUBLE_EQ(mpb.used(2), 0.0);
+}
+
+TEST_F(MpbFixture, RccePowerApiFacade) {
+  RcceComm comm(chip);
+  comm.iset_power(0, 800);
+  EXPECT_EQ(chip.operating_point(0).mhz, 800);
+  EXPECT_EQ(comm.power_domain(0), comm.power_domain(3));   // tiles 0,1 share
+  EXPECT_NE(comm.power_domain(0), comm.power_domain(47));  // far corner
+}
+
+}  // namespace
+}  // namespace sccpipe

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sccpipe/core/placement.hpp"
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+namespace {
+
+struct PlacementFixture : ::testing::Test {
+  MeshTopology topo;  // SCC 6x4
+
+  PlacementRequest filters_only(int k) {
+    PlacementRequest r;
+    r.pipelines = k;
+    r.stages_per_pipeline = 5;
+    r.needs_producer = true;
+    return r;
+  }
+
+  PlacementRequest with_renderers(int k) {
+    PlacementRequest r;
+    r.pipelines = k;
+    r.stages_per_pipeline = 6;
+    r.needs_producer = false;
+    return r;
+  }
+};
+
+TEST_F(PlacementFixture, AllArrangementsProduceDisjointCores) {
+  for (const Arrangement a : {Arrangement::Unordered, Arrangement::Ordered,
+                              Arrangement::Flipped}) {
+    for (int k = 1; k <= 7; ++k) {
+      const Placement p = make_placement(topo, a, filters_only(k));
+      const auto cores = p.all_cores();  // throws internally on duplicates
+      EXPECT_EQ(cores.size(), static_cast<std::size_t>(5 * k + 2))
+          << arrangement_name(a) << " k=" << k;
+      for (const CoreId c : cores) EXPECT_TRUE(topo.valid_core(c));
+      EXPECT_GE(p.producer, 0);
+      EXPECT_GE(p.transfer, 0);
+    }
+  }
+}
+
+TEST_F(PlacementFixture, RendererPerPipelineHasSixStages) {
+  const Placement p =
+      make_placement(topo, Arrangement::Ordered, with_renderers(7));
+  EXPECT_EQ(p.pipeline_cores.size(), 7u);
+  for (const auto& pl : p.pipeline_cores) EXPECT_EQ(pl.size(), 6u);
+  EXPECT_EQ(p.producer, -1);
+  EXPECT_EQ(p.all_cores().size(), 43u);  // 7*6 + transfer
+}
+
+TEST_F(PlacementFixture, UnorderedFollowsCoreIdOrder) {
+  const Placement p =
+      make_placement(topo, Arrangement::Unordered, filters_only(3));
+  EXPECT_EQ(p.producer, 0);
+  EXPECT_EQ(p.pipeline_cores[0], (std::vector<CoreId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(p.pipeline_cores[1], (std::vector<CoreId>{6, 7, 8, 9, 10}));
+  EXPECT_EQ(p.transfer, 16);
+}
+
+TEST_F(PlacementFixture, OrderedPipelinesStayWithinOneRow) {
+  const Placement p =
+      make_placement(topo, Arrangement::Ordered, filters_only(4));
+  for (const auto& pl : p.pipeline_cores) {
+    const int row = topo.core_coord(pl.front()).y;
+    for (const CoreId c : pl) {
+      EXPECT_EQ(topo.core_coord(c).y, row);
+    }
+    // West-to-east order.
+    for (std::size_t i = 1; i < pl.size(); ++i) {
+      EXPECT_GE(topo.core_coord(pl[i]).x, topo.core_coord(pl[i - 1]).x);
+    }
+  }
+}
+
+TEST_F(PlacementFixture, FlippedReversesEverySecondPipeline) {
+  const Placement p =
+      make_placement(topo, Arrangement::Flipped, filters_only(4));
+  // Even pipelines west->east, odd pipelines east->west.
+  const auto& p0 = p.pipeline_cores[0];
+  const auto& p1 = p.pipeline_cores[1];
+  EXPECT_LT(topo.core_coord(p0.front()).x, topo.core_coord(p0.back()).x);
+  EXPECT_GT(topo.core_coord(p1.front()).x, topo.core_coord(p1.back()).x);
+}
+
+TEST_F(PlacementFixture, FlippedAlternatesHeadMemoryControllers) {
+  // The point of the flipped arrangement (§IV-A): the heavy head stages
+  // land near both edge controllers instead of all on one side.
+  const Placement p =
+      make_placement(topo, Arrangement::Flipped, with_renderers(4));
+  std::set<McId> head_mcs;
+  for (const auto& pl : p.pipeline_cores) {
+    head_mcs.insert(topo.home_mc(pl.front()));
+  }
+  EXPECT_GE(head_mcs.size(), 2u);
+}
+
+TEST_F(PlacementFixture, BlurIsolationGivesBlurAPrivateTile) {
+  for (const Arrangement a : {Arrangement::Unordered, Arrangement::Ordered}) {
+    PlacementRequest req = filters_only(1);
+    req.isolate_blur_tile = true;
+    const Placement p = make_placement(topo, a, req);
+    const auto& pl = p.pipeline_cores[0];
+    const CoreId blur = pl[pl.size() - 4];  // sepia, BLUR, scratch, ...
+    const TileId blur_tile = topo.tile_of(blur);
+    for (const CoreId c : p.all_cores()) {
+      if (c == blur) continue;
+      EXPECT_NE(topo.tile_of(c), blur_tile)
+          << arrangement_name(a) << ": core " << c
+          << " shares the blur tile";
+    }
+  }
+}
+
+TEST_F(PlacementFixture, TooManyPipelinesRejected) {
+  EXPECT_THROW(make_placement(topo, Arrangement::Ordered, filters_only(9)),
+               CheckError);
+  EXPECT_THROW(
+      make_placement(topo, Arrangement::Unordered, with_renderers(8)),
+      CheckError);
+}
+
+TEST_F(PlacementFixture, MaximumConfigurationsFit) {
+  // Paper maxima: 7 pipelines with renderers; 7 with a connect stage.
+  EXPECT_NO_THROW(
+      make_placement(topo, Arrangement::Flipped, with_renderers(7)));
+  EXPECT_NO_THROW(
+      make_placement(topo, Arrangement::Unordered, filters_only(8)));
+}
+
+TEST_F(PlacementFixture, ArrangementNames) {
+  EXPECT_STREQ(arrangement_name(Arrangement::Unordered), "unordered");
+  EXPECT_STREQ(arrangement_name(Arrangement::Ordered), "ordered");
+  EXPECT_STREQ(arrangement_name(Arrangement::Flipped), "flipped");
+}
+
+}  // namespace
+}  // namespace sccpipe

@@ -1,0 +1,154 @@
+// Parameterized property sweeps (TEST_P) across the configuration space:
+// every scenario x arrangement x pipeline count must complete, conserve
+// frames, and respect basic physical invariants.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sccpipe/core/walkthrough.hpp"
+
+namespace sccpipe {
+namespace {
+
+// Shared small scene (built once; the binary's only expensive setup).
+const SceneBundle& shared_scene() {
+  static SceneBundle* scene = [] {
+    CityParams city;
+    city.blocks_x = 4;
+    city.blocks_z = 4;
+    return new SceneBundle(city, CameraConfig{}, 80, 8);
+  }();
+  return *scene;
+}
+
+const WorkloadTrace& shared_trace() {
+  static WorkloadTrace* trace =
+      new WorkloadTrace(WorkloadTrace::build(shared_scene(), 5));
+  return *trace;
+}
+
+using SweepParam = std::tuple<Scenario, Arrangement, int /*pipelines*/>;
+
+class PipelineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweep, CompletesAndConservesFrames) {
+  const auto [scenario, arrangement, k] = GetParam();
+  RunConfig cfg;
+  cfg.scenario = scenario;
+  cfg.arrangement = arrangement;
+  cfg.pipelines = k;
+  const RunResult r = run_walkthrough(shared_scene(), shared_trace(), cfg);
+
+  // All frames reach the viewer, in order, at strictly increasing times.
+  ASSERT_EQ(r.frame_done_ms.size(), 8u);
+  for (std::size_t i = 1; i < r.frame_done_ms.size(); ++i) {
+    EXPECT_LT(r.frame_done_ms[i - 1], r.frame_done_ms[i]);
+  }
+
+  // Every filter stage processed every frame exactly once.
+  int filter_stages = 0;
+  for (const StageReport& st : r.stages) {
+    if (st.kind == StageKind::Render || st.kind == StageKind::Connect ||
+        st.kind == StageKind::Transfer) {
+      continue;
+    }
+    EXPECT_EQ(st.frames, 8) << stage_name(st.kind) << " pl " << st.pipeline;
+    ++filter_stages;
+  }
+  EXPECT_EQ(filter_stages, 5 * k);
+
+  // Placement used exactly the expected number of cores.
+  const int renderers =
+      scenario == Scenario::RendererPerPipeline ? k : 0;
+  const int producer = scenario == Scenario::RendererPerPipeline ? 0 : 1;
+  EXPECT_EQ(r.placement.all_cores().size(),
+            static_cast<std::size_t>(5 * k + renderers + producer + 1));
+
+  // Physical sanity: positive duration, sensible power band.
+  EXPECT_GT(r.walkthrough, SimTime::zero());
+  EXPECT_GT(r.mean_chip_watts, 20.0);
+  EXPECT_LT(r.mean_chip_watts, 80.0);
+  EXPECT_NEAR(r.chip_energy_joules,
+              r.mean_chip_watts * r.walkthrough.to_sec(),
+              0.02 * r.chip_energy_joules);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigurations, PipelineSweep,
+    ::testing::Combine(
+        ::testing::Values(Scenario::SingleRenderer,
+                          Scenario::RendererPerPipeline,
+                          Scenario::HostRenderer),
+        ::testing::Values(Arrangement::Unordered, Arrangement::Ordered,
+                          Arrangement::Flipped),
+        ::testing::Values(1, 2, 4, 5)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name = scenario_name(std::get<0>(info.param));
+      name += '_';
+      name += arrangement_name(std::get<1>(info.param));
+      name += "_k";
+      name += std::to_string(std::get<2>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ------------------------------------------------------- cluster platform
+
+class ClusterSweep : public ::testing::TestWithParam<std::tuple<Scenario, int>> {};
+
+TEST_P(ClusterSweep, CompletesOnTheClusterPlatform) {
+  const auto [scenario, k] = GetParam();
+  RunConfig cfg;
+  cfg.scenario = scenario;
+  cfg.pipelines = k;
+  cfg.platform = PlatformKind::Cluster;
+  const RunResult r = run_walkthrough(shared_scene(), shared_trace(), cfg);
+  EXPECT_EQ(r.frame_done_ms.size(), 8u);
+  EXPECT_GT(r.walkthrough, SimTime::zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cluster, ClusterSweep,
+    ::testing::Combine(::testing::Values(Scenario::SingleRenderer,
+                                         Scenario::RendererPerPipeline,
+                                         Scenario::HostRenderer),
+                       ::testing::Values(1, 3, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<Scenario, int>>& info) {
+      std::string name = scenario_name(std::get<0>(info.param));
+      name += "_k";
+      name += std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ----------------------------------------------------- DVFS sweep (TEST_P)
+
+class DvfsSweep : public ::testing::TestWithParam<int /*blur mhz*/> {};
+
+TEST_P(DvfsSweep, HigherBlurFrequencyNeverSlower) {
+  const int mhz = GetParam();
+  RunConfig cfg;
+  cfg.scenario = Scenario::HostRenderer;
+  cfg.pipelines = 1;
+  cfg.isolate_blur_tile = true;
+  const RunResult base = run_walkthrough(shared_scene(), shared_trace(), cfg);
+  cfg.blur_mhz = mhz;
+  const RunResult faster =
+      run_walkthrough(shared_scene(), shared_trace(), cfg);
+  if (mhz > 533) {
+    EXPECT_LE(faster.walkthrough, base.walkthrough);
+  } else {
+    EXPECT_GE(faster.walkthrough * 1.0001, base.walkthrough);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, DvfsSweep,
+                         ::testing::Values(400, 533, 800, 1066));
+
+}  // namespace
+}  // namespace sccpipe

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sccpipe/scene/camera.hpp"
+#include "sccpipe/scene/city.hpp"
+#include "sccpipe/scene/mesh.hpp"
+#include "sccpipe/scene/octree.hpp"
+#include "sccpipe/support/check.hpp"
+#include "sccpipe/support/rng.hpp"
+
+namespace sccpipe {
+namespace {
+
+// --------------------------------------------------------------------- Mesh
+
+TEST(Mesh, BoxHasTwelveTriangles) {
+  Mesh mesh;
+  mesh.add_box({0, 0, 0}, {1, 2, 3}, Color{1, 2, 3, 255});
+  EXPECT_EQ(mesh.size(), 12u);
+  EXPECT_EQ(mesh.bounds().lo, (Vec3{0, 0, 0}));
+  EXPECT_EQ(mesh.bounds().hi, (Vec3{1, 2, 3}));
+}
+
+TEST(Mesh, GroundQuadAndPyramid) {
+  Mesh mesh;
+  mesh.add_ground_quad(-1, -1, 1, 1, 0.0f, Color{});
+  EXPECT_EQ(mesh.size(), 2u);
+  mesh.add_pyramid({0, 1, 0}, {2, 1, 2}, 3.0f, Color{});
+  EXPECT_EQ(mesh.size(), 6u);
+  EXPECT_FLOAT_EQ(mesh.bounds().hi.y, 3.0f);
+}
+
+TEST(Mesh, TriangleBounds) {
+  const Triangle t{{0, 0, 0}, {1, 0, 0}, {0, 2, -1}, Color{}};
+  const Aabb b = t.bounds();
+  EXPECT_EQ(b.lo, (Vec3{0, 0, -1}));
+  EXPECT_EQ(b.hi, (Vec3{1, 2, 0}));
+}
+
+// --------------------------------------------------------------------- City
+
+TEST(City, GeneratorIsDeterministic) {
+  CityParams p;
+  p.blocks_x = 4;
+  p.blocks_z = 4;
+  const Mesh a = generate_city(p);
+  const Mesh b = generate_city(p);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.triangles()[10].v0, b.triangles()[10].v0);
+}
+
+TEST(City, SeedChangesLayout) {
+  CityParams p;
+  p.blocks_x = 4;
+  p.blocks_z = 4;
+  const Mesh a = generate_city(p);
+  p.seed ^= 0xdeadbeef;
+  const Mesh b = generate_city(p);
+  // Different seeds produce different geometry (sizes almost surely differ).
+  EXPECT_TRUE(a.size() != b.size() ||
+              !(a.triangles()[5].v0 == b.triangles()[5].v0));
+}
+
+TEST(City, RespectsHeightBounds) {
+  CityParams p;
+  p.blocks_x = 6;
+  p.blocks_z = 6;
+  p.min_height = 5.0f;
+  p.max_height = 20.0f;
+  p.roof_probability = 0.0;
+  const Mesh city = generate_city(p);
+  EXPECT_LE(city.bounds().hi.y, 20.0f + 1e-3f);
+  EXPECT_GE(city.bounds().lo.y, -1e-3f);
+}
+
+TEST(City, TriangleCountScalesWithBlocks) {
+  CityParams small;
+  small.blocks_x = 3;
+  small.blocks_z = 3;
+  CityParams large;
+  large.blocks_x = 9;
+  large.blocks_z = 9;
+  large.seed = small.seed;
+  EXPECT_GT(generate_city(large).size(), 4 * generate_city(small).size());
+}
+
+TEST(City, DefaultSceneIsSubstantial) {
+  const Mesh city = generate_city();
+  // The workload stand-in for the paper's NYC model: thousands of
+  // triangles at least.
+  EXPECT_GT(city.size(), 5000u);
+}
+
+TEST(City, RejectsBadParams) {
+  CityParams p;
+  p.blocks_x = 0;
+  EXPECT_THROW(generate_city(p), CheckError);
+  p = {};
+  p.max_buildings_per_block = 0;
+  EXPECT_THROW(generate_city(p), CheckError);
+}
+
+// ------------------------------------------------------------------- Octree
+
+struct OctreeFixture : ::testing::Test {
+  static CityParams params() {
+    CityParams p;
+    p.blocks_x = 6;
+    p.blocks_z = 6;
+    return p;
+  }
+  Mesh city = generate_city(params());
+  Octree octree{city};
+};
+
+TEST_F(OctreeFixture, EveryTriangleStoredExactlyOnce) {
+  EXPECT_EQ(octree.stored_triangles(), city.size());
+}
+
+TEST_F(OctreeFixture, BoundsCoverMesh) {
+  EXPECT_LE(octree.bounds().lo.x, city.bounds().lo.x + 1e-4f);
+  EXPECT_GE(octree.bounds().hi.y, city.bounds().hi.y - 1e-4f);
+}
+
+TEST_F(OctreeFixture, SubdividesTheScene) {
+  EXPECT_GT(octree.node_count(), 8u);
+  EXPECT_GT(octree.depth(), 1);
+}
+
+TEST_F(OctreeFixture, CullNeverMissesVisibleTriangles) {
+  // Reference check against brute force: every triangle whose bounds
+  // intersect the frustum must be in the culled set.
+  const CameraConfig cam;
+  const WalkthroughPath path(city.bounds(), 20);
+  for (int frame = 0; frame < 20; frame += 5) {
+    const Mat4 vp =
+        strip_projection(cam, 100, 100, {0, 100}) * path.view(frame);
+    const Frustum frustum(vp);
+    std::vector<std::uint32_t> culled;
+    octree.cull(frustum, culled);
+    std::set<std::uint32_t> culled_set(culled.begin(), culled.end());
+    for (std::uint32_t i = 0; i < city.size(); ++i) {
+      if (frustum.classify(city.triangles()[i].bounds()) !=
+          CullResult::Outside) {
+        EXPECT_TRUE(culled_set.count(i))
+            << "triangle " << i << " missed in frame " << frame;
+      }
+    }
+  }
+}
+
+TEST_F(OctreeFixture, CullReturnsNoDuplicates) {
+  const CameraConfig cam;
+  const WalkthroughPath path(city.bounds(), 4);
+  const Frustum frustum(strip_projection(cam, 64, 64, {0, 64}) *
+                        path.view(0));
+  std::vector<std::uint32_t> culled;
+  octree.cull(frustum, culled);
+  std::set<std::uint32_t> unique(culled.begin(), culled.end());
+  EXPECT_EQ(unique.size(), culled.size());
+}
+
+TEST_F(OctreeFixture, CullStatsAreConsistent) {
+  const CameraConfig cam;
+  const WalkthroughPath path(city.bounds(), 4);
+  const Frustum frustum(strip_projection(cam, 64, 64, {0, 64}) *
+                        path.view(1));
+  std::vector<std::uint32_t> culled;
+  CullStats stats;
+  octree.cull(frustum, culled, &stats);
+  EXPECT_EQ(stats.tris_accepted, culled.size());
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_LE(stats.nodes_visited, stats.nodes_total);
+  EXPECT_EQ(stats.nodes_total, octree.node_count());
+}
+
+TEST_F(OctreeFixture, NarrowStripAcceptsNoMoreThanFullFrame) {
+  const CameraConfig cam;
+  const WalkthroughPath path(city.bounds(), 4);
+  const Mat4 view = path.view(2);
+  std::vector<std::uint32_t> whole, strip;
+  octree.cull(Frustum(strip_projection(cam, 100, 100, {0, 100}) * view),
+              whole);
+  octree.cull(Frustum(strip_projection(cam, 100, 100, {40, 20}) * view),
+              strip);
+  EXPECT_LE(strip.size(), whole.size());
+}
+
+TEST(Octree, EmptyMeshRejected) {
+  Mesh empty;
+  EXPECT_THROW(Octree{empty}, CheckError);
+}
+
+TEST(Octree, LeafConfigRespected) {
+  Mesh mesh;
+  for (int i = 0; i < 64; ++i) {
+    const float f = static_cast<float>(i);
+    mesh.add(Triangle{{f, 0, 0}, {f + 0.4f, 0, 0}, {f, 0.4f, 0}, Color{}});
+  }
+  OctreeConfig cfg;
+  cfg.max_depth = 0;  // no subdivision allowed
+  Octree flat(mesh, cfg);
+  EXPECT_EQ(flat.node_count(), 1u);
+  EXPECT_EQ(flat.stored_triangles(), 64u);
+}
+
+// ------------------------------------------------------------------- Camera
+
+TEST(Camera, StripProjectionFullFrameMatchesPerspective) {
+  const CameraConfig cfg;
+  const Mat4 full = strip_projection(cfg, 400, 400, {0, 400});
+  const Mat4 ref = Mat4::perspective(cfg.fovy_radians, 1.0f, cfg.z_near,
+                                     cfg.z_far);
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_NEAR(full.m[c][r], ref.m[c][r], 1e-4f) << c << ',' << r;
+    }
+  }
+}
+
+TEST(Camera, StripProjectionsPartitionTheFrustum) {
+  // A point visible in the full frame must be visible in exactly one strip
+  // (up to boundary pixels).
+  const CameraConfig cfg;
+  const Mat4 view = Mat4::look_at({0, 0, 5}, {0, 0, 0}, {0, 1, 0});
+  const Frustum full(strip_projection(cfg, 100, 100, {0, 100}) * view);
+  const auto strips = divide_rows(100, 4);
+  Rng rng{23};
+  int checked = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 p{static_cast<float>(rng.uniform(-3, 3)),
+                 static_cast<float>(rng.uniform(-3, 3)),
+                 static_cast<float>(rng.uniform(-20, 4))};
+    if (!full.contains(p)) continue;
+    int hits = 0;
+    for (const StripRange& s : strips) {
+      const Frustum f(strip_projection(cfg, 100, 100, s) * view);
+      hits += f.contains(p) ? 1 : 0;
+    }
+    EXPECT_GE(hits, 1);
+    EXPECT_LE(hits, 2);  // boundary points may land in two strips
+    ++checked;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(Camera, WalkthroughPathStaysAboveGroundAndInsideOrbit) {
+  Aabb bounds;
+  bounds.extend(Vec3{-100, 0, -100});
+  bounds.extend(Vec3{100, 60, 100});
+  const WalkthroughPath path(bounds, 400);
+  for (int f = 0; f < 400; f += 7) {
+    const Vec3 eye = path.eye(f);
+    EXPECT_GT(eye.y, 0.0f);
+    EXPECT_LT(length(eye - bounds.center()), 400.0f);
+  }
+}
+
+TEST(Camera, PathIsDeterministicAndMoving) {
+  Aabb bounds;
+  bounds.extend(Vec3{-50, 0, -50});
+  bounds.extend(Vec3{50, 30, 50});
+  const WalkthroughPath a(bounds, 100);
+  const WalkthroughPath b(bounds, 100);
+  EXPECT_EQ(a.eye(10), b.eye(10));
+  EXPECT_FALSE(a.eye(10) == a.eye(11));
+}
+
+TEST(Camera, RejectsInvalidFrames) {
+  Aabb bounds;
+  bounds.extend(Vec3{0, 0, 0});
+  bounds.extend(Vec3{1, 1, 1});
+  const WalkthroughPath path(bounds, 10);
+  EXPECT_THROW(path.eye(-1), CheckError);
+  EXPECT_THROW(path.eye(10), CheckError);
+}
+
+}  // namespace
+}  // namespace sccpipe

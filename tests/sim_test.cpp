@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "sccpipe/sim/fair_share.hpp"
+#include "sccpipe/sim/resource.hpp"
+#include "sccpipe/sim/simulator.hpp"
+#include "sccpipe/sim/trace.hpp"
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+namespace {
+
+using namespace sccpipe::literals;
+
+// --------------------------------------------------------------- Simulator
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3_ms, [&] { order.push_back(3); });
+  sim.schedule_at(1_ms, [&] { order.push_back(1); });
+  sim.schedule_at(2_ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3_ms);
+}
+
+TEST(Simulator, FifoAtEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5_ms, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime seen = SimTime::zero();
+  sim.schedule_at(2_ms, [&] {
+    sim.schedule_after(3_ms, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 5_ms);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  Simulator sim;
+  sim.schedule_at(1_ms, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::us(500), [] {}), CheckError);
+  EXPECT_THROW(sim.schedule_after(SimTime::ms(-1), [] {}), CheckError);
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  bool ran = false;
+  auto h = sim.schedule_at(1_ms, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));  // double cancel fails
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.dispatched(), 0u);
+}
+
+TEST(Simulator, CancelAfterRunFails) {
+  Simulator sim;
+  auto h = sim.schedule_at(1_ms, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1_ms, [&] { ++count; });
+  sim.schedule_at(2_ms, [&] { ++count; });
+  sim.schedule_at(5_ms, [&] { ++count; });
+  sim.run_until(2_ms);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(1_us, chain);
+  };
+  sim.schedule_after(1_us, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), SimTime::us(100));
+}
+
+// ------------------------------------------------------------- FlowResource
+
+TEST(FlowResource, SerialisesOverlappingRequests) {
+  FlowResource r("link");
+  EXPECT_EQ(r.acquire(SimTime::zero(), 10_ms), 10_ms);
+  // Arrives at 5 ms but must wait until 10 ms.
+  EXPECT_EQ(r.acquire(5_ms, 10_ms), 20_ms);
+  EXPECT_EQ(r.queue_delay(), 5_ms);
+  EXPECT_EQ(r.busy_time(), 20_ms);
+  EXPECT_EQ(r.request_count(), 2u);
+}
+
+TEST(FlowResource, IdleGapNoQueueing) {
+  FlowResource r("link");
+  r.acquire(SimTime::zero(), 1_ms);
+  EXPECT_EQ(r.acquire(10_ms, 1_ms), 11_ms);
+  EXPECT_EQ(r.queue_delay(), SimTime::zero());
+}
+
+TEST(FlowResource, ServesInCallOrderEvenWithEarlierTimestamps) {
+  // Downstream mesh links see arrival times computed ahead of simulated
+  // time; the resource serialises in call order.
+  FlowResource r("link");
+  EXPECT_EQ(r.acquire(5_ms, 1_ms), 6_ms);
+  EXPECT_EQ(r.acquire(4_ms, 1_ms), 7_ms);  // queued behind the first
+}
+
+TEST(FlowResource, Utilization) {
+  FlowResource r("link");
+  r.acquire(SimTime::zero(), 5_ms);
+  EXPECT_DOUBLE_EQ(r.utilization(10_ms), 0.5);
+}
+
+// --------------------------------------------------------- FairShareResource
+
+// Completion events are rounded up to the next nanosecond (see
+// FairShareResource::reschedule), so completion times match to ~2 ns.
+void expect_near_time(SimTime actual, SimTime expected) {
+  EXPECT_LE(std::abs(actual.to_ns() - expected.to_ns()), 4)
+      << "actual=" << actual.to_string()
+      << " expected=" << expected.to_string();
+}
+
+TEST(FairShare, SingleFlowFullRate) {
+  Simulator sim;
+  FairShareResource r(sim, "mc", 100.0);  // 100 B/s
+  SimTime done = SimTime::zero();
+  r.start_flow(50.0, [&] { done = sim.now(); });
+  sim.run();
+  expect_near_time(done, SimTime::ms(500));
+}
+
+TEST(FairShare, TwoFlowsShareBandwidth) {
+  Simulator sim;
+  FairShareResource r(sim, "mc", 100.0);
+  SimTime done_a, done_b;
+  r.start_flow(50.0, [&] { done_a = sim.now(); });
+  r.start_flow(50.0, [&] { done_b = sim.now(); });
+  sim.run();
+  // Both drain at 50 B/s -> 1 s each.
+  expect_near_time(done_a, 1_sec);
+  expect_near_time(done_b, 1_sec);
+}
+
+TEST(FairShare, LateArrivalStretchesFirstFlow) {
+  Simulator sim;
+  FairShareResource r(sim, "mc", 100.0);
+  SimTime done_a, done_b;
+  r.start_flow(100.0, [&] { done_a = sim.now(); });  // alone: 1 s
+  sim.schedule_at(SimTime::ms(500), [&] {
+    r.start_flow(50.0, [&] { done_b = sim.now(); });
+  });
+  sim.run();
+  // A has 50 B left at 0.5 s, then drains at 50 B/s -> finishes at 1.5 s.
+  // B's 50 B at 50 B/s -> also 1.5 s.
+  expect_near_time(done_a, SimTime::ms(1500));
+  expect_near_time(done_b, SimTime::ms(1500));
+}
+
+TEST(FairShare, RateCapLimitsBelowShare) {
+  Simulator sim;
+  FairShareResource r(sim, "mc", 1000.0);
+  SimTime done = SimTime::zero();
+  r.start_flow(100.0, [&] { done = sim.now(); }, /*rate_cap=*/10.0);
+  sim.run();
+  expect_near_time(done, SimTime::sec(10));
+}
+
+TEST(FairShare, ZeroByteFlowCompletesImmediately) {
+  Simulator sim;
+  FairShareResource r(sim, "mc", 100.0);
+  bool done = false;
+  r.start_flow(0.0, [&] { done = true; });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(r.active_flows(), 0u);
+}
+
+TEST(FairShare, CompletionCallbackCanChainFlows) {
+  Simulator sim;
+  FairShareResource r(sim, "mc", 100.0);
+  SimTime second_done = SimTime::zero();
+  r.start_flow(100.0, [&] {
+    r.start_flow(100.0, [&] { second_done = sim.now(); });
+  });
+  sim.run();
+  expect_near_time(second_done, 2_sec);
+  EXPECT_EQ(r.flows_completed(), 2u);
+}
+
+TEST(FairShare, ManyConcurrentFlowsAllFinish) {
+  Simulator sim;
+  FairShareResource r(sim, "mc", 1000.0);
+  int finished = 0;
+  for (int i = 1; i <= 10; ++i) {
+    r.start_flow(i * 10.0, [&] { ++finished; });
+  }
+  sim.run();
+  EXPECT_EQ(finished, 10);
+  EXPECT_DOUBLE_EQ(r.bytes_completed(), 550.0);
+}
+
+// ------------------------------------------------------------------- Trace
+
+TEST(StepTrace, ValueAtTime) {
+  StepTrace t;
+  t.record(1_sec, 10.0);
+  t.record(2_sec, 20.0);
+  EXPECT_EQ(t.at(SimTime::ms(500)), 0.0);
+  EXPECT_EQ(t.at(1_sec), 10.0);
+  EXPECT_EQ(t.at(SimTime::ms(1500)), 10.0);
+  EXPECT_EQ(t.at(3_sec), 20.0);
+}
+
+TEST(StepTrace, Integration) {
+  StepTrace t;
+  t.record(SimTime::zero(), 10.0);
+  t.record(1_sec, 20.0);
+  // 10 W for 1 s + 20 W for 1 s = 30 J.
+  EXPECT_DOUBLE_EQ(t.integrate(SimTime::zero(), 2_sec), 30.0);
+  EXPECT_DOUBLE_EQ(t.integrate(SimTime::ms(500), SimTime::ms(1500)),
+                   5.0 + 10.0);
+}
+
+TEST(StepTrace, CoalescesEqualValues) {
+  StepTrace t;
+  t.record(SimTime::zero(), 5.0);
+  t.record(1_sec, 5.0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(StepTrace, OverwriteAtSameInstant) {
+  StepTrace t;
+  t.record(1_sec, 5.0);
+  t.record(1_sec, 7.0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.at(1_sec), 7.0);
+}
+
+TEST(StepTrace, SampleGrid) {
+  StepTrace t;
+  t.record(SimTime::zero(), 1.0);
+  t.record(2_sec, 3.0);
+  const auto samples = t.sample(SimTime::zero(), 4_sec, 1_sec);
+  EXPECT_EQ(samples, (std::vector<double>{1.0, 1.0, 3.0, 3.0, 3.0}));
+}
+
+TEST(StepTrace, RejectsTimeTravel) {
+  StepTrace t;
+  t.record(2_sec, 1.0);
+  EXPECT_THROW(t.record(1_sec, 2.0), CheckError);
+}
+
+}  // namespace
+}  // namespace sccpipe

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "sccpipe/core/stage.hpp"
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+namespace {
+
+const Calibration kCal = Calibration::defaults();
+constexpr double kFramePixels = 400.0 * 400.0;
+
+TEST(StageNames, AllDistinct) {
+  EXPECT_STREQ(stage_name(StageKind::Render), "render");
+  EXPECT_STREQ(stage_name(StageKind::Blur), "blur");
+  EXPECT_STREQ(stage_name(StageKind::Transfer), "transfer");
+  EXPECT_STREQ(stage_name(StageKind::Connect), "connect");
+}
+
+TEST(FilterWork, BlurIsTheMostExpensiveFilter) {
+  // Paper §IV / Fig. 8: "This stage was the most time consuming stage."
+  const double blur = filter_work(kCal, StageKind::Blur, kFramePixels).cycles;
+  for (const StageKind k : {StageKind::Sepia, StageKind::Scratch,
+                            StageKind::Flicker, StageKind::Swap}) {
+    EXPECT_GT(blur, filter_work(kCal, k, kFramePixels).cycles)
+        << stage_name(k);
+  }
+}
+
+TEST(FilterWork, AnchoredToFig8Breakdown) {
+  // At 533 MHz, the whole-frame stage times that reproduce the 382 s
+  // single-core walkthrough: blur ~525 ms, sepia ~60 ms, flicker ~38 ms,
+  // swap ~50 ms (DESIGN.md calibration table).
+  auto ms_at_533 = [](double cycles) { return cycles / 533e6 * 1e3; };
+  EXPECT_NEAR(ms_at_533(filter_work(kCal, StageKind::Blur, kFramePixels).cycles),
+              525.0, 55.0);
+  EXPECT_NEAR(ms_at_533(filter_work(kCal, StageKind::Sepia, kFramePixels).cycles),
+              60.0, 10.0);
+  EXPECT_NEAR(ms_at_533(filter_work(kCal, StageKind::Flicker, kFramePixels).cycles),
+              38.0, 8.0);
+  EXPECT_NEAR(ms_at_533(filter_work(kCal, StageKind::Swap, kFramePixels).cycles),
+              50.0, 10.0);
+}
+
+TEST(FilterWork, ScalesLinearlyWithPixels) {
+  for (const StageKind k : {StageKind::Sepia, StageKind::Blur,
+                            StageKind::Flicker, StageKind::Swap}) {
+    const StageWork whole = filter_work(kCal, k, kFramePixels);
+    const StageWork strip = filter_work(kCal, k, kFramePixels / 7.0);
+    EXPECT_NEAR(whole.cycles / strip.cycles, 7.0, 1e-9) << stage_name(k);
+    EXPECT_NEAR(whole.dram_bytes / strip.dram_bytes, 7.0, 1e-9);
+  }
+}
+
+TEST(FilterWork, ScratchHasConstantBaseAndCountScaling) {
+  const StageWork few = filter_work(kCal, StageKind::Scratch, kFramePixels, 2);
+  const StageWork many =
+      filter_work(kCal, StageKind::Scratch, kFramePixels, 12);
+  EXPECT_GT(many.cycles, few.cycles);
+  // Zero pixels still costs the base (parameter drawing etc.).
+  const StageWork none = filter_work(kCal, StageKind::Scratch, 0.0, 6);
+  EXPECT_DOUBLE_EQ(none.cycles, kCal.scratch_base_cycles);
+}
+
+TEST(FilterWork, TrafficFollowsStripBytes) {
+  const StageWork w = filter_work(kCal, StageKind::Sepia, 1000.0);
+  EXPECT_DOUBLE_EQ(w.dram_bytes, kCal.filter_traffic_factor * 4000.0);
+  EXPECT_DOUBLE_EQ(w.walk_accesses, 0.0);  // filters stream, never walk
+}
+
+TEST(FilterWork, RenderIsNotAFilter) {
+  EXPECT_THROW(filter_work(kCal, StageKind::Render, 100.0), CheckError);
+  EXPECT_THROW(filter_work(kCal, StageKind::Transfer, 100.0), CheckError);
+}
+
+TEST(RenderWork, SplitsWalkAndCompute) {
+  RenderLoad load;
+  load.nodes_visited = 400;
+  load.tris_accepted = 7000;
+  load.projected_pixels = 300000;
+  const StageWork w = render_work(kCal, load, false);
+  EXPECT_GT(w.walk_accesses, 0.0);
+  EXPECT_DOUBLE_EQ(w.walk_accesses, kCal.cull_accesses_per_node * 400 +
+                                        kCal.cull_accesses_per_tri * 7000);
+  EXPECT_GT(w.cycles, 0.0);
+  EXPECT_DOUBLE_EQ(w.dram_bytes, kCal.render_traffic_per_pixel * 300000);
+}
+
+TEST(RenderWork, FrustumAdjustAddsCycles) {
+  RenderLoad load;
+  load.tris_accepted = 1000;
+  const StageWork plain = render_work(kCal, load, false);
+  const StageWork adjusted = render_work(kCal, load, true);
+  EXPECT_DOUBLE_EQ(adjusted.cycles - plain.cycles,
+                   kCal.frustum_adjust_cycles);
+  EXPECT_DOUBLE_EQ(adjusted.walk_accesses, plain.walk_accesses);
+}
+
+TEST(AssembleWork, ScalesWithFrameBytes) {
+  const double frame = 640.0 * 1024.0;
+  const StageWork w = assemble_work(kCal, frame);
+  EXPECT_DOUBLE_EQ(w.cycles, kCal.assemble_cycles_per_byte * frame);
+  EXPECT_DOUBLE_EQ(w.dram_bytes, kCal.assemble_traffic_factor * frame);
+}
+
+TEST(Calibration, SingleCoreFrameBudgetNearPaper) {
+  // Sum of all stage compute at 533 MHz for one 400x400 frame should be in
+  // the vicinity of the paper's 955 ms/frame (renders + filters + send;
+  // memory time comes on top in the simulation).
+  RenderLoad load;
+  load.nodes_visited = 411;
+  load.tris_accepted = 6836;
+  load.projected_pixels = 400000;
+  double cycles = render_work(kCal, load, false).cycles;
+  for (const StageKind k : {StageKind::Sepia, StageKind::Blur,
+                            StageKind::Scratch, StageKind::Flicker,
+                            StageKind::Swap}) {
+    cycles += filter_work(kCal, k, kFramePixels).cycles;
+  }
+  const double ms = cycles / 533e6 * 1e3;
+  EXPECT_GT(ms, 700.0);
+  EXPECT_LT(ms, 1000.0);
+}
+
+}  // namespace
+}  // namespace sccpipe

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "sccpipe/support/check.hpp"
+#include "sccpipe/support/svg_plot.hpp"
+
+namespace sccpipe {
+namespace {
+
+PlotSeries simple_series(const std::string& label = "s") {
+  PlotSeries s;
+  s.label = label;
+  s.x = {1, 2, 3, 4};
+  s.y = {10, 20, 15, 30};
+  return s;
+}
+
+TEST(NiceTicks, OneTwoFiveProgression) {
+  const auto t1 = nice_ticks(0.0, 100.0, 6);
+  ASSERT_GE(t1.size(), 4u);
+  EXPECT_DOUBLE_EQ(t1.front(), 0.0);
+  EXPECT_DOUBLE_EQ(t1[1] - t1[0], 20.0);
+  const auto t2 = nice_ticks(0.0, 7.0, 6);
+  EXPECT_DOUBLE_EQ(t2[1] - t2[0], 2.0);
+  const auto t3 = nice_ticks(0.0, 0.9, 6);
+  EXPECT_DOUBLE_EQ(t3[1] - t3[0], 0.2);
+}
+
+TEST(NiceTicks, CoversRangeAndHandlesDegenerate) {
+  const auto t = nice_ticks(37.0, 263.0);
+  EXPECT_GE(t.front(), 37.0);
+  EXPECT_LE(t.back(), 263.0);
+  EXPECT_EQ(nice_ticks(5.0, 5.0).size(), 1u);
+  EXPECT_THROW(nice_ticks(2.0, 1.0), CheckError);
+}
+
+TEST(SvgPlot, RendersWellFormedDocument) {
+  SvgPlot plot("Title & more", "pipelines", "time");
+  plot.add_series(simple_series());
+  const std::string svg = plot.to_svg();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // XML escaping of the ampersand.
+  EXPECT_NE(svg.find("Title &amp; more"), std::string::npos);
+  EXPECT_EQ(svg.find("Title & more"), std::string::npos);
+  // Axis labels present.
+  EXPECT_NE(svg.find("pipelines"), std::string::npos);
+  EXPECT_NE(svg.find(">time<"), std::string::npos);
+}
+
+TEST(SvgPlot, SeriesStylingIsApplied) {
+  SvgPlot plot("t", "x", "y");
+  PlotSeries dashed = simple_series("paper");
+  dashed.dashed = true;
+  dashed.color = "#123456";
+  plot.add_series(dashed);
+  const std::string svg = plot.to_svg();
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);
+  EXPECT_NE(svg.find("#123456"), std::string::npos);
+  EXPECT_NE(svg.find("paper"), std::string::npos);
+}
+
+TEST(SvgPlot, AutoColorsDiffer) {
+  SvgPlot plot("t", "x", "y");
+  plot.add_series(simple_series("a"));
+  plot.add_series(simple_series("b"));
+  EXPECT_EQ(plot.series_count(), 2u);
+  const std::string svg = plot.to_svg();
+  EXPECT_NE(svg.find("#2f6fb2"), std::string::npos);
+  EXPECT_NE(svg.find("#c23b3b"), std::string::npos);
+}
+
+TEST(SvgPlot, RejectsMalformedSeries) {
+  SvgPlot plot("t", "x", "y");
+  PlotSeries bad;
+  bad.label = "bad";
+  bad.x = {1, 2};
+  bad.y = {1};
+  EXPECT_THROW(plot.add_series(bad), CheckError);
+  PlotSeries empty;
+  empty.label = "empty";
+  EXPECT_THROW(plot.add_series(empty), CheckError);
+  EXPECT_THROW(plot.to_svg(), CheckError);  // no series at all
+}
+
+TEST(SvgPlot, ExplicitRanges) {
+  SvgPlot plot("t", "x", "y");
+  plot.add_series(simple_series());
+  plot.set_y_range(0.0, 100.0);
+  plot.set_x_range(0.0, 8.0);
+  EXPECT_NO_THROW(plot.to_svg());
+  EXPECT_THROW(plot.set_y_range(5.0, 5.0), CheckError);
+}
+
+}  // namespace
+}  // namespace sccpipe

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sccpipe/core/timeline.hpp"
+#include "sccpipe/core/walkthrough.hpp"
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+namespace {
+
+using namespace sccpipe::literals;
+
+TEST(TimelineRecorder, RecordsSpans) {
+  TimelineRecorder rec;
+  rec.add_span(3, "blur f0", "process", 1_ms, 5_ms);
+  rec.add_span(3, "blur f1", "wait", 5_ms, 6_ms);
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.spans()[0].core, 3);
+  EXPECT_EQ(rec.spans()[0].end, 5_ms);
+}
+
+TEST(TimelineRecorder, DropsZeroLengthAndRejectsNegative) {
+  TimelineRecorder rec;
+  rec.add_span(0, "noop", "process", 2_ms, 2_ms);
+  EXPECT_TRUE(rec.empty());
+  EXPECT_THROW(rec.add_span(0, "bad", "process", 3_ms, 2_ms), CheckError);
+}
+
+TEST(TimelineRecorder, ChromeJsonShape) {
+  TimelineRecorder rec;
+  rec.add_span(7, "sepia f2", "process", SimTime::us(100), SimTime::us(350));
+  const std::string json = rec.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sepia f2\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+}
+
+TEST(TimelineRecorder, WalkthroughProducesCoherentTimeline) {
+  CityParams city;
+  city.blocks_x = 4;
+  city.blocks_z = 4;
+  SceneBundle scene(city, CameraConfig{}, 80, 6);
+  const WorkloadTrace trace = WorkloadTrace::build(scene, 2);
+
+  TimelineRecorder rec;
+  RunConfig cfg;
+  cfg.scenario = Scenario::HostRenderer;
+  cfg.pipelines = 2;
+  cfg.timeline = &rec;
+  const RunResult r = run_walkthrough(scene, trace, cfg);
+
+  // Per frame: 10 filter process spans + connect + transfer, plus wait
+  // spans for the filters. At least frames * 12 spans overall.
+  EXPECT_GE(rec.size(), 6u * 12u);
+
+  // Spans stay within the run and are well-formed; each core's process
+  // spans must not overlap (a core works one thing at a time).
+  std::map<CoreId, std::vector<std::pair<SimTime, SimTime>>> per_core;
+  for (const TimelineRecorder::Span& s : rec.spans()) {
+    EXPECT_GE(s.start, SimTime::zero());
+    EXPECT_LE(s.end, r.walkthrough + 1_ms);
+    if (s.category == "process") {
+      per_core[s.core].emplace_back(s.start, s.end);
+    }
+  }
+  for (auto& [core, spans] : per_core) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second)
+          << "overlapping process spans on core " << core;
+    }
+  }
+
+  // The JSON export round-trips through the writer.
+  const std::string path = "/tmp/sccpipe_timeline_test.json";
+  rec.write(path);
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sccpipe

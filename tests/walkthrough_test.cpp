@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sccpipe/core/walkthrough.hpp"
+#include "sccpipe/filters/filters.hpp"
+
+namespace sccpipe {
+namespace {
+
+/// Shared scene for all integration tests: small city, 120x120 frames,
+/// 12-frame walkthrough, up to 4 pipelines. Built once per binary.
+class WalkthroughFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CityParams city;
+    city.blocks_x = 5;
+    city.blocks_z = 5;
+    scene_ = new SceneBundle(city, CameraConfig{}, 120, 12);
+    trace_ = new WorkloadTrace(WorkloadTrace::build(*scene_, 4));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete scene_;
+    trace_ = nullptr;
+    scene_ = nullptr;
+  }
+
+  static const SceneBundle& scene() { return *scene_; }
+  static const WorkloadTrace& trace() { return *trace_; }
+
+  static RunConfig config(Scenario s, int k,
+                          Arrangement a = Arrangement::Ordered) {
+    RunConfig cfg;
+    cfg.scenario = s;
+    cfg.pipelines = k;
+    cfg.arrangement = a;
+    return cfg;
+  }
+
+  static SceneBundle* scene_;
+  static WorkloadTrace* trace_;
+};
+
+SceneBundle* WalkthroughFixture::scene_ = nullptr;
+WorkloadTrace* WalkthroughFixture::trace_ = nullptr;
+
+// ------------------------------------------------------------ WorkloadTrace
+
+TEST_F(WalkthroughFixture, TraceDimensions) {
+  EXPECT_EQ(trace().frame_count(), 12);
+  EXPECT_EQ(trace().max_k(), 4);
+  EXPECT_THROW(trace().load(0, 5, 0), CheckError);
+  EXPECT_THROW(trace().load(12, 1, 0), CheckError);
+  EXPECT_THROW(trace().load(0, 2, 2), CheckError);
+}
+
+TEST_F(WalkthroughFixture, TraceLoadsAreMeaningful) {
+  const RenderLoad& whole = trace().whole(0);
+  EXPECT_GT(whole.nodes_visited, 0.0);
+  EXPECT_GT(whole.tris_accepted, 0.0);
+  EXPECT_GT(whole.projected_pixels, 0.0);
+  // Strips see no more triangles than the whole frame.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_LE(trace().load(3, 4, s).tris_accepted, 1.0 + whole.tris_accepted);
+  }
+}
+
+// --------------------------------------------------------- one-core baseline
+
+TEST_F(WalkthroughFixture, SingleCoreBreakdownCoversAllStages) {
+  const SingleCoreBreakdown b =
+      run_single_core(scene(), trace(), config(Scenario::SingleCore, 1));
+  EXPECT_EQ(b.per_stage.size(), 7u);  // render + 5 filters + transfer
+  SimTime sum = SimTime::zero();
+  for (const auto& [kind, t] : b.per_stage) {
+    EXPECT_GT(t, SimTime::zero()) << stage_name(kind);
+    sum += t;
+  }
+  EXPECT_EQ(sum, b.total);
+  // Blur dominates the filters (Fig. 8).
+  EXPECT_GT(b.stage_time(StageKind::Blur), b.stage_time(StageKind::Sepia));
+  EXPECT_GT(b.stage_time(StageKind::Blur), b.stage_time(StageKind::Swap));
+}
+
+TEST_F(WalkthroughFixture, SingleCoreReducedVariants) {
+  const RunConfig cfg = config(Scenario::SingleCore, 1);
+  const SingleCoreBreakdown full = run_single_core(scene(), trace(), cfg);
+  const SingleCoreBreakdown rt =
+      run_single_core(scene(), trace(), cfg, false, true);
+  const SingleCoreBreakdown r =
+      run_single_core(scene(), trace(), cfg, false, false);
+  // Paper §VI-A: render+transfer ~104 s << full 382 s; render-only ~94 s.
+  EXPECT_LT(rt.total, 0.5 * full.total);
+  EXPECT_LT(r.total, rt.total);
+  EXPECT_EQ(r.per_stage.size(), 1u);
+}
+
+// ------------------------------------------------------------ full pipeline
+
+TEST_F(WalkthroughFixture, EveryScenarioCompletesAllFrames) {
+  for (const Scenario s :
+       {Scenario::SingleRenderer, Scenario::RendererPerPipeline,
+        Scenario::HostRenderer}) {
+    for (int k = 1; k <= 4; k += 3) {
+      const RunResult r = run_walkthrough(scene(), trace(), config(s, k));
+      EXPECT_EQ(r.frame_done_ms.size(), 12u) << scenario_name(s);
+      EXPECT_GT(r.walkthrough, SimTime::zero());
+      // Frames arrive in order.
+      for (std::size_t i = 1; i < r.frame_done_ms.size(); ++i) {
+        EXPECT_LT(r.frame_done_ms[i - 1], r.frame_done_ms[i]);
+      }
+    }
+  }
+}
+
+TEST_F(WalkthroughFixture, PipeliningBeatsSingleCore) {
+  const SingleCoreBreakdown base =
+      run_single_core(scene(), trace(), config(Scenario::SingleCore, 1));
+  const RunResult r =
+      run_walkthrough(scene(), trace(), config(Scenario::SingleRenderer, 1));
+  EXPECT_LT(r.walkthrough, base.total);
+}
+
+TEST_F(WalkthroughFixture, MorePipelinesNeverMuchSlower) {
+  for (const Scenario s :
+       {Scenario::RendererPerPipeline, Scenario::HostRenderer}) {
+    SimTime prev = SimTime::zero();
+    for (int k = 1; k <= 4; ++k) {
+      const RunResult r = run_walkthrough(scene(), trace(), config(s, k));
+      if (k > 1) {
+        EXPECT_LT(r.walkthrough, prev * 1.1)
+            << scenario_name(s) << " k=" << k;
+      }
+      prev = r.walkthrough;
+    }
+  }
+}
+
+TEST_F(WalkthroughFixture, RunsAreDeterministic) {
+  const RunResult a =
+      run_walkthrough(scene(), trace(), config(Scenario::HostRenderer, 3));
+  const RunResult b =
+      run_walkthrough(scene(), trace(), config(Scenario::HostRenderer, 3));
+  EXPECT_EQ(a.walkthrough, b.walkthrough);
+  EXPECT_EQ(a.frame_done_ms, b.frame_done_ms);
+  EXPECT_EQ(a.chip_energy_joules, b.chip_energy_joules);
+}
+
+TEST_F(WalkthroughFixture, ArrangementsAreWithinNoiseOfEachOther) {
+  // The paper's central null result (§VI-A): arrangement does not matter.
+  for (const Scenario s :
+       {Scenario::SingleRenderer, Scenario::RendererPerPipeline,
+        Scenario::HostRenderer}) {
+    const double t_unordered =
+        run_walkthrough(scene(), trace(),
+                        config(s, 3, Arrangement::Unordered))
+            .walkthrough.to_sec();
+    const double t_ordered =
+        run_walkthrough(scene(), trace(), config(s, 3, Arrangement::Ordered))
+            .walkthrough.to_sec();
+    const double t_flipped =
+        run_walkthrough(scene(), trace(), config(s, 3, Arrangement::Flipped))
+            .walkthrough.to_sec();
+    EXPECT_NEAR(t_unordered / t_ordered, 1.0, 0.06) << scenario_name(s);
+    EXPECT_NEAR(t_flipped / t_ordered, 1.0, 0.06) << scenario_name(s);
+  }
+}
+
+TEST_F(WalkthroughFixture, StageReportsAreComplete) {
+  const RunResult r =
+      run_walkthrough(scene(), trace(), config(Scenario::HostRenderer, 2));
+  // 2 pipelines x 5 filters + connect + transfer.
+  EXPECT_EQ(r.stages.size(), 12u);
+  const StageReport* blur = r.stage(StageKind::Blur, 1);
+  ASSERT_NE(blur, nullptr);
+  EXPECT_EQ(blur->frames, 12);
+  EXPECT_GT(blur->busy_ms, 0.0);
+  EXPECT_EQ(blur->wait_ms.count, 12u);
+  const StageReport* connect = r.stage(StageKind::Connect);
+  ASSERT_NE(connect, nullptr);
+  EXPECT_GT(connect->busy_ms, 0.0);
+}
+
+TEST_F(WalkthroughFixture, WalkthroughAtLeastMaxStageBusy) {
+  // Lower bound: the pipeline can never beat its busiest stage.
+  const RunResult r =
+      run_walkthrough(scene(), trace(), config(Scenario::HostRenderer, 2));
+  for (const StageReport& st : r.stages) {
+    EXPECT_GE(r.walkthrough.to_ms(), st.busy_ms);
+  }
+}
+
+TEST_F(WalkthroughFixture, PowerAndEnergyAccounting) {
+  const RunResult a =
+      run_walkthrough(scene(), trace(), config(Scenario::HostRenderer, 1));
+  const RunResult b =
+      run_walkthrough(scene(), trace(), config(Scenario::HostRenderer, 4));
+  // More pipelines -> more allocated cores -> higher mean power (Fig. 14).
+  EXPECT_GT(b.mean_chip_watts, a.mean_chip_watts);
+  // Energy == mean power x duration (definition consistency).
+  EXPECT_NEAR(a.chip_energy_joules,
+              a.mean_chip_watts * a.walkthrough.to_sec(),
+              0.01 * a.chip_energy_joules);
+  // The host worked (rendered) and its extra energy is accounted.
+  EXPECT_GT(a.host_busy_sec, 0.0);
+  EXPECT_NEAR(a.host_extra_energy_joules, a.host_busy_sec * 28.0, 1e-6);
+}
+
+TEST_F(WalkthroughFixture, HostSpendsLittleTimeBusy) {
+  // §VI-B: the MCPC idles most of the run.
+  const RunResult r =
+      run_walkthrough(scene(), trace(), config(Scenario::HostRenderer, 4));
+  EXPECT_LT(r.host_busy_sec, 0.3 * r.walkthrough.to_sec());
+}
+
+TEST_F(WalkthroughFixture, DvfsBlurBoostSpeedsUpAndCostsPower) {
+  RunConfig base = config(Scenario::HostRenderer, 1);
+  base.isolate_blur_tile = true;
+  RunConfig fast = base;
+  fast.blur_mhz = 800;
+  const RunResult r0 = run_walkthrough(scene(), trace(), base);
+  const RunResult r1 = run_walkthrough(scene(), trace(), fast);
+  EXPECT_LT(r1.walkthrough.to_sec(), 0.85 * r0.walkthrough.to_sec());
+  EXPECT_GT(r1.mean_chip_watts, r0.mean_chip_watts + 1.0);
+  // Fig. 16: the gain is clearly below the 1.5x frequency ratio.
+  EXPECT_GT(r1.walkthrough.to_sec(), r0.walkthrough.to_sec() / 1.5);
+}
+
+TEST_F(WalkthroughFixture, DvfsTailSlowdownSavesPowerNotTime) {
+  RunConfig fast = config(Scenario::HostRenderer, 1);
+  fast.isolate_blur_tile = true;
+  fast.blur_mhz = 800;
+  RunConfig mixed = fast;
+  mixed.tail_mhz = 400;
+  const RunResult r1 = run_walkthrough(scene(), trace(), fast);
+  const RunResult r2 = run_walkthrough(scene(), trace(), mixed);
+  // §VI-D: performance similar, power lower.
+  EXPECT_NEAR(r2.walkthrough.to_sec(), r1.walkthrough.to_sec(),
+              0.12 * r1.walkthrough.to_sec());
+  EXPECT_LT(r2.mean_chip_watts, r1.mean_chip_watts - 2.0);
+}
+
+TEST_F(WalkthroughFixture, ClusterIsMuchFasterThanScc) {
+  // Fig. 13: modern HPC cores finish the walkthrough several times sooner.
+  for (const Scenario s :
+       {Scenario::SingleRenderer, Scenario::RendererPerPipeline}) {
+    RunConfig scc = config(s, 3);
+    RunConfig hpc = scc;
+    hpc.platform = PlatformKind::Cluster;
+    const RunResult a = run_walkthrough(scene(), trace(), scc);
+    const RunResult b = run_walkthrough(scene(), trace(), hpc);
+    EXPECT_LT(b.walkthrough.to_sec(), 0.3 * a.walkthrough.to_sec())
+        << scenario_name(s);
+  }
+}
+
+TEST_F(WalkthroughFixture, DownstreamStagesWaitOnTheirInput) {
+  // Fig. 15's concept: with one pipeline, the cheap stages spend most of
+  // the cycle waiting while blur works.
+  const RunResult r =
+      run_walkthrough(scene(), trace(), config(Scenario::HostRenderer, 1));
+  const StageReport* blur = r.stage(StageKind::Blur, 0);
+  const StageReport* scratch = r.stage(StageKind::Scratch, 0);
+  ASSERT_NE(blur, nullptr);
+  ASSERT_NE(scratch, nullptr);
+  EXPECT_GT(scratch->wait_ms.median, blur->wait_ms.median);
+}
+
+TEST_F(WalkthroughFixture, FabricReportAccountsTraffic) {
+  const RunResult r =
+      run_walkthrough(scene(), trace(), config(Scenario::HostRenderer, 3));
+  // Every frame's strips cross the mesh and the controllers repeatedly.
+  const double frame_bytes = 120.0 * 120.0 * 4.0;
+  EXPECT_GT(r.fabric.mesh_total_bytes, 12.0 * frame_bytes);
+  EXPECT_GT(r.fabric.mesh_max_link_bytes, 0.0);
+  EXPECT_LE(r.fabric.mesh_max_link_bytes, r.fabric.mesh_total_bytes);
+  ASSERT_EQ(r.fabric.mc_bulk_bytes.size(), 4u);
+  double mc_sum = 0.0;
+  for (const double b : r.fabric.mc_bulk_bytes) mc_sum += b;
+  EXPECT_GT(mc_sum, 2.0 * 12.0 * frame_bytes);  // the DRAM bounce
+}
+
+TEST_F(WalkthroughFixture, RenderersRegisterAsLatencyStreams) {
+  const RunResult r = run_walkthrough(
+      scene(), trace(), config(Scenario::RendererPerPipeline, 4));
+  std::uint64_t peak = 0;
+  for (const std::uint64_t p : r.fabric.mc_latency_streams_peak) {
+    peak = std::max(peak, p);
+  }
+  EXPECT_GE(peak, 1u);  // concurrent octree walkers were observed
+}
+
+TEST_F(WalkthroughFixture, LocalMemoryBanksReduceMcTraffic) {
+  RunConfig base = config(Scenario::HostRenderer, 2);
+  RunConfig banks = base;
+  banks.rcce.local_memory_banks = true;
+  const RunResult a = run_walkthrough(scene(), trace(), base);
+  const RunResult b = run_walkthrough(scene(), trace(), banks);
+  double mc_a = 0.0, mc_b = 0.0;
+  for (const double v : a.fabric.mc_bulk_bytes) mc_a += v;
+  for (const double v : b.fabric.mc_bulk_bytes) mc_b += v;
+  EXPECT_LT(mc_b, 0.7 * mc_a);  // the bounce is gone
+  EXPECT_LE(b.walkthrough, a.walkthrough);
+}
+
+TEST_F(WalkthroughFixture, TraceTooSmallRejected) {
+  EXPECT_THROW(
+      run_walkthrough(scene(), trace(), config(Scenario::HostRenderer, 5)),
+      CheckError);
+  EXPECT_THROW(run_walkthrough(scene(), trace(),
+                               config(Scenario::SingleCore, 1)),
+               CheckError);
+}
+
+// ------------------------------------------------------- functional pixels
+
+/// Reference pipeline: what the viewer should see for frame f with k
+/// strips — render, per-strip filters, mirrored assembly.
+Image reference_frame(const SceneBundle& scene, int frame, int k,
+                      std::uint64_t seed) {
+  const Image whole = scene.renderer().render(scene.path().view(frame));
+  const int side = scene.image_side();
+  Image out(side, side);
+  for (const StripRange& s : divide_rows(side, k)) {
+    Image strip = whole.strip(s);
+    apply_sepia(strip);
+    apply_blur(strip);
+    apply_scratches(strip, scratch_params_for_frame(seed, frame, side));
+    apply_flicker(strip, flicker_params_for_frame(seed, frame));
+    apply_vflip(strip);
+    out.paste(strip, side - s.y0 - s.rows);
+  }
+  return out;
+}
+
+TEST_F(WalkthroughFixture, FunctionalPipelineMatchesReference) {
+  for (const Scenario s :
+       {Scenario::SingleRenderer, Scenario::HostRenderer}) {
+    RunConfig cfg = config(s, 3);
+    cfg.functional = true;
+    const RunResult r = run_walkthrough(scene(), trace(), cfg);
+    ASSERT_EQ(r.frames.size(), 12u) << scenario_name(s);
+    for (const int f : {0, 5, 11}) {
+      EXPECT_EQ(r.frames[static_cast<std::size_t>(f)],
+                reference_frame(scene(), f, 3, cfg.seed))
+          << scenario_name(s) << " frame " << f;
+    }
+  }
+}
+
+TEST_F(WalkthroughFixture, FunctionalRendererPerPipelineMatchesReference) {
+  RunConfig cfg = config(Scenario::RendererPerPipeline, 2);
+  cfg.functional = true;
+  const RunResult r = run_walkthrough(scene(), trace(), cfg);
+  ASSERT_EQ(r.frames.size(), 12u);
+  // Per-strip rendering equals whole-frame rendering (sort-first), so the
+  // same reference applies.
+  EXPECT_EQ(r.frames[4], reference_frame(scene(), 4, 2, cfg.seed));
+}
+
+TEST_F(WalkthroughFixture, FunctionalOutputIndependentOfTiming) {
+  // Same scenario, different arrangements: identical pixels.
+  RunConfig a = config(Scenario::HostRenderer, 3, Arrangement::Unordered);
+  RunConfig b = config(Scenario::HostRenderer, 3, Arrangement::Flipped);
+  a.functional = b.functional = true;
+  const RunResult ra = run_walkthrough(scene(), trace(), a);
+  const RunResult rb = run_walkthrough(scene(), trace(), b);
+  EXPECT_EQ(ra.frames[7], rb.frames[7]);
+}
+
+}  // namespace
+}  // namespace sccpipe

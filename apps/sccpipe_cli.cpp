@@ -58,6 +58,15 @@ int main(int argc, char** argv) {
   args.add_flag("tail-mhz", "post-blur stage frequency (0=default)", "0");
   args.add_flag("isolate-blur", "place blur alone on its tile (Fig. 18)", "false");
   args.add_flag("seed", "scratch/flicker random seed", "42");
+  args.add_flag("fault-plan",
+                "fault plan, e.g. 'rcce-drop=0.01;link-down=2' "
+                "(grammar: docs/MODEL.md)", "");
+  args.add_flag("fault-seed",
+                "fault schedule RNG seed (0 = keep the plan's seed)", "0");
+  args.add_flag("rcce-retries",
+                "transport attempts per message under fault injection", "1");
+  args.add_flag("rcce-timeout-ms",
+                "per-attempt loss-detection timeout [ms]", "50");
   args.add_flag("csv", "emit one CSV row instead of tables", "false");
   args.add_flag("timeline", "write a chrome://tracing JSON to this path", "");
   args.add_flag("stages", "print the per-stage report", "true");
@@ -99,6 +108,20 @@ int main(int argc, char** argv) {
   cfg.isolate_blur_tile = args.get_bool("isolate-blur");
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
+  const std::string fault_plan = args.get("fault-plan");
+  if (!fault_plan.empty()) {
+    std::string err;
+    if (!cfg.fault.parse(fault_plan, &err)) {
+      std::fprintf(stderr, "error: bad --fault-plan: %s\n", err.c_str());
+      return 2;
+    }
+  }
+  if (args.get_int("fault-seed") > 0) {
+    cfg.fault.seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+  }
+  cfg.rcce.retry.max_attempts = args.get_int("rcce-retries");
+  cfg.rcce.retry.timeout = SimTime::ms(args.get_double("rcce-timeout-ms"));
+
   const int frames = args.get_int("frames");
   const int size = args.get_int("size");
   std::fprintf(stderr, "[sccpipe] building scene (%d frames at %dx%d)...\n",
@@ -124,7 +147,7 @@ int main(int argc, char** argv) {
                 cfg.pipelines, frames, r.walkthrough.to_sec(),
                 r.mean_chip_watts, r.chip_energy_joules, r.host_busy_sec,
                 r.host_extra_energy_joules);
-    return 0;
+    return r.fault.failed ? 1 : 0;
   }
 
   std::printf("configuration: %s, %s, %d pipeline(s) on %s\n",
@@ -138,6 +161,29 @@ int main(int argc, char** argv) {
   if (r.host_busy_sec > 0.0) {
     std::printf("host:          busy %.2f s, extra %.0f J\n", r.host_busy_sec,
                 r.host_extra_energy_joules);
+  }
+  if (r.fault.enabled) {
+    std::printf("fault layer:   seed %llu, fingerprint %016llx\n",
+                static_cast<unsigned long long>(cfg.fault.seed),
+                static_cast<unsigned long long>(r.fault.fingerprint));
+    std::printf("  rcce: %llu drops, %llu delays, %llu retransmissions, "
+                "%llu transfers failed\n",
+                static_cast<unsigned long long>(r.fault.rcce_drops),
+                static_cast<unsigned long long>(r.fault.rcce_delays),
+                static_cast<unsigned long long>(r.fault.rcce_retransmissions),
+                static_cast<unsigned long long>(r.fault.rcce_transfers_failed));
+    std::printf("  host: %llu drops, %llu delays, %llu retransmissions\n",
+                static_cast<unsigned long long>(r.fault.host_drops),
+                static_cast<unsigned long long>(r.fault.host_delays),
+                static_cast<unsigned long long>(r.fault.host_retransmissions));
+    if (r.fault.failed) {
+      std::printf("  RUN FAILED after %d/%d frames at %.3f s: %s\n",
+                  r.fault.frames_completed, frames,
+                  r.fault.failed_at_ms / 1000.0, r.fault.failure.c_str());
+      for (const std::string& e : r.fault.stage_errors) {
+        std::printf("    %s\n", e.c_str());
+      }
+    }
   }
 
   if (args.get_bool("stages")) {
@@ -155,5 +201,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\n%s", table.to_string().c_str());
   }
-  return 0;
+  return r.fault.failed ? 1 : 0;
 }

@@ -1,0 +1,55 @@
+// Ablation (beyond the paper) — fault tolerance of the macro pipeline.
+// The paper's RCCE transfers assume a lossless mesh; this harness injects
+// deterministic message loss on the RCCE path (sim/fault.hpp) and gives
+// the transport a timeout/retry/backoff budget, then sweeps the drop rate
+// to show what reliability costs: each lost payload burns a detection
+// timeout plus a full protocol round, so walkthrough time grows with the
+// loss rate long before any transfer actually fails.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace sccpipe;
+using namespace sccpipe::bench;
+
+int main() {
+  print_banner(
+      "Ablation — fault tolerance (message loss vs walkthrough time)",
+      "deterministic drops + RCCE retry/backoff (grammar: docs/MODEL.md)");
+
+  RunConfig base;
+  base.scenario = Scenario::HostRenderer;
+  base.pipelines = 4;
+  base.fault.seed = 7;
+  base.rcce.retry.max_attempts = 12;
+  base.rcce.retry.timeout = SimTime::ms(5);
+  base.rcce.retry.backoff = SimTime::ms(1);
+
+  TextTable table({"rcce drop rate", "walkthrough [s]", "slowdown [%]",
+                   "drops", "retransmissions", "outcome"});
+  const double scale = World::instance().scale();
+  double t0 = 0.0;
+  for (const double rate : {0.0, 0.01, 0.02, 0.05, 0.10, 0.20}) {
+    RunConfig cfg = base;
+    cfg.fault.rcce_drop_rate = rate;
+    const RunResult r = run(cfg);
+    const double t = r.walkthrough.to_sec() * scale;
+    if (rate == 0.0) t0 = t;
+    table.row()
+        .add(rate, 2)
+        .add(t, 2)
+        .add(t0 > 0.0 ? 100.0 * (t / t0 - 1.0) : 0.0, 1)
+        .add(static_cast<double>(r.fault.rcce_drops), 0)
+        .add(static_cast<double>(r.fault.rcce_retransmissions), 0)
+        .add(r.fault.failed ? "FAILED: " + r.fault.failure : "completed");
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "every drop costs its detection timeout plus a repeated protocol\n"
+      "round (sender overhead, partition read, mesh crossing), so the\n"
+      "slowdown grows faster than the raw loss rate; the retry budget\n"
+      "(12 attempts here) keeps even the 20%% column completing.\n");
+  return 0;
+}

@@ -33,10 +33,25 @@ class Channel {
   /// matched_at: instant the rendezvous matched / the message was available
   /// at the consumer's door — the end of the consumer's *waiting* time.
   using RecvDone = std::function<void(FrameToken, SimTime matched_at)>;
+  using ErrorHandler = std::function<void(const Status&)>;
 
   virtual ~Channel() = default;
   virtual void send(FrameToken token, SendDone on_sent) = 0;
   virtual void recv(RecvDone on_token) = 0;
+
+  /// Route transport failures (retry exhaustion under fault injection) to
+  /// \p handler instead of aborting the run. A failed token's SendDone /
+  /// RecvDone callbacks never fire; the owner is expected to stop pumping.
+  void set_error_handler(ErrorHandler handler) {
+    on_error_ = std::move(handler);
+  }
+
+ protected:
+  /// Report a transport failure; fails the run loudly when no handler is
+  /// installed (an un-handled fault must not dissolve into a silent stall).
+  void fail(const Status& status);
+
+  ErrorHandler on_error_;
 };
 
 /// RCCE rendezvous between two SCC cores. Blocking both ways; the transfer
@@ -71,6 +86,13 @@ class HostToChipChannel final : public Channel {
   void send(FrameToken token, SendDone on_sent) override;  // host side
   void recv(RecvDone on_token) override;                   // chip side
 
+  /// Attach the fault layer to the underlying wire; losses retransmit per
+  /// \p retry, exhaustion reaches the channel's error handler.
+  void set_fault(FaultInjector* fault, RetryPolicy retry);
+  std::uint64_t wire_retransmissions() const {
+    return wire_.retransmissions();
+  }
+
  private:
   HostCpu& host_;
   SccChip& chip_;
@@ -92,6 +114,12 @@ class ChipToViewerChannel final : public Channel {
   void send(FrameToken token, SendDone on_sent) override;
   /// The viewer is a sink; recv() is not part of its contract.
   void recv(RecvDone on_token) override;
+
+  /// Attach the fault layer to the underlying wire (see HostToChipChannel).
+  void set_fault(FaultInjector* fault, RetryPolicy retry);
+  std::uint64_t wire_retransmissions() const {
+    return wire_.retransmissions();
+  }
 
  private:
   SccChip& chip_;

@@ -20,8 +20,10 @@
 #include "sccpipe/host/host_link.hpp"
 #include "sccpipe/rcce/rcce.hpp"
 #include "sccpipe/scc/chip.hpp"
+#include "sccpipe/sim/fault.hpp"
 #include "sccpipe/sim/trace.hpp"
 #include "sccpipe/support/stats.hpp"
+#include "sccpipe/support/status.hpp"
 
 namespace sccpipe {
 
@@ -72,6 +74,13 @@ struct RunConfig {
   Calibration cal = Calibration::defaults();
   RcceConfig rcce{};
 
+  /// Deterministic fault injection (see sim/fault.hpp). The default plan
+  /// enables nothing, and a disabled plan leaves the run bit-identical to
+  /// one without a fault layer. Transport retry behaviour for injected
+  /// message losses is configured via rcce.retry (shared by the RCCE path
+  /// and the host links).
+  FaultPlan fault{};
+
   /// Optional: record per-stage wait/process spans here (chrome://tracing
   /// export; see timeline.hpp). Must outlive the run.
   TimelineRecorder* timeline = nullptr;
@@ -97,6 +106,32 @@ struct FabricReport {
   std::vector<std::uint64_t> mc_latency_streams_peak;
 };
 
+/// What the fault layer did to a run, and how the run ended. A failed run
+/// is a *graceful* failure: the simulation drained normally, the completed
+/// frames' metrics are valid, and `failure` names the first transport error
+/// that stopped the pipeline.
+struct FaultReport {
+  bool enabled = false;  ///< a fault plan was active for this run
+  bool failed = false;   ///< the walkthrough stopped before the last frame
+  StatusCode failure_code = StatusCode::Ok;
+  std::string failure;          ///< first error, labelled with its stage/link
+  double failed_at_ms = 0.0;    ///< simulated instant of the first error
+  int frames_completed = 0;     ///< frames that reached the viewer
+  /// Every transport error observed, labelled per stage/link, in order.
+  std::vector<std::string> stage_errors;
+
+  // Fault-layer decision counters (see FaultInjector).
+  std::uint64_t rcce_drops = 0;
+  std::uint64_t rcce_delays = 0;
+  std::uint64_t host_drops = 0;
+  std::uint64_t host_delays = 0;
+  std::uint64_t rcce_retransmissions = 0;
+  std::uint64_t host_retransmissions = 0;
+  std::uint64_t rcce_transfers_failed = 0;
+  /// FNV-1a hash of the fault schedule + decision trace (determinism tests).
+  std::uint64_t fingerprint = 0;
+};
+
 struct RunResult {
   SimTime walkthrough = SimTime::zero();  ///< last frame shown at the viewer
   std::vector<StageReport> stages;
@@ -114,6 +149,9 @@ struct RunResult {
 
   /// Functional runs only: the assembled final frames, in order.
   std::vector<Image> frames;
+
+  /// Fault-injection outcome (enabled == false for ordinary runs).
+  FaultReport fault;
 
   /// Convenience: wait summary of the first stage of the given kind.
   const StageReport* stage(StageKind kind, int pipeline = 0) const;

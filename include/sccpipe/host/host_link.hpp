@@ -21,8 +21,10 @@
 #include <functional>
 
 #include "sccpipe/host/host_cpu.hpp"
+#include "sccpipe/sim/fault.hpp"
 #include "sccpipe/sim/resource.hpp"
 #include "sccpipe/sim/simulator.hpp"
+#include "sccpipe/support/status.hpp"
 
 namespace sccpipe {
 
@@ -66,6 +68,7 @@ class HostChannel {
  public:
   using PushCallback = std::function<void()>;
   using PopCallback = std::function<void(double bytes)>;
+  using ErrorHandler = std::function<void(const Status&)>;
 
   HostChannel(Simulator& sim, HostLinkConfig cfg = HostLinkConfig::mcpc());
 
@@ -73,6 +76,15 @@ class HostChannel {
   HostChannel& operator=(const HostChannel&) = delete;
 
   const HostLinkConfig& config() const { return cfg_; }
+
+  /// Attach the deterministic fault layer: each message crossing the wire
+  /// may be dropped (retransmitted per \p retry, then surfaced to
+  /// \p on_error) or delayed. Injector must outlive the channel.
+  void set_fault(FaultInjector* fault, RetryPolicy retry,
+                 ErrorHandler on_error);
+
+  /// Retransmissions performed after injected message losses.
+  std::uint64_t retransmissions() const { return retransmissions_; }
 
   /// Producer: enqueue a message. \p on_accepted fires once a credit is
   /// available and the message has finished crossing the wire (the producer
@@ -99,6 +111,8 @@ class HostChannel {
 
   void try_admit();
   void try_deliver();
+  void transmit(double bytes, PushCallback on_accepted, int attempt,
+                SimTime first_attempt_at);
 
   Simulator& sim_;
   HostLinkConfig cfg_;
@@ -107,6 +121,10 @@ class HostChannel {
   std::deque<PendingPush> waiting_admission_;
   std::deque<double> arrived_;          // messages that crossed the wire
   std::deque<PopCallback> waiting_pop_;
+  FaultInjector* fault_ = nullptr;
+  RetryPolicy retry_{};
+  ErrorHandler on_error_;
+  std::uint64_t retransmissions_ = 0;
 };
 
 }  // namespace sccpipe

@@ -26,6 +26,7 @@
 #include "sccpipe/noc/mesh.hpp"
 #include "sccpipe/noc/topology.hpp"
 #include "sccpipe/sim/fair_share.hpp"
+#include "sccpipe/sim/fault.hpp"
 #include "sccpipe/sim/simulator.hpp"
 
 namespace sccpipe {
@@ -88,6 +89,11 @@ class MemorySystem {
   const McStats& stats(McId mc) const;
   McId home_mc(CoreId core) const { return topo_.home_mc(core); }
 
+  /// Attach the deterministic fault layer: bulk streams wait out McStall
+  /// windows and pay McDegrade service inflation; latency-bound walks see
+  /// the inflation too. Must outlive the system; nullptr detaches.
+  void set_fault_injector(const FaultInjector* fault) { fault_ = fault; }
+
  private:
   Simulator& sim_;
   const MeshTopology& topo_;
@@ -97,6 +103,7 @@ class MemorySystem {
   std::vector<std::unique_ptr<FairShareResource>> mcs_;
   std::vector<int> latency_streams_;
   std::vector<McStats> stats_;
+  const FaultInjector* fault_ = nullptr;
 };
 
 /// RAII registration of a latency-bound walker.

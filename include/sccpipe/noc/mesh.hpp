@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sccpipe/noc/topology.hpp"
+#include "sccpipe/sim/fault.hpp"
 #include "sccpipe/sim/resource.hpp"
 #include "sccpipe/support/time.hpp"
 
@@ -59,11 +60,17 @@ class MeshModel {
   /// Sum of bytes over all links (total mesh traffic volume).
   double total_bytes() const;
 
+  /// Attach the deterministic fault layer: transfers consult it per link
+  /// for outage windows, bandwidth degradation, and router slowdowns. Must
+  /// outlive the model; nullptr (the default) detaches.
+  void set_fault_injector(const FaultInjector* fault) { fault_ = fault; }
+
  private:
   const MeshTopology& topo_;
   MeshTimingConfig cfg_;
   std::vector<FlowResource> links_;
   std::vector<LinkTraffic> traffic_;
+  const FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace sccpipe

@@ -18,6 +18,13 @@
 ///   recv   : streams B into its own DRAM partition      (the bounce)
 ///
 /// Both cores are held for the whole transfer, as with spin-waiting RCCE.
+///
+/// Fault tolerance: with a FaultInjector attached, a transfer's payload may
+/// be lost crossing the mesh. The sender detects the loss when its
+/// per-attempt timeout expires (spin-waiting on the ack flag), backs off in
+/// simulated time, and retransmits up to RetryPolicy::max_attempts times;
+/// exhaustion (or the per-transfer deadline) surfaces a typed Status to
+/// both endpoints instead of hanging the rendezvous.
 
 #include <cstdint>
 #include <deque>
@@ -27,6 +34,8 @@
 #include <vector>
 
 #include "sccpipe/scc/chip.hpp"
+#include "sccpipe/sim/fault.hpp"
+#include "sccpipe/support/status.hpp"
 
 namespace sccpipe {
 
@@ -43,11 +52,18 @@ struct RcceConfig {
   /// bouncing through the receiver's DRAM partition. Used by the
   /// local-store ablation bench; the real SCC has no such banks.
   bool local_memory_banks = false;
+  /// Timeout/retry/backoff discipline for lost payloads. Only consulted
+  /// when a FaultInjector is attached; the default (max_attempts = 1)
+  /// surfaces the first loss as an error after `retry.timeout`.
+  RetryPolicy retry{};
 };
 
 class RcceComm {
  public:
   using Callback = std::function<void()>;
+  /// Fault-aware completion: receives Ok on delivery, or the typed error
+  /// (RetriesExhausted / DeadlineExceeded) when the transfer gave up.
+  using StatusCallback = std::function<void(const Status&)>;
 
   explicit RcceComm(SccChip& chip, RcceConfig cfg = {});
 
@@ -57,12 +73,20 @@ class RcceComm {
   SccChip& chip() { return chip_; }
   const RcceConfig& config() const { return cfg_; }
 
+  /// Attach the deterministic fault layer (per-message drop/delay fates).
+  /// Must outlive the comm object; nullptr detaches.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
   /// Blocking send: \p on_complete fires when the receiver has fully
-  /// consumed the message (data landed in its partition).
+  /// consumed the message (data landed in its partition). This overload
+  /// has no error path: a transfer that gives up fails the run loudly
+  /// (CheckError) — use the StatusCallback overload under fault injection.
   void send(CoreId from, CoreId to, double bytes, Callback on_complete);
+  void send(CoreId from, CoreId to, double bytes, StatusCallback on_complete);
 
   /// Blocking receive matching a send from \p from.
   void recv(CoreId to, CoreId from, Callback on_complete);
+  void recv(CoreId to, CoreId from, StatusCallback on_complete);
 
   /// Barrier across \p group: each member calls arrive(); all callbacks
   /// fire when the last member arrives.
@@ -92,22 +116,38 @@ class RcceComm {
   SimTime ideal_transfer_time(CoreId from, CoreId to, double bytes) const;
 
   std::uint64_t messages_delivered() const { return delivered_; }
+  /// Number of retransmissions performed after injected payload losses.
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Number of transfers that surfaced an error after exhausting retries
+  /// or their deadline.
+  std::uint64_t transfers_failed() const { return transfers_failed_; }
 
  private:
   struct PendingSend {
     double bytes;
-    Callback on_complete;
+    StatusCallback on_complete;
   };
   using Key = std::pair<CoreId, CoreId>;  // (from, to)
 
   void start_transfer(CoreId from, CoreId to, double bytes,
-                      Callback sender_done, Callback receiver_done);
+                      StatusCallback sender_done,
+                      StatusCallback receiver_done);
+  void attempt_transfer(CoreId from, CoreId to, double bytes, int attempt,
+                        SimTime first_attempt_at, StatusCallback sender_done,
+                        StatusCallback receiver_done);
+  void finish_delivery(CoreId to, double bytes, StatusCallback sender_done,
+                       StatusCallback receiver_done);
+  /// Wrap a plain Callback into a StatusCallback that fails loudly.
+  static StatusCallback require_ok(Callback cb, const char* what);
 
   SccChip& chip_;
   RcceConfig cfg_;
+  FaultInjector* fault_ = nullptr;
   std::map<Key, std::deque<PendingSend>> sends_;
-  std::map<Key, std::deque<Callback>> recvs_;
+  std::map<Key, std::deque<StatusCallback>> recvs_;
   std::uint64_t delivered_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t transfers_failed_ = 0;
 };
 
 }  // namespace sccpipe

@@ -1,0 +1,189 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic fault injection for the simulated platform. A FaultPlan
+/// describes *what can go wrong* (which fault classes, at which rates or
+/// counts); a FaultInjector expands it — from a single RNG seed — into a
+/// concrete, reproducible schedule of window faults plus per-message fate
+/// decisions, and answers queries from the component models:
+///
+///   * NoC (src/noc)  — a link can be down or degraded for a time window;
+///                      a router's forwarding latency can be inflated.
+///   * Memory (src/mem) — a controller can stall (accept no new flows) or
+///                      serve at a fraction of its bandwidth for a window.
+///   * RCCE (src/rcce) and host link (src/host) — an individual message
+///                      can be dropped (lost in flight, triggering the
+///                      transport's timeout/retry machinery) or delayed.
+///
+/// Determinism: window faults are generated eagerly at construction, so
+/// the schedule is a pure function of the plan. Message fates draw from
+/// dedicated per-category RNG streams in event-dispatch order, which the
+/// single-threaded simulator makes reproducible — the same seed yields a
+/// bit-identical fault trace and therefore bit-identical simulated timing.
+/// Every consulted fault is appended to trace(); fingerprint() hashes the
+/// trace so two runs can be compared exactly (tests/fault_injection_test).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sccpipe/support/rng.hpp"
+#include "sccpipe/support/status.hpp"
+#include "sccpipe/support/time.hpp"
+
+namespace sccpipe {
+
+/// Retry/backoff discipline for a fault-tolerant transport (RCCE sends,
+/// host-link pushes). With max_attempts == 1 a lost message surfaces an
+/// error as soon as the attempt's timeout expires; with more attempts the
+/// transport retransmits after an exponentially growing backoff, all in
+/// simulated time.
+struct RetryPolicy {
+  int max_attempts = 1;               ///< total attempts (1 = no retries)
+  SimTime timeout = SimTime::ms(50);  ///< per-attempt loss-detection deadline
+  SimTime backoff = SimTime::ms(1);   ///< backoff before the 2nd attempt
+  double backoff_factor = 2.0;        ///< growth per further attempt
+  /// Hard per-transfer deadline measured from the first attempt; a retry
+  /// that would start after it surfaces DeadlineExceeded. Zero = none.
+  SimTime deadline = SimTime::zero();
+
+  /// Backoff to wait after the \p failed_attempts-th loss (1-based).
+  SimTime backoff_after(int failed_attempts) const;
+};
+
+enum class FaultKind : std::uint8_t {
+  LinkDegrade,    ///< link serialisation time divided by `factor` in window
+  LinkDown,       ///< link unavailable during the window
+  RouterDegrade,  ///< router latency multiplied by 1/factor in window
+  McDegrade,      ///< MC service time divided by `factor` in window
+  McStall,        ///< MC admits no new flows during the window
+  RcceDrop,       ///< decision record: an RCCE payload was lost
+  RcceDelay,      ///< decision record: an RCCE payload was delayed
+  HostDrop,       ///< decision record: a host-link message was lost
+  HostDelay,      ///< decision record: a host-link message was delayed
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One entry of the fault schedule (window faults) or the decision trace
+/// (message fates, where start == end == decision time).
+struct FaultEvent {
+  FaultKind kind{};
+  SimTime start = SimTime::zero();
+  SimTime end = SimTime::zero();
+  int target = -1;      ///< link index, tile id or MC id; -1 for messages
+  double factor = 1.0;  ///< bandwidth/service fraction in (0, 1]
+  SimTime extra = SimTime::zero();  ///< added delay (delay faults)
+};
+
+/// What can go wrong, reproducible from `seed`. Parsed from the CLI's
+/// --fault-plan grammar (see parse() and docs/MODEL.md §6).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Span over which scheduled window faults are scattered.
+  SimTime horizon = SimTime::sec(10);
+  /// Length of each scheduled fault window.
+  SimTime window = SimTime::ms(50);
+
+  // Per-message fault rates in [0, 1].
+  double rcce_drop_rate = 0.0;
+  double rcce_delay_rate = 0.0;
+  SimTime rcce_delay = SimTime::ms(1);  ///< max extra delay per delayed msg
+  double host_drop_rate = 0.0;
+  double host_delay_rate = 0.0;
+  SimTime host_delay = SimTime::ms(5);
+
+  // Scheduled window faults: how many of each to scatter over the horizon.
+  int link_degrade_count = 0;
+  double link_degrade_factor = 0.25;  ///< surviving bandwidth fraction
+  int link_down_count = 0;
+  int router_degrade_count = 0;
+  double router_degrade_factor = 0.25;  ///< 1/latency-multiplier
+  int mc_degrade_count = 0;
+  double mc_degrade_factor = 0.5;
+  int mc_stall_count = 0;
+
+  /// True when any fault class is active; a disabled plan is guaranteed to
+  /// leave the simulation bit-identical to one with no fault layer at all.
+  bool enabled() const;
+
+  /// Parse "key=value;key=value" (e.g. "rcce-drop=0.05;link-down=2;
+  /// horizon=2s;window=20ms"). Returns false and fills \p error on
+  /// malformed input. Keys: rcce-drop, rcce-delay=<rate>:<time>,
+  /// host-drop, host-delay=<rate>:<time>, link-degrade=<n>:<factor>,
+  /// link-down=<n>, router-degrade=<n>:<factor>, mc-degrade=<n>:<factor>,
+  /// mc-stall=<n>, horizon=<time>, window=<time>, seed=<n>.
+  bool parse(const std::string& text, std::string* error);
+};
+
+/// The run-time oracle the component models consult. Const queries serve
+/// the window schedule; message fates are stateful (they consume RNG draws
+/// and append to the trace).
+class FaultInjector {
+ public:
+  /// Disabled injector: every query is a no-op answer.
+  FaultInjector() = default;
+
+  /// Expand \p plan into a concrete schedule for a platform with the given
+  /// component counts (MeshTopology::link_index_count(), tile_count(),
+  /// mc_count()).
+  FaultInjector(const FaultPlan& plan, int link_count, int tile_count,
+                int mc_count);
+
+  bool enabled() const { return enabled_; }
+  const FaultPlan& plan() const { return plan_; }
+  /// The pre-generated window faults, sorted by start time.
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+
+  // --- NoC hooks ---------------------------------------------------------
+  /// Earliest instant >= \p at when the link accepts traffic (a message
+  /// arriving during a LinkDown window waits the outage out).
+  SimTime link_available(int link_index, SimTime at) const;
+  /// Serialisation-time multiplier (>= 1) for the link at \p at.
+  double link_slowdown(int link_index, SimTime at) const;
+  /// Router forwarding-latency multiplier (>= 1) for \p tile at \p at.
+  double router_slowdown(int tile, SimTime at) const;
+
+  // --- memory hooks ------------------------------------------------------
+  /// Earliest instant >= \p at when the controller admits a new flow.
+  SimTime mc_available(int mc, SimTime at) const;
+  /// Service-time multiplier (>= 1) for the controller at \p at.
+  double mc_slowdown(int mc, SimTime at) const;
+
+  // --- message fates (stateful; recorded into the trace) -----------------
+  /// Decide the fate of one RCCE transfer attempt. Returns true when the
+  /// payload is lost; otherwise *extra_delay receives the injected delay
+  /// (zero for an unharmed message).
+  bool rcce_message_fate(SimTime at, int from, int to, SimTime* extra_delay);
+  /// Same for one host-link message.
+  bool host_message_fate(SimTime at, SimTime* extra_delay);
+
+  // --- observability -----------------------------------------------------
+  /// Message-fate decisions in the order they were taken.
+  const std::vector<FaultEvent>& trace() const { return trace_; }
+  /// FNV-1a hash over the schedule and the decision trace; two runs with
+  /// the same seed and workload produce the same fingerprint.
+  std::uint64_t fingerprint() const;
+
+  std::uint64_t rcce_drops() const { return rcce_drops_; }
+  std::uint64_t rcce_delays() const { return rcce_delays_; }
+  std::uint64_t host_drops() const { return host_drops_; }
+  std::uint64_t host_delays() const { return host_delays_; }
+
+ private:
+  SimTime available_after(FaultKind kind, int target, SimTime at) const;
+  double slowdown(FaultKind kind, int target, SimTime at) const;
+
+  FaultPlan plan_{};
+  bool enabled_ = false;
+  std::vector<FaultEvent> schedule_;
+  std::vector<FaultEvent> trace_;
+  Rng rcce_rng_{0};
+  Rng host_rng_{0};
+  std::uint64_t rcce_drops_ = 0;
+  std::uint64_t rcce_delays_ = 0;
+  std::uint64_t host_drops_ = 0;
+  std::uint64_t host_delays_ = 0;
+};
+
+}  // namespace sccpipe

@@ -6,6 +6,13 @@
 
 namespace sccpipe {
 
+void Channel::fail(const Status& status) {
+  SCCPIPE_CHECK_MSG(on_error_ != nullptr,
+                    "channel transport fault without an error handler: "
+                        << status.to_string());
+  on_error_(status);
+}
+
 // ---------------------------------------------------------------- SccChannel
 
 SccChannel::SccChannel(RcceComm& comm, CoreId from, CoreId to)
@@ -19,15 +26,23 @@ void SccChannel::send(FrameToken token, SendDone on_sent) {
   const double bytes = token.bytes;
   tokens_.push_back(std::move(token));
   send_posted_.push_back(comm_.chip().sim().now());
-  comm_.send(from_, to_, bytes, std::move(on_sent));
+  comm_.send(from_, to_, bytes,
+             [this, cb = std::move(on_sent)](const Status& s) mutable {
+               // A failed transfer is reported by the receiver side of this
+               // same channel (both rendezvous callbacks get the error);
+               // the sender's SendDone just never fires.
+               if (s.ok()) cb();
+             });
 }
 
 void SccChannel::recv(RecvDone on_token) {
   SCCPIPE_CHECK(on_token != nullptr);
   recv_posted_.push_back(comm_.chip().sim().now());
-  comm_.recv(to_, from_, [this, cb = std::move(on_token)]() mutable {
+  comm_.recv(to_, from_,
+             [this, cb = std::move(on_token)](const Status& s) mutable {
     // RCCE delivers per-pair messages in FIFO order, so the head entries of
-    // all three queues describe this delivery.
+    // all three queues describe this delivery (or this failed transfer —
+    // a transfer only fails after the rendezvous matched).
     SCCPIPE_CHECK(!tokens_.empty() && !send_posted_.empty() &&
                   !recv_posted_.empty());
     FrameToken token = std::move(tokens_.front());
@@ -35,6 +50,10 @@ void SccChannel::recv(RecvDone on_token) {
     const SimTime matched = max(send_posted_.front(), recv_posted_.front());
     send_posted_.pop_front();
     recv_posted_.pop_front();
+    if (!s.ok()) {
+      fail(s);
+      return;
+    }
     cb(std::move(token), matched);
   });
 }
@@ -60,6 +79,10 @@ void HostToChipChannel::send(FrameToken token, SendDone on_sent) {
                 [this, bytes, cb = std::move(on_sent)]() mutable {
                   wire_.push(bytes, std::move(cb));
                 });
+}
+
+void HostToChipChannel::set_fault(FaultInjector* fault, RetryPolicy retry) {
+  wire_.set_fault(fault, retry, [this](const Status& s) { fail(s); });
 }
 
 void HostToChipChannel::recv(RecvDone on_token) {
@@ -88,6 +111,10 @@ ChipToViewerChannel::ChipToViewerChannel(SccChip& chip, CoreId producer_core,
       sink_(std::move(sink)) {
   SCCPIPE_CHECK(chip.topology().valid_core(producer_core));
   SCCPIPE_CHECK(sink_ != nullptr);
+}
+
+void ChipToViewerChannel::set_fault(FaultInjector* fault, RetryPolicy retry) {
+  wire_.set_fault(fault, retry, [this](const Status& s) { fail(s); });
 }
 
 void ChipToViewerChannel::send(FrameToken token, SendDone on_sent) {

@@ -140,6 +140,19 @@ class WalkthroughSim {
     }
     chip_ = std::make_unique<SccChip>(sim_, chip_cfg);
     rcce_ = std::make_unique<RcceComm>(*chip_, cfg_.rcce);
+
+    // Fault layer: only attached when the plan enables something, so a
+    // zero-fault run is bit-identical to one without the layer at all.
+    if (cfg_.fault.enabled()) {
+      const MeshTopology& topo = chip_->topology();
+      fault_ = std::make_unique<FaultInjector>(cfg_.fault,
+                                               topo.link_index_count(),
+                                               topo.tile_count(),
+                                               topo.mc_count());
+      chip_->mesh().set_fault_injector(fault_.get());
+      chip_->memory().set_fault_injector(fault_.get());
+      rcce_->set_fault_injector(fault_.get());
+    }
   }
 
   void build_placement() {
@@ -188,30 +201,57 @@ class WalkthroughSim {
     SimTime recv_posted = SimTime::zero();
   };
 
-  Channel* make_scc_channel(CoreId from, CoreId to) {
+  /// First transport error wins (records the failure headline); every
+  /// error is kept for the per-stage fault report. The pump guards on
+  /// failed_ stop new work, and the event loop then drains naturally —
+  /// a faulted run ends, it never hangs.
+  void on_fault(const std::string& where, const Status& status) {
+    fault_errors_.push_back(where + ": " + status.to_string());
+    if (failed_) return;
+    failed_ = true;
+    first_failure_ = status;
+    first_failure_where_ = where;
+    failed_at_ = sim_.now();
+  }
+
+  /// Label a channel's transport errors with the hop they broke.
+  Channel* watch(Channel* ch, std::string where) {
+    ch->set_error_handler([this, where = std::move(where)](const Status& s) {
+      on_fault(where, s);
+    });
+    return ch;
+  }
+
+  Channel* make_scc_channel(CoreId from, CoreId to, std::string where) {
     channels_.push_back(std::make_unique<SccChannel>(*rcce_, from, to));
-    return channels_.back().get();
+    return watch(channels_.back().get(), std::move(where));
   }
 
   void build_channels_and_stages() {
     const int k = cfg_.pipelines;
 
     // Viewer sink.
-    channels_.push_back(std::make_unique<ChipToViewerChannel>(
+    auto viewer_ch = std::make_unique<ChipToViewerChannel>(
         *chip_, placement_.transfer, viewer_link_,
         [this](const FrameToken& tok, SimTime at) {
           frame_done_ms_.push_back(at.to_ms());
           if (cfg_.functional && tok.image) {
             out_frames_.push_back(*tok.image);
           }
-        }));
-    viewer_ = channels_.back().get();
+        });
+    if (fault_) viewer_ch->set_fault(fault_.get(), cfg_.rcce.retry);
+    viewer_wire_ = viewer_ch.get();
+    channels_.push_back(std::move(viewer_ch));
+    viewer_ = watch(channels_.back().get(), "transfer->viewer link");
 
     // Producer feed into the chip (host scenarios only).
     if (cfg_.scenario == Scenario::HostRenderer) {
-      channels_.push_back(std::make_unique<HostToChipChannel>(
-          *host_, *chip_, placement_.producer, producer_link_));
-      host_in_ = channels_.back().get();
+      auto host_ch = std::make_unique<HostToChipChannel>(
+          *host_, *chip_, placement_.producer, producer_link_);
+      if (fault_) host_ch->set_fault(fault_.get(), cfg_.rcce.retry);
+      host_wire_ = host_ch.get();
+      channels_.push_back(std::move(host_ch));
+      host_in_ = watch(channels_.back().get(), "host->connect link");
     }
 
     // Per-pipeline stages and channels.
@@ -222,13 +262,16 @@ class WalkthroughSim {
       const std::size_t first_filter = own_renderer ? 1 : 0;
       SCCPIPE_CHECK(cores.size() == first_filter + kFilterCount);
 
+      const std::string pl = "[p" + std::to_string(p) + "]";
+
       // Head channel: producer/renderer -> sepia.
       Channel* head;
       if (own_renderer) {
-        head = make_scc_channel(cores[0], cores[1]);
+        head = make_scc_channel(cores[0], cores[1], "render->sepia" + pl);
         head_channels_.push_back(head);
       } else {
-        head = make_scc_channel(placement_.producer, cores[0]);
+        head = make_scc_channel(placement_.producer, cores[0],
+                                "producer->sepia" + pl);
         head_channels_.push_back(head);
       }
 
@@ -239,9 +282,13 @@ class WalkthroughSim {
         if (f + 1 < kFilterCount) {
           const CoreId next =
               cores[first_filter + static_cast<std::size_t>(f) + 1];
-          out = make_scc_channel(core, next);
+          out = make_scc_channel(core, next,
+                                 std::string(stage_name(kFilterChain[f])) +
+                                     "->" + stage_name(kFilterChain[f + 1]) +
+                                     pl);
         } else {
-          out = make_scc_channel(core, placement_.transfer);
+          out = make_scc_channel(core, placement_.transfer,
+                                 "swap->transfer" + pl);
           tail_channels_.push_back(out);
         }
         auto st = std::make_unique<StageState>();
@@ -302,7 +349,7 @@ class WalkthroughSim {
   /// Scenario 1: one core renders the whole frame, splits it, feeds every
   /// pipeline, then starts the next frame.
   void render_single_frame(int frame) {
-    if (frame >= frames_total()) return;
+    if (failed_ || frame >= frames_total()) return;
     producer_span_start_ = sim_.now();
     const CoreId core = placement_.producer;
     const RenderLoad& load = trace_.load(frame, 1, 0);
@@ -324,6 +371,7 @@ class WalkthroughSim {
   /// Sequentially hand strip s of \p frame to pipeline s (scenario 1 and
   /// the connect stage of scenario 3 share this).
   void send_strips(int frame, int s, std::shared_ptr<Image> whole) {
+    if (failed_) return;
     if (s >= cfg_.pipelines) {
       // Frame fully distributed; produce the next one.
       if (cfg_.scenario == Scenario::SingleRenderer) {
@@ -352,7 +400,7 @@ class WalkthroughSim {
   /// Scenario 2: each pipeline's own renderer draws just its strip with an
   /// adjusted frustum.
   void render_pipeline_frame(int p, int frame) {
-    if (frame >= frames_total()) return;
+    if (failed_ || frame >= frames_total()) return;
     const auto& cores = placement_.pipeline_cores[static_cast<std::size_t>(p)];
     const CoreId core = cores[0];
     const RenderLoad& load = trace_.load(frame, cfg_.pipelines, p);
@@ -380,7 +428,7 @@ class WalkthroughSim {
   /// Scenario 3 producer: the host renders whole frames and pushes them
   /// down the UDP path as fast as its credits allow.
   void host_render_frame(int frame) {
-    if (frame >= frames_total()) return;
+    if (failed_ || frame >= frames_total()) return;
     const RenderLoad& load = trace_.load(frame, 1, 0);
     host_->compute(host_render_cycles(cfg_.cal, load), [this, frame] {
       FrameToken tok;
@@ -400,7 +448,7 @@ class WalkthroughSim {
   /// it into strips (one read+write pass through its partition), feed the
   /// pipelines, repeat.
   void connect_loop() {
-    if (connect_frames_ >= frames_total()) return;
+    if (failed_ || connect_frames_ >= frames_total()) return;
     const CoreId core = placement_.producer;
     connect_wait_posted_ = sim_.now();
     host_in_->recv([this, core](FrameToken tok, SimTime matched) {
@@ -429,6 +477,7 @@ class WalkthroughSim {
   }
 
   void arm_filter_stage(StageState& st) {
+    if (failed_) return;
     st.recv_posted = sim_.now();
     st.in->recv([this, &st](FrameToken tok, SimTime matched) {
       st.wait_ms.add((matched - st.recv_posted).to_ms());
@@ -466,6 +515,7 @@ class WalkthroughSim {
   void start_transfer() { transfer_collect(0); }
 
   void transfer_collect(int s) {
+    if (failed_) return;
     if (s == 0) {
       transfer_wait_posted_ = sim_.now();
       transfer_assembly_.clear();
@@ -522,12 +572,17 @@ class WalkthroughSim {
   // -------------------------------------------------------------- results
   RunResult collect() {
     RunResult r;
-    SCCPIPE_CHECK_MSG(static_cast<int>(frame_done_ms_.size()) ==
-                          frames_total(),
+    // A fault-free run must always complete; a faulted run may legitimately
+    // end early (graceful failure, reported below).
+    SCCPIPE_CHECK_MSG(failed_ || static_cast<int>(frame_done_ms_.size()) ==
+                                     frames_total(),
                       "walkthrough did not complete: " << frame_done_ms_.size()
                           << '/' << frames_total() << " frames");
     r.frame_done_ms = frame_done_ms_;
-    r.walkthrough = SimTime::ms(frame_done_ms_.back());
+    if (!frame_done_ms_.empty()) {
+      r.walkthrough = SimTime::ms(frame_done_ms_.back());
+    }
+    if (failed_) r.walkthrough = max(r.walkthrough, failed_at_);
     r.placement = placement_;
 
     for (const auto& st : stages_) {
@@ -606,8 +661,55 @@ class WalkthroughSim {
           r.host_busy_sec *
           (host_->config().busy_watts - host_->config().idle_watts);
     }
+    collect_fault_report(r);
     r.frames = std::move(out_frames_);
     return r;
+  }
+
+  void collect_fault_report(RunResult& r) {
+    r.fault.enabled = fault_ != nullptr;
+    r.fault.failed = failed_;
+    r.fault.frames_completed = static_cast<int>(frame_done_ms_.size());
+    r.fault.stage_errors = fault_errors_;
+    if (failed_) {
+      r.fault.failure_code = first_failure_.code();
+      r.fault.failure = first_failure_where_ + ": " + first_failure_.message();
+      r.fault.failed_at_ms = failed_at_.to_ms();
+    }
+    if (fault_ == nullptr) return;
+    r.fault.rcce_drops = fault_->rcce_drops();
+    r.fault.rcce_delays = fault_->rcce_delays();
+    r.fault.host_drops = fault_->host_drops();
+    r.fault.host_delays = fault_->host_delays();
+    r.fault.rcce_retransmissions = rcce_->retransmissions();
+    r.fault.rcce_transfers_failed = rcce_->transfers_failed();
+    r.fault.host_retransmissions = viewer_wire_->wire_retransmissions();
+    if (host_wire_ != nullptr) {
+      r.fault.host_retransmissions += host_wire_->wire_retransmissions();
+    }
+    r.fault.fingerprint = fault_->fingerprint();
+
+    // Fault annotations on the timeline: scheduled windows plus every
+    // message-fate decision, grouped on a pseudo-core so they line up with
+    // the stage spans in chrome://tracing.
+    if (cfg_.timeline != nullptr) {
+      const auto annotate = [this](const FaultEvent& ev) {
+        std::string name = fault_kind_name(ev.kind);
+        if (ev.kind == FaultKind::RcceDrop || ev.kind == FaultKind::RcceDelay) {
+          name += " " + std::to_string(ev.target / 1000) + "->" +
+                  std::to_string(ev.target % 1000);
+        } else if (ev.target >= 0) {
+          name += " #" + std::to_string(ev.target);
+        }
+        // Instant decisions (drops) get a nominal width so the recorder
+        // keeps them and chrome://tracing shows a visible tick.
+        SimTime end = max(ev.end, ev.start + ev.extra);
+        if (end == ev.start) end = ev.start + SimTime::us(10);
+        cfg_.timeline->add_span(-1, name, "fault", ev.start, end);
+      };
+      for (const FaultEvent& ev : fault_->schedule()) annotate(ev);
+      for (const FaultEvent& ev : fault_->trace()) annotate(ev);
+    }
   }
 
   // ---------------------------------------------------------------- state
@@ -618,6 +720,7 @@ class WalkthroughSim {
   Simulator sim_;
   std::unique_ptr<SccChip> chip_;
   std::unique_ptr<RcceComm> rcce_;
+  std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<HostCpu> host_;
   HostLinkConfig viewer_link_{};
   HostLinkConfig producer_link_{};
@@ -642,6 +745,16 @@ class WalkthroughSim {
 
   std::vector<double> frame_done_ms_;
   std::vector<Image> out_frames_;
+
+  // Fault-run state: typed wire handles for retransmission counters, and
+  // the first-failure record that stops the pumps.
+  ChipToViewerChannel* viewer_wire_ = nullptr;
+  HostToChipChannel* host_wire_ = nullptr;
+  bool failed_ = false;
+  Status first_failure_;
+  std::string first_failure_where_;
+  SimTime failed_at_ = SimTime::zero();
+  std::vector<std::string> fault_errors_;
 };
 
 }  // namespace

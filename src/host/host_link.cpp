@@ -1,6 +1,8 @@
 #include "sccpipe/host/host_link.hpp"
 
 #include <cmath>
+#include <sstream>
+#include <utility>
 
 #include "sccpipe/support/check.hpp"
 
@@ -32,6 +34,14 @@ double HostChannel::scc_recv_cycles(double bytes) const {
          cfg_.per_datagram_cycles * datagrams(bytes);
 }
 
+void HostChannel::set_fault(FaultInjector* fault, RetryPolicy retry,
+                            ErrorHandler on_error) {
+  SCCPIPE_CHECK(on_error != nullptr);
+  fault_ = fault;
+  retry_ = retry;
+  on_error_ = std::move(on_error);
+}
+
 void HostChannel::push(double bytes, PushCallback on_accepted) {
   SCCPIPE_CHECK(bytes >= 0.0);
   SCCPIPE_CHECK(on_accepted != nullptr);
@@ -44,16 +54,59 @@ void HostChannel::try_admit() {
     --credits_;
     PendingPush p = std::move(waiting_admission_.front());
     waiting_admission_.pop_front();
-    const SimTime wire_time =
-        SimTime::sec(p.bytes / cfg_.wire_bandwidth_bytes_per_sec);
-    const SimTime done = wire_.acquire(sim_.now(), wire_time);
-    sim_.schedule_at(done, [this, bytes = p.bytes,
-                            cb = std::move(p.on_accepted)]() mutable {
+    transmit(p.bytes, std::move(p.on_accepted), 1, sim_.now());
+  }
+}
+
+/// One wire crossing of an admitted message. With a fault layer attached
+/// the datagram may be lost: the sender's application-level ack timer
+/// (retry_.timeout) detects it and retransmits after the backoff, up to
+/// the attempt budget; exhaustion surfaces a typed error to on_error_ (the
+/// consumed credit stays lost, as the consumer will never pop this
+/// message).
+void HostChannel::transmit(double bytes, PushCallback on_accepted,
+                           int attempt, SimTime first_attempt_at) {
+  const SimTime wire_time =
+      SimTime::sec(bytes / cfg_.wire_bandwidth_bytes_per_sec);
+  const SimTime done = wire_.acquire(sim_.now(), wire_time);
+  SimTime extra = SimTime::zero();
+  const bool dropped =
+      fault_ != nullptr && fault_->host_message_fate(sim_.now(), &extra);
+  if (!dropped) {
+    sim_.schedule_at(done + extra, [this, bytes,
+                                    cb = std::move(on_accepted)]() mutable {
       arrived_.push_back(bytes);
       cb();  // producer may prepare the next frame
       try_deliver();
     });
+    return;
   }
+  const SimTime detect = max(done, sim_.now() + retry_.timeout);
+  const bool budget_left = attempt < retry_.max_attempts;
+  const SimTime next_start =
+      detect + (budget_left ? retry_.backoff_after(attempt) : SimTime::zero());
+  const bool deadline_ok = retry_.deadline.is_zero() ||
+                           next_start - first_attempt_at <= retry_.deadline;
+  if (budget_left && deadline_ok) {
+    sim_.schedule_at(next_start, [this, bytes, attempt, first_attempt_at,
+                                  cb = std::move(on_accepted)]() mutable {
+      ++retransmissions_;
+      transmit(bytes, std::move(cb), attempt + 1, first_attempt_at);
+    });
+    return;
+  }
+  std::ostringstream oss;
+  oss << "host-link message (" << bytes << " B) lost after " << attempt
+      << " attempt(s)";
+  const Status failure{budget_left ? StatusCode::DeadlineExceeded
+                                   : StatusCode::RetriesExhausted,
+                       oss.str()};
+  sim_.schedule_at(detect, [this, failure] {
+    SCCPIPE_CHECK_MSG(on_error_ != nullptr,
+                      "host-link fault without an error handler: "
+                          << failure.to_string());
+    on_error_(failure);
+  });
 }
 
 void HostChannel::pop(PopCallback on_message) {

@@ -38,16 +38,34 @@ void MemorySystem::bulk(CoreId core, double bytes, double core_rate_cap,
                                            topo_.mc_position(mc), bytes);
   const SimTime mesh_extra = mesh_done - now;
 
-  mcs_[mci]->start_flow(
-      bytes,
-      [this, mesh_extra, cb = std::move(on_done)]() mutable {
-        if (mesh_extra.is_zero()) {
-          cb();
-        } else {
-          sim_.schedule_after(mesh_extra, std::move(cb));
-        }
-      },
-      core_rate_cap);
+  // Fault layer: a stalled controller admits the flow only once its outage
+  // window ends; a degraded one serves it at a fraction of its bandwidth
+  // (modelled as service-time inflation on this flow).
+  double service_bytes = bytes;
+  SimTime admit_at = now;
+  if (fault_ != nullptr && fault_->enabled()) {
+    admit_at = fault_->mc_available(mc, now);
+    service_bytes = bytes * fault_->mc_slowdown(mc, admit_at);
+  }
+
+  auto begin_flow = [this, mci, service_bytes, core_rate_cap, mesh_extra,
+                     cb = std::move(on_done)]() mutable {
+    mcs_[mci]->start_flow(
+        service_bytes,
+        [this, mesh_extra, cb = std::move(cb)]() mutable {
+          if (mesh_extra.is_zero()) {
+            cb();
+          } else {
+            sim_.schedule_after(mesh_extra, std::move(cb));
+          }
+        },
+        core_rate_cap);
+  };
+  if (admit_at > now) {
+    sim_.schedule_at(admit_at, std::move(begin_flow));
+  } else {
+    begin_flow();
+  }
 }
 
 SimTime MemorySystem::latency_bound(CoreId core, double n_accesses) const {
@@ -60,9 +78,11 @@ SimTime MemorySystem::latency_bound(CoreId core, double n_accesses) const {
   const double inflation = std::min(
       cfg_.latency_contention_cap,
       1.0 + cfg_.latency_contention_coeff * (load > 1.0 ? load - 1.0 : 0.0));
-  const SimTime per_access =
-      cfg_.base_line_latency * inflation +
-      cfg_.per_hop_latency * static_cast<double>(hops);
+  SimTime per_access = cfg_.base_line_latency * inflation +
+                       cfg_.per_hop_latency * static_cast<double>(hops);
+  if (fault_ != nullptr && fault_->enabled()) {
+    per_access = per_access * fault_->mc_slowdown(mc, sim_.now());
+  }
   return per_access * n_accesses;
 }
 

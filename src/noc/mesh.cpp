@@ -21,12 +21,27 @@ SimTime MeshModel::transfer(SimTime start, TileCoord from, TileCoord to,
   const auto route = topo_.route(from, to);
   const SimTime serialisation =
       SimTime::sec(bytes / cfg_.link_bandwidth_bytes_per_sec);
+  const bool faulty = fault_ != nullptr && fault_->enabled();
   // Injection router always charges once, even for a local (same-tile) hop.
-  SimTime t = start + cfg_.router_latency;
+  SimTime t = start + (faulty ? cfg_.router_latency *
+                                    fault_->router_slowdown(topo_.tile_at(from), start)
+                              : cfg_.router_latency);
   for (const LinkId& link : route) {
     const auto idx = static_cast<std::size_t>(topo_.link_index(link));
     const SimTime before = t;
-    t = links_[idx].acquire(t, serialisation) + cfg_.router_latency;
+    SimTime service = serialisation;
+    SimTime hop_latency = cfg_.router_latency;
+    if (faulty) {
+      // A message at a dead link waits the outage out (link-layer
+      // retransmission at degraded timing — delivery stays guaranteed);
+      // a degraded link stretches serialisation; a degraded router
+      // stretches the per-hop forwarding latency.
+      t = fault_->link_available(static_cast<int>(idx), t);
+      service = service * fault_->link_slowdown(static_cast<int>(idx), t);
+      hop_latency = hop_latency *
+                    fault_->router_slowdown(topo_.tile_at(link.from), t);
+    }
+    t = links_[idx].acquire(t, service) + hop_latency;
     LinkTraffic& tr = traffic_[idx];
     ++tr.messages;
     tr.bytes += bytes;

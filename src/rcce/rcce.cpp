@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace sccpipe {
 
@@ -14,8 +15,27 @@ int RcceComm::chunk_count(double bytes) const {
   return static_cast<int>(std::ceil(bytes / cfg_.mpb_chunk_bytes));
 }
 
+RcceComm::StatusCallback RcceComm::require_ok(Callback cb, const char* what) {
+  return [cb = std::move(cb), what](const Status& s) mutable {
+    SCCPIPE_CHECK_MSG(s.ok(), "unhandled RCCE fault in " << what << ": "
+                                  << s.to_string());
+    cb();
+  };
+}
+
 void RcceComm::send(CoreId from, CoreId to, double bytes,
                     Callback on_complete) {
+  SCCPIPE_CHECK(on_complete != nullptr);
+  send(from, to, bytes, require_ok(std::move(on_complete), "send"));
+}
+
+void RcceComm::recv(CoreId to, CoreId from, Callback on_complete) {
+  SCCPIPE_CHECK(on_complete != nullptr);
+  recv(to, from, require_ok(std::move(on_complete), "recv"));
+}
+
+void RcceComm::send(CoreId from, CoreId to, double bytes,
+                    StatusCallback on_complete) {
   SCCPIPE_CHECK(chip_.topology().valid_core(from));
   SCCPIPE_CHECK(chip_.topology().valid_core(to));
   SCCPIPE_CHECK_MSG(from != to, "RCCE send to self (core " << from << ")");
@@ -25,7 +45,7 @@ void RcceComm::send(CoreId from, CoreId to, double bytes,
   const Key key{from, to};
   auto& rq = recvs_[key];
   if (!rq.empty()) {
-    Callback receiver_done = std::move(rq.front());
+    StatusCallback receiver_done = std::move(rq.front());
     rq.pop_front();
     start_transfer(from, to, bytes, std::move(on_complete),
                    std::move(receiver_done));
@@ -34,7 +54,7 @@ void RcceComm::send(CoreId from, CoreId to, double bytes,
   sends_[key].push_back(PendingSend{bytes, std::move(on_complete)});
 }
 
-void RcceComm::recv(CoreId to, CoreId from, Callback on_complete) {
+void RcceComm::recv(CoreId to, CoreId from, StatusCallback on_complete) {
   SCCPIPE_CHECK(chip_.topology().valid_core(from));
   SCCPIPE_CHECK(chip_.topology().valid_core(to));
   SCCPIPE_CHECK(on_complete != nullptr);
@@ -52,48 +72,107 @@ void RcceComm::recv(CoreId to, CoreId from, Callback on_complete) {
 }
 
 void RcceComm::start_transfer(CoreId from, CoreId to, double bytes,
-                              Callback sender_done, Callback receiver_done) {
-  // Stage 1: sender software overhead + per-chunk handshakes.
+                              StatusCallback sender_done,
+                              StatusCallback receiver_done) {
+  attempt_transfer(from, to, bytes, 1, chip_.sim().now(),
+                   std::move(sender_done), std::move(receiver_done));
+}
+
+/// Stages 4-5 of a delivered payload: receiver software overhead, then the
+/// bounce into the receiver's DRAM partition (§VI-A).
+void RcceComm::finish_delivery(CoreId to, double bytes,
+                               StatusCallback sender_done,
+                               StatusCallback receiver_done) {
+  const double recv_cycles =
+      cfg_.recv_overhead_cycles + cfg_.per_chunk_cycles * chunk_count(bytes);
+  chip_.compute(to, recv_cycles, [this, to, bytes, sd = std::move(sender_done),
+                                  rd = std::move(receiver_done)]() mutable {
+    auto finish = [this, sd = std::move(sd), rd = std::move(rd)]() mutable {
+      ++delivered_;
+      // Sender unblocks first (its ack returns), then the receiver
+      // proceeds with the data.
+      sd(Status{});
+      rd(Status{});
+    };
+    if (cfg_.local_memory_banks) {
+      // Data lands directly in the receiver's local bank.
+      finish();
+    } else {
+      chip_.dram_stream(to, bytes, std::move(finish));
+    }
+  });
+}
+
+void RcceComm::attempt_transfer(CoreId from, CoreId to, double bytes,
+                                int attempt, SimTime first_attempt_at,
+                                StatusCallback sender_done,
+                                StatusCallback receiver_done) {
+  // Stage 1: sender software overhead + per-chunk handshakes (paid again on
+  // every retransmission — the whole protocol round restarts).
   const double sender_cycles =
       cfg_.send_overhead_cycles + cfg_.per_chunk_cycles * chunk_count(bytes);
-  chip_.compute(from, sender_cycles, [this, from, to, bytes,
+  chip_.compute(from, sender_cycles, [this, from, to, bytes, attempt,
+                                      first_attempt_at,
                                       sd = std::move(sender_done),
                                       rd = std::move(receiver_done)]() mutable {
     // Stage 2: sender streams the source buffer out of its own partition.
     // With hypothetical local memory banks (ablation) the source already
     // sits in the sender's local store — skip the partition read.
-    auto after_source = [this, from, to, bytes, sd = std::move(sd),
-                         rd = std::move(rd)]() mutable {
-      // Stage 3: payload crosses the mesh.
+    auto after_source = [this, from, to, bytes, attempt, first_attempt_at,
+                         sd = std::move(sd), rd = std::move(rd)]() mutable {
+      // Stage 3: payload crosses the mesh. The fault layer may lose or
+      // delay it here; the mesh contention state advances either way (the
+      // flits occupied the links up to the faulty point).
       const MeshTopology& topo = chip_.topology();
       const SimTime now = chip_.sim().now();
       const SimTime mesh_done = chip_.mesh().transfer(
           now, topo.core_coord(from), topo.core_coord(to), bytes);
-      chip_.sim().schedule_at(mesh_done, [this, to, bytes, sd = std::move(sd),
-                                          rd = std::move(rd)]() mutable {
-        // Stage 4: receiver software overhead.
-        const double recv_cycles =
-            cfg_.recv_overhead_cycles +
-            cfg_.per_chunk_cycles * chunk_count(bytes);
-        chip_.compute(to, recv_cycles, [this, to, bytes, sd = std::move(sd),
-                                        rd = std::move(rd)]() mutable {
-          auto finish = [this, sd = std::move(sd),
-                         rd = std::move(rd)]() mutable {
-            ++delivered_;
-            // Sender unblocks first (its ack returns), then the receiver
-            // proceeds with the data.
-            sd();
-            rd();
-          };
-          if (cfg_.local_memory_banks) {
-            // Data lands directly in the receiver's local bank.
-            finish();
-          } else {
-            // Stage 5: the bounce — data lands in the receiver's DRAM
-            // partition (the SCC reality, §VI-A).
-            chip_.dram_stream(to, bytes, std::move(finish));
-          }
-        });
+      SimTime extra = SimTime::zero();
+      const bool dropped =
+          fault_ != nullptr &&
+          fault_->rcce_message_fate(now, from, to, &extra);
+      if (!dropped) {
+        chip_.sim().schedule_at(mesh_done + extra,
+                                [this, to, bytes, sd = std::move(sd),
+                                 rd = std::move(rd)]() mutable {
+                                  finish_delivery(to, bytes, std::move(sd),
+                                                  std::move(rd));
+                                });
+        return;
+      }
+      // The payload is gone. The sender spins on the ack flag until its
+      // per-attempt timeout expires, then either retransmits after the
+      // backoff or gives up with a typed error to both endpoints.
+      const RetryPolicy& rp = cfg_.retry;
+      const SimTime detect = max(mesh_done, now + rp.timeout);
+      const bool budget_left = attempt < rp.max_attempts;
+      const SimTime next_start =
+          detect + (budget_left ? rp.backoff_after(attempt) : SimTime::zero());
+      const bool deadline_ok =
+          rp.deadline.is_zero() ||
+          next_start - first_attempt_at <= rp.deadline;
+      if (budget_left && deadline_ok) {
+        chip_.sim().schedule_at(
+            next_start, [this, from, to, bytes, attempt, first_attempt_at,
+                         sd = std::move(sd), rd = std::move(rd)]() mutable {
+              ++retransmissions_;
+              attempt_transfer(from, to, bytes, attempt + 1, first_attempt_at,
+                               std::move(sd), std::move(rd));
+            });
+        return;
+      }
+      std::ostringstream oss;
+      oss << "rcce " << from << "->" << to << " lost after " << attempt
+          << " attempt(s), " << (chip_.sim().now() - first_attempt_at).to_ms()
+          << " ms since rendezvous";
+      const Status failure{budget_left ? StatusCode::DeadlineExceeded
+                                       : StatusCode::RetriesExhausted,
+                           oss.str()};
+      chip_.sim().schedule_at(detect, [this, failure, sd = std::move(sd),
+                                       rd = std::move(rd)]() mutable {
+        ++transfers_failed_;
+        sd(failure);
+        rd(failure);
       });
     };
     if (cfg_.local_memory_banks) {

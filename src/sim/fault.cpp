@@ -1,0 +1,334 @@
+#include "sccpipe/sim/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+SimTime RetryPolicy::backoff_after(int failed_attempts) const {
+  SCCPIPE_CHECK(failed_attempts >= 1);
+  SimTime b = backoff;
+  for (int i = 1; i < failed_attempts; ++i) b = b * backoff_factor;
+  return b;
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::LinkDegrade: return "link-degrade";
+    case FaultKind::LinkDown: return "link-down";
+    case FaultKind::RouterDegrade: return "router-degrade";
+    case FaultKind::McDegrade: return "mc-degrade";
+    case FaultKind::McStall: return "mc-stall";
+    case FaultKind::RcceDrop: return "rcce-drop";
+    case FaultKind::RcceDelay: return "rcce-delay";
+    case FaultKind::HostDrop: return "host-drop";
+    case FaultKind::HostDelay: return "host-delay";
+  }
+  return "?";
+}
+
+bool FaultPlan::enabled() const {
+  return rcce_drop_rate > 0.0 || rcce_delay_rate > 0.0 ||
+         host_drop_rate > 0.0 || host_delay_rate > 0.0 ||
+         link_degrade_count > 0 || link_down_count > 0 ||
+         router_degrade_count > 0 || mc_degrade_count > 0 ||
+         mc_stall_count > 0;
+}
+
+namespace {
+
+/// "20ms" / "1.5s" / "800us" / "250ns" -> SimTime; false on junk.
+bool parse_time(const std::string& v, SimTime* out) {
+  char* end = nullptr;
+  const double num = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || num < 0.0) return false;
+  const std::string unit(end);
+  if (unit == "ns") {
+    *out = SimTime::ns(static_cast<std::int64_t>(num));
+  } else if (unit == "us") {
+    *out = SimTime::us(num);
+  } else if (unit == "ms" || unit.empty()) {
+    *out = SimTime::ms(num);  // bare numbers read as milliseconds
+  } else if (unit == "s") {
+    *out = SimTime::sec(num);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_rate(const std::string& v, double* out) {
+  char* end = nullptr;
+  const double num = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || num < 0.0 || num > 1.0) return false;
+  *out = num;
+  return true;
+}
+
+bool parse_count(const std::string& v, int* out) {
+  char* end = nullptr;
+  const long num = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || num < 0) return false;
+  *out = static_cast<int>(num);
+  return true;
+}
+
+/// "<count>:<factor>" for the degrade items; factor must be in (0, 1].
+bool parse_count_factor(const std::string& v, int* count, double* factor) {
+  const auto colon = v.find(':');
+  if (colon == std::string::npos) return parse_count(v, count);
+  if (!parse_count(v.substr(0, colon), count)) return false;
+  char* end = nullptr;
+  const std::string f = v.substr(colon + 1);
+  const double num = std::strtod(f.c_str(), &end);
+  if (end == f.c_str() || *end != '\0' || num <= 0.0 || num > 1.0) return false;
+  *factor = num;
+  return true;
+}
+
+/// "<rate>:<time>" for the delay items.
+bool parse_rate_time(const std::string& v, double* rate, SimTime* t) {
+  const auto colon = v.find(':');
+  if (colon == std::string::npos) return parse_rate(v, rate);
+  if (!parse_rate(v.substr(0, colon), rate)) return false;
+  return parse_time(v.substr(colon + 1), t);
+}
+
+}  // namespace
+
+bool FaultPlan::parse(const std::string& text, std::string* error) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t semi = text.find(';', pos);
+    if (semi == std::string::npos) semi = text.size();
+    const std::string item = text.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      if (error) *error = "fault-plan item '" + item + "' lacks '='";
+      return false;
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    bool ok = true;
+    if (key == "seed") {
+      char* end = nullptr;
+      seed = std::strtoull(val.c_str(), &end, 10);
+      ok = end != val.c_str() && *end == '\0';
+    } else if (key == "horizon") {
+      ok = parse_time(val, &horizon);
+    } else if (key == "window") {
+      ok = parse_time(val, &window);
+    } else if (key == "rcce-drop") {
+      ok = parse_rate(val, &rcce_drop_rate);
+    } else if (key == "rcce-delay") {
+      ok = parse_rate_time(val, &rcce_delay_rate, &rcce_delay);
+    } else if (key == "host-drop") {
+      ok = parse_rate(val, &host_drop_rate);
+    } else if (key == "host-delay") {
+      ok = parse_rate_time(val, &host_delay_rate, &host_delay);
+    } else if (key == "link-degrade") {
+      ok = parse_count_factor(val, &link_degrade_count, &link_degrade_factor);
+    } else if (key == "link-down") {
+      ok = parse_count(val, &link_down_count);
+    } else if (key == "router-degrade") {
+      ok = parse_count_factor(val, &router_degrade_count,
+                              &router_degrade_factor);
+    } else if (key == "mc-degrade") {
+      ok = parse_count_factor(val, &mc_degrade_count, &mc_degrade_factor);
+    } else if (key == "mc-stall") {
+      ok = parse_count(val, &mc_stall_count);
+    } else {
+      if (error) *error = "unknown fault-plan key '" + key + "'";
+      return false;
+    }
+    if (!ok) {
+      if (error) *error = "bad value for fault-plan key '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int link_count,
+                             int tile_count, int mc_count)
+    : plan_(plan),
+      enabled_(plan.enabled()),
+      rcce_rng_(SplitMix64{plan.seed ^ 0x72636365ULL}.next()),
+      host_rng_(SplitMix64{plan.seed ^ 0x686f7374ULL}.next()) {
+  if (!enabled_) return;
+  SCCPIPE_CHECK(link_count > 0 && tile_count > 0 && mc_count > 0);
+  SCCPIPE_CHECK(plan_.horizon > SimTime::zero());
+  SCCPIPE_CHECK(plan_.window > SimTime::zero());
+
+  // Window faults draw from their own stream so that changing a message
+  // rate never reshuffles the schedule (and vice versa).
+  Rng sched(SplitMix64{plan.seed ^ 0x77696e646f77ULL}.next());
+  const auto window_start = [&] {
+    const double span =
+        std::max(0.0, (plan_.horizon - plan_.window).to_sec());
+    return SimTime::sec(sched.uniform(0.0, span));
+  };
+  const auto add = [&](FaultKind kind, int count, int targets,
+                       double factor) {
+    for (int i = 0; i < count; ++i) {
+      FaultEvent ev;
+      ev.kind = kind;
+      ev.target = static_cast<int>(sched.below(
+          static_cast<std::uint64_t>(targets)));
+      ev.start = window_start();
+      ev.end = ev.start + plan_.window;
+      ev.factor = factor;
+      schedule_.push_back(ev);
+    }
+  };
+  add(FaultKind::LinkDegrade, plan_.link_degrade_count, link_count,
+      plan_.link_degrade_factor);
+  add(FaultKind::LinkDown, plan_.link_down_count, link_count, 1.0);
+  add(FaultKind::RouterDegrade, plan_.router_degrade_count, tile_count,
+      plan_.router_degrade_factor);
+  add(FaultKind::McDegrade, plan_.mc_degrade_count, mc_count,
+      plan_.mc_degrade_factor);
+  add(FaultKind::McStall, plan_.mc_stall_count, mc_count, 1.0);
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.target != b.target) return a.target < b.target;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+}
+
+SimTime FaultInjector::available_after(FaultKind kind, int target,
+                                       SimTime at) const {
+  SimTime t = at;
+  // Chained outages are rare and the schedule is tiny; a rescan after each
+  // adjustment handles overlapping windows exactly.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const FaultEvent& ev : schedule_) {
+      if (ev.kind == kind && ev.target == target && ev.start <= t &&
+          t < ev.end) {
+        t = ev.end;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+double FaultInjector::slowdown(FaultKind kind, int target, SimTime at) const {
+  double factor = 1.0;
+  for (const FaultEvent& ev : schedule_) {
+    if (ev.kind == kind && ev.target == target && ev.start <= at &&
+        at < ev.end) {
+      factor = std::min(factor, ev.factor);
+    }
+  }
+  return 1.0 / factor;
+}
+
+SimTime FaultInjector::link_available(int link_index, SimTime at) const {
+  if (!enabled_) return at;
+  return available_after(FaultKind::LinkDown, link_index, at);
+}
+
+double FaultInjector::link_slowdown(int link_index, SimTime at) const {
+  if (!enabled_) return 1.0;
+  return slowdown(FaultKind::LinkDegrade, link_index, at);
+}
+
+double FaultInjector::router_slowdown(int tile, SimTime at) const {
+  if (!enabled_) return 1.0;
+  return slowdown(FaultKind::RouterDegrade, tile, at);
+}
+
+SimTime FaultInjector::mc_available(int mc, SimTime at) const {
+  if (!enabled_) return at;
+  return available_after(FaultKind::McStall, mc, at);
+}
+
+double FaultInjector::mc_slowdown(int mc, SimTime at) const {
+  if (!enabled_) return 1.0;
+  return slowdown(FaultKind::McDegrade, mc, at);
+}
+
+bool FaultInjector::rcce_message_fate(SimTime at, int from, int to,
+                                      SimTime* extra_delay) {
+  *extra_delay = SimTime::zero();
+  if (!enabled_) return false;
+  // One draw per decision point keeps the stream aligned across runs.
+  if (plan_.rcce_drop_rate > 0.0 &&
+      rcce_rng_.uniform() < plan_.rcce_drop_rate) {
+    ++rcce_drops_;
+    FaultEvent ev;
+    ev.kind = FaultKind::RcceDrop;
+    ev.start = ev.end = at;
+    ev.target = from * 1000 + to;  // compact pair id for the trace
+    trace_.push_back(ev);
+    return true;
+  }
+  if (plan_.rcce_delay_rate > 0.0 &&
+      rcce_rng_.uniform() < plan_.rcce_delay_rate) {
+    ++rcce_delays_;
+    FaultEvent ev;
+    ev.kind = FaultKind::RcceDelay;
+    ev.start = ev.end = at;
+    ev.target = from * 1000 + to;
+    ev.extra = SimTime::sec(rcce_rng_.uniform() * plan_.rcce_delay.to_sec());
+    trace_.push_back(ev);
+    *extra_delay = ev.extra;
+  }
+  return false;
+}
+
+bool FaultInjector::host_message_fate(SimTime at, SimTime* extra_delay) {
+  *extra_delay = SimTime::zero();
+  if (!enabled_) return false;
+  if (plan_.host_drop_rate > 0.0 &&
+      host_rng_.uniform() < plan_.host_drop_rate) {
+    ++host_drops_;
+    FaultEvent ev;
+    ev.kind = FaultKind::HostDrop;
+    ev.start = ev.end = at;
+    trace_.push_back(ev);
+    return true;
+  }
+  if (plan_.host_delay_rate > 0.0 &&
+      host_rng_.uniform() < plan_.host_delay_rate) {
+    ++host_delays_;
+    FaultEvent ev;
+    ev.kind = FaultKind::HostDelay;
+    ev.start = ev.end = at;
+    ev.extra = SimTime::sec(host_rng_.uniform() * plan_.host_delay.to_sec());
+    trace_.push_back(ev);
+    *extra_delay = ev.extra;
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const auto mix_event = [&](const FaultEvent& ev) {
+    mix(static_cast<std::uint64_t>(ev.kind));
+    mix(static_cast<std::uint64_t>(ev.start.to_ns()));
+    mix(static_cast<std::uint64_t>(ev.end.to_ns()));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(ev.target)));
+    mix(static_cast<std::uint64_t>(ev.factor * 1e9));
+    mix(static_cast<std::uint64_t>(ev.extra.to_ns()));
+  };
+  for (const FaultEvent& ev : schedule_) mix_event(ev);
+  for (const FaultEvent& ev : trace_) mix_event(ev);
+  return h;
+}
+
+}  // namespace sccpipe

@@ -150,5 +150,41 @@ TEST_P(DvfsSweep, HigherBlurFrequencyNeverSlower) {
 INSTANTIATE_TEST_SUITE_P(Frequencies, DvfsSweep,
                          ::testing::Values(400, 533, 800, 1066));
 
+// --------------------------------------------- chaos (fault injection)
+
+// Under random message loss on both the RCCE path and the host link, a
+// walkthrough with enough retry budget must still deliver every frame —
+// and deliver it pixel-identical to the fault-free run: the fault layer
+// may only ever cost time, never corrupt data.
+class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweep, DropsWithRetriesPreservePixels) {
+  RunConfig clean;
+  clean.scenario = Scenario::HostRenderer;  // exercises the host link too
+  clean.pipelines = 3;
+  clean.functional = true;
+  const RunResult ref = run_walkthrough(shared_scene(), shared_trace(), clean);
+  ASSERT_EQ(ref.frames.size(), 8u);
+
+  RunConfig chaos = clean;
+  chaos.fault.seed = GetParam();
+  chaos.fault.rcce_drop_rate = 0.25;
+  chaos.fault.rcce_delay_rate = 0.2;
+  chaos.fault.host_drop_rate = 0.1;
+  chaos.rcce.retry.max_attempts = 16;  // loss^16 is negligible
+  chaos.rcce.retry.timeout = SimTime::ms(2);
+  const RunResult r = run_walkthrough(shared_scene(), shared_trace(), chaos);
+
+  ASSERT_FALSE(r.fault.failed) << r.fault.failure;
+  EXPECT_GT(r.fault.rcce_drops, 0u);  // the run was actually under fire
+  ASSERT_EQ(r.frames.size(), ref.frames.size());
+  for (std::size_t i = 0; i < ref.frames.size(); ++i) {
+    EXPECT_TRUE(r.frames[i] == ref.frames[i]) << "frame " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99991u));
+
 }  // namespace
 }  // namespace sccpipe

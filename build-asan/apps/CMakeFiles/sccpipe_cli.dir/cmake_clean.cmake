@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_cli.dir/sccpipe_cli.cpp.o"
+  "CMakeFiles/sccpipe_cli.dir/sccpipe_cli.cpp.o.d"
+  "sccpipe"
+  "sccpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

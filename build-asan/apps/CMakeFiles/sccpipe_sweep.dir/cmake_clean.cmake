@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_sweep.dir/sccpipe_sweep.cpp.o"
+  "CMakeFiles/sccpipe_sweep.dir/sccpipe_sweep.cpp.o.d"
+  "sccpipe_sweep"
+  "sccpipe_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_arrangements"
+  "../bench/ablation_arrangements.pdb"
+  "CMakeFiles/ablation_arrangements.dir/ablation_arrangements.cpp.o"
+  "CMakeFiles/ablation_arrangements.dir/ablation_arrangements.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arrangements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

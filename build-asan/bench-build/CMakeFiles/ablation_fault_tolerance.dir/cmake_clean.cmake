@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fault_tolerance"
+  "../bench/ablation_fault_tolerance.pdb"
+  "CMakeFiles/ablation_fault_tolerance.dir/ablation_fault_tolerance.cpp.o"
+  "CMakeFiles/ablation_fault_tolerance.dir/ablation_fault_tolerance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_local_store"
+  "../bench/ablation_local_store.pdb"
+  "CMakeFiles/ablation_local_store.dir/ablation_local_store.cpp.o"
+  "CMakeFiles/ablation_local_store.dir/ablation_local_store.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

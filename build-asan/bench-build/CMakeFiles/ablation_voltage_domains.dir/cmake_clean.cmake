@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_voltage_domains"
+  "../bench/ablation_voltage_domains.pdb"
+  "CMakeFiles/ablation_voltage_domains.dir/ablation_voltage_domains.cpp.o"
+  "CMakeFiles/ablation_voltage_domains.dir/ablation_voltage_domains.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_voltage_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

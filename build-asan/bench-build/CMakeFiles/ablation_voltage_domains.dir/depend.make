@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_voltage_domains.
+# This may be replaced when dependencies are built.

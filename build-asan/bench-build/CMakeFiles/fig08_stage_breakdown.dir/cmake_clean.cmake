@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_stage_breakdown"
+  "../bench/fig08_stage_breakdown.pdb"
+  "CMakeFiles/fig08_stage_breakdown.dir/fig08_stage_breakdown.cpp.o"
+  "CMakeFiles/fig08_stage_breakdown.dir/fig08_stage_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_stage_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

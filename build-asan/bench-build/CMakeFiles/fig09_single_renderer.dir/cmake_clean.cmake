@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_single_renderer"
+  "../bench/fig09_single_renderer.pdb"
+  "CMakeFiles/fig09_single_renderer.dir/fig09_single_renderer.cpp.o"
+  "CMakeFiles/fig09_single_renderer.dir/fig09_single_renderer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_single_renderer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

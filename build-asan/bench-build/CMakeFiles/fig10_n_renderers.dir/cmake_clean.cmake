@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_n_renderers"
+  "../bench/fig10_n_renderers.pdb"
+  "CMakeFiles/fig10_n_renderers.dir/fig10_n_renderers.cpp.o"
+  "CMakeFiles/fig10_n_renderers.dir/fig10_n_renderers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_n_renderers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

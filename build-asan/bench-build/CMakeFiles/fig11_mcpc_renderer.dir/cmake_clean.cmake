@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_mcpc_renderer"
+  "../bench/fig11_mcpc_renderer.pdb"
+  "CMakeFiles/fig11_mcpc_renderer.dir/fig11_mcpc_renderer.cpp.o"
+  "CMakeFiles/fig11_mcpc_renderer.dir/fig11_mcpc_renderer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mcpc_renderer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_image_sizes"
+  "../bench/fig12_image_sizes.pdb"
+  "CMakeFiles/fig12_image_sizes.dir/fig12_image_sizes.cpp.o"
+  "CMakeFiles/fig12_image_sizes.dir/fig12_image_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_image_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

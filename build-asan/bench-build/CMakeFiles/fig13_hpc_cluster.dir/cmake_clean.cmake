@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_hpc_cluster"
+  "../bench/fig13_hpc_cluster.pdb"
+  "CMakeFiles/fig13_hpc_cluster.dir/fig13_hpc_cluster.cpp.o"
+  "CMakeFiles/fig13_hpc_cluster.dir/fig13_hpc_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hpc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

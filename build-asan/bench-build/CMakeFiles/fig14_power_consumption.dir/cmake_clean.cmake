@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_power_consumption"
+  "../bench/fig14_power_consumption.pdb"
+  "CMakeFiles/fig14_power_consumption.dir/fig14_power_consumption.cpp.o"
+  "CMakeFiles/fig14_power_consumption.dir/fig14_power_consumption.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_power_consumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_idle_times"
+  "../bench/fig15_idle_times.pdb"
+  "CMakeFiles/fig15_idle_times.dir/fig15_idle_times.cpp.o"
+  "CMakeFiles/fig15_idle_times.dir/fig15_idle_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_idle_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

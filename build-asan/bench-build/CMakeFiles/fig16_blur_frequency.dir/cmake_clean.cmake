@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_blur_frequency"
+  "../bench/fig16_blur_frequency.pdb"
+  "CMakeFiles/fig16_blur_frequency.dir/fig16_blur_frequency.cpp.o"
+  "CMakeFiles/fig16_blur_frequency.dir/fig16_blur_frequency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_blur_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

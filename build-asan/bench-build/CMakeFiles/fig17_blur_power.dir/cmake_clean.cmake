@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_blur_power"
+  "../bench/fig17_blur_power.pdb"
+  "CMakeFiles/fig17_blur_power.dir/fig17_blur_power.cpp.o"
+  "CMakeFiles/fig17_blur_power.dir/fig17_blur_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_blur_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_filters"
+  "../bench/micro_filters.pdb"
+  "CMakeFiles/micro_filters.dir/micro_filters.cpp.o"
+  "CMakeFiles/micro_filters.dir/micro_filters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

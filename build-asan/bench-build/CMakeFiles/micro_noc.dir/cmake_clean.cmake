@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_noc"
+  "../bench/micro_noc.pdb"
+  "CMakeFiles/micro_noc.dir/micro_noc.cpp.o"
+  "CMakeFiles/micro_noc.dir/micro_noc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

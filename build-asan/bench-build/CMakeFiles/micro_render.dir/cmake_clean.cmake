@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_render"
+  "../bench/micro_render.pdb"
+  "CMakeFiles/micro_render.dir/micro_render.cpp.o"
+  "CMakeFiles/micro_render.dir/micro_render.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_bench_common.dir/common.cpp.o"
+  "CMakeFiles/sccpipe_bench_common.dir/common.cpp.o.d"
+  "libsccpipe_bench_common.a"
+  "libsccpipe_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

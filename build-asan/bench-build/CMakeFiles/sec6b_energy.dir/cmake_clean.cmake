@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec6b_energy"
+  "../bench/sec6b_energy.pdb"
+  "CMakeFiles/sec6b_energy.dir/sec6b_energy.cpp.o"
+  "CMakeFiles/sec6b_energy.dir/sec6b_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6b_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec6b_energy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_overview"
+  "../bench/table1_overview.pdb"
+  "CMakeFiles/table1_overview.dir/table1_overview.cpp.o"
+  "CMakeFiles/table1_overview.dir/table1_overview.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

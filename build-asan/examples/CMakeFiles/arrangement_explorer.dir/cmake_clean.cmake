@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrangement_explorer.dir/arrangement_explorer.cpp.o"
+  "CMakeFiles/arrangement_explorer.dir/arrangement_explorer.cpp.o.d"
+  "arrangement_explorer"
+  "arrangement_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrangement_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

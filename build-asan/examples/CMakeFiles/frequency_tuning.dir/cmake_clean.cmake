@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_tuning.dir/frequency_tuning.cpp.o"
+  "CMakeFiles/frequency_tuning.dir/frequency_tuning.cpp.o.d"
+  "frequency_tuning"
+  "frequency_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_offload.dir/heterogeneous_offload.cpp.o"
+  "CMakeFiles/heterogeneous_offload.dir/heterogeneous_offload.cpp.o.d"
+  "heterogeneous_offload"
+  "heterogeneous_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silent_film.dir/silent_film.cpp.o"
+  "CMakeFiles/silent_film.dir/silent_film.cpp.o.d"
+  "silent_film"
+  "silent_film.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silent_film.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for silent_film.
+# This may be replaced when dependencies are built.

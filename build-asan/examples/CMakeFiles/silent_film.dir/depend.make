@@ -1,0 +1,2 @@
+# Empty dependencies file for silent_film.
+# This may be replaced when dependencies are built.

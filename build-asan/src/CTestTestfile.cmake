@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sim")
+subdirs("noc")
+subdirs("mem")
+subdirs("scc")
+subdirs("rcce")
+subdirs("host")
+subdirs("geom")
+subdirs("scene")
+subdirs("render")
+subdirs("filters")
+subdirs("core")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_core.dir/channel.cpp.o"
+  "CMakeFiles/sccpipe_core.dir/channel.cpp.o.d"
+  "CMakeFiles/sccpipe_core.dir/placement.cpp.o"
+  "CMakeFiles/sccpipe_core.dir/placement.cpp.o.d"
+  "CMakeFiles/sccpipe_core.dir/stage.cpp.o"
+  "CMakeFiles/sccpipe_core.dir/stage.cpp.o.d"
+  "CMakeFiles/sccpipe_core.dir/timeline.cpp.o"
+  "CMakeFiles/sccpipe_core.dir/timeline.cpp.o.d"
+  "CMakeFiles/sccpipe_core.dir/walkthrough.cpp.o"
+  "CMakeFiles/sccpipe_core.dir/walkthrough.cpp.o.d"
+  "CMakeFiles/sccpipe_core.dir/workload.cpp.o"
+  "CMakeFiles/sccpipe_core.dir/workload.cpp.o.d"
+  "libsccpipe_core.a"
+  "libsccpipe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_filters.dir/filters.cpp.o"
+  "CMakeFiles/sccpipe_filters.dir/filters.cpp.o.d"
+  "CMakeFiles/sccpipe_filters.dir/image.cpp.o"
+  "CMakeFiles/sccpipe_filters.dir/image.cpp.o.d"
+  "libsccpipe_filters.a"
+  "libsccpipe_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/frustum.cpp" "src/geom/CMakeFiles/sccpipe_geom.dir/frustum.cpp.o" "gcc" "src/geom/CMakeFiles/sccpipe_geom.dir/frustum.cpp.o.d"
+  "/root/repo/src/geom/mat4.cpp" "src/geom/CMakeFiles/sccpipe_geom.dir/mat4.cpp.o" "gcc" "src/geom/CMakeFiles/sccpipe_geom.dir/mat4.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/support/CMakeFiles/sccpipe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

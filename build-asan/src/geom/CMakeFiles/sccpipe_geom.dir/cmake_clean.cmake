@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_geom.dir/frustum.cpp.o"
+  "CMakeFiles/sccpipe_geom.dir/frustum.cpp.o.d"
+  "CMakeFiles/sccpipe_geom.dir/mat4.cpp.o"
+  "CMakeFiles/sccpipe_geom.dir/mat4.cpp.o.d"
+  "libsccpipe_geom.a"
+  "libsccpipe_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_host.dir/host_cpu.cpp.o"
+  "CMakeFiles/sccpipe_host.dir/host_cpu.cpp.o.d"
+  "CMakeFiles/sccpipe_host.dir/host_link.cpp.o"
+  "CMakeFiles/sccpipe_host.dir/host_link.cpp.o.d"
+  "libsccpipe_host.a"
+  "libsccpipe_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

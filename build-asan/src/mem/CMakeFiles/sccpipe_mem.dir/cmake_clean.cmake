@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_mem.dir/cache.cpp.o"
+  "CMakeFiles/sccpipe_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/sccpipe_mem.dir/memory.cpp.o"
+  "CMakeFiles/sccpipe_mem.dir/memory.cpp.o.d"
+  "libsccpipe_mem.a"
+  "libsccpipe_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/mesh.cpp" "src/noc/CMakeFiles/sccpipe_noc.dir/mesh.cpp.o" "gcc" "src/noc/CMakeFiles/sccpipe_noc.dir/mesh.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/noc/CMakeFiles/sccpipe_noc.dir/topology.cpp.o" "gcc" "src/noc/CMakeFiles/sccpipe_noc.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/sccpipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/sccpipe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_noc.dir/mesh.cpp.o"
+  "CMakeFiles/sccpipe_noc.dir/mesh.cpp.o.d"
+  "CMakeFiles/sccpipe_noc.dir/topology.cpp.o"
+  "CMakeFiles/sccpipe_noc.dir/topology.cpp.o.d"
+  "libsccpipe_noc.a"
+  "libsccpipe_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

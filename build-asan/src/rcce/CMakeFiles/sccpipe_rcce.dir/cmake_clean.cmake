@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_rcce.dir/collectives.cpp.o"
+  "CMakeFiles/sccpipe_rcce.dir/collectives.cpp.o.d"
+  "CMakeFiles/sccpipe_rcce.dir/mpb.cpp.o"
+  "CMakeFiles/sccpipe_rcce.dir/mpb.cpp.o.d"
+  "CMakeFiles/sccpipe_rcce.dir/rcce.cpp.o"
+  "CMakeFiles/sccpipe_rcce.dir/rcce.cpp.o.d"
+  "libsccpipe_rcce.a"
+  "libsccpipe_rcce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_rcce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sccpipe_rcce.
+# This may be replaced when dependencies are built.

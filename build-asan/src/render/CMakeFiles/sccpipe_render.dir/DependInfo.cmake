@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/rasterizer.cpp" "src/render/CMakeFiles/sccpipe_render.dir/rasterizer.cpp.o" "gcc" "src/render/CMakeFiles/sccpipe_render.dir/rasterizer.cpp.o.d"
+  "/root/repo/src/render/renderer.cpp" "src/render/CMakeFiles/sccpipe_render.dir/renderer.cpp.o" "gcc" "src/render/CMakeFiles/sccpipe_render.dir/renderer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/scene/CMakeFiles/sccpipe_scene.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/filters/CMakeFiles/sccpipe_filters.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/sccpipe_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/sccpipe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

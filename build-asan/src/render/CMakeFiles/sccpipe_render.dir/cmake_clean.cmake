@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_render.dir/rasterizer.cpp.o"
+  "CMakeFiles/sccpipe_render.dir/rasterizer.cpp.o.d"
+  "CMakeFiles/sccpipe_render.dir/renderer.cpp.o"
+  "CMakeFiles/sccpipe_render.dir/renderer.cpp.o.d"
+  "libsccpipe_render.a"
+  "libsccpipe_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_scc.dir/chip.cpp.o"
+  "CMakeFiles/sccpipe_scc.dir/chip.cpp.o.d"
+  "CMakeFiles/sccpipe_scc.dir/dvfs.cpp.o"
+  "CMakeFiles/sccpipe_scc.dir/dvfs.cpp.o.d"
+  "CMakeFiles/sccpipe_scc.dir/power.cpp.o"
+  "CMakeFiles/sccpipe_scc.dir/power.cpp.o.d"
+  "libsccpipe_scc.a"
+  "libsccpipe_scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

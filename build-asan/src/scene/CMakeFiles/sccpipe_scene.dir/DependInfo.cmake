@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/camera.cpp" "src/scene/CMakeFiles/sccpipe_scene.dir/camera.cpp.o" "gcc" "src/scene/CMakeFiles/sccpipe_scene.dir/camera.cpp.o.d"
+  "/root/repo/src/scene/city.cpp" "src/scene/CMakeFiles/sccpipe_scene.dir/city.cpp.o" "gcc" "src/scene/CMakeFiles/sccpipe_scene.dir/city.cpp.o.d"
+  "/root/repo/src/scene/mesh.cpp" "src/scene/CMakeFiles/sccpipe_scene.dir/mesh.cpp.o" "gcc" "src/scene/CMakeFiles/sccpipe_scene.dir/mesh.cpp.o.d"
+  "/root/repo/src/scene/octree.cpp" "src/scene/CMakeFiles/sccpipe_scene.dir/octree.cpp.o" "gcc" "src/scene/CMakeFiles/sccpipe_scene.dir/octree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/geom/CMakeFiles/sccpipe_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/filters/CMakeFiles/sccpipe_filters.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/sccpipe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

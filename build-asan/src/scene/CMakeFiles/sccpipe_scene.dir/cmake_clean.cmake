@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_scene.dir/camera.cpp.o"
+  "CMakeFiles/sccpipe_scene.dir/camera.cpp.o.d"
+  "CMakeFiles/sccpipe_scene.dir/city.cpp.o"
+  "CMakeFiles/sccpipe_scene.dir/city.cpp.o.d"
+  "CMakeFiles/sccpipe_scene.dir/mesh.cpp.o"
+  "CMakeFiles/sccpipe_scene.dir/mesh.cpp.o.d"
+  "CMakeFiles/sccpipe_scene.dir/octree.cpp.o"
+  "CMakeFiles/sccpipe_scene.dir/octree.cpp.o.d"
+  "libsccpipe_scene.a"
+  "libsccpipe_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

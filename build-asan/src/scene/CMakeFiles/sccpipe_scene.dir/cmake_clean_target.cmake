@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsccpipe_scene.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fair_share.cpp" "src/sim/CMakeFiles/sccpipe_sim.dir/fair_share.cpp.o" "gcc" "src/sim/CMakeFiles/sccpipe_sim.dir/fair_share.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/sccpipe_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/sccpipe_sim.dir/fault.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/sim/CMakeFiles/sccpipe_sim.dir/resource.cpp.o" "gcc" "src/sim/CMakeFiles/sccpipe_sim.dir/resource.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/sccpipe_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/sccpipe_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/sccpipe_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/sccpipe_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/support/CMakeFiles/sccpipe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

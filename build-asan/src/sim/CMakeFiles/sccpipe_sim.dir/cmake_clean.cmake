@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_sim.dir/fair_share.cpp.o"
+  "CMakeFiles/sccpipe_sim.dir/fair_share.cpp.o.d"
+  "CMakeFiles/sccpipe_sim.dir/fault.cpp.o"
+  "CMakeFiles/sccpipe_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/sccpipe_sim.dir/resource.cpp.o"
+  "CMakeFiles/sccpipe_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/sccpipe_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sccpipe_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sccpipe_sim.dir/trace.cpp.o"
+  "CMakeFiles/sccpipe_sim.dir/trace.cpp.o.d"
+  "libsccpipe_sim.a"
+  "libsccpipe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/args.cpp" "src/support/CMakeFiles/sccpipe_support.dir/args.cpp.o" "gcc" "src/support/CMakeFiles/sccpipe_support.dir/args.cpp.o.d"
+  "/root/repo/src/support/check.cpp" "src/support/CMakeFiles/sccpipe_support.dir/check.cpp.o" "gcc" "src/support/CMakeFiles/sccpipe_support.dir/check.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/support/CMakeFiles/sccpipe_support.dir/log.cpp.o" "gcc" "src/support/CMakeFiles/sccpipe_support.dir/log.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/support/CMakeFiles/sccpipe_support.dir/stats.cpp.o" "gcc" "src/support/CMakeFiles/sccpipe_support.dir/stats.cpp.o.d"
+  "/root/repo/src/support/status.cpp" "src/support/CMakeFiles/sccpipe_support.dir/status.cpp.o" "gcc" "src/support/CMakeFiles/sccpipe_support.dir/status.cpp.o.d"
+  "/root/repo/src/support/svg_plot.cpp" "src/support/CMakeFiles/sccpipe_support.dir/svg_plot.cpp.o" "gcc" "src/support/CMakeFiles/sccpipe_support.dir/svg_plot.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/sccpipe_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/sccpipe_support.dir/table.cpp.o.d"
+  "/root/repo/src/support/time.cpp" "src/support/CMakeFiles/sccpipe_support.dir/time.cpp.o" "gcc" "src/support/CMakeFiles/sccpipe_support.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

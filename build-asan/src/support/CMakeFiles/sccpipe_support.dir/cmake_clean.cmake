@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sccpipe_support.dir/args.cpp.o"
+  "CMakeFiles/sccpipe_support.dir/args.cpp.o.d"
+  "CMakeFiles/sccpipe_support.dir/check.cpp.o"
+  "CMakeFiles/sccpipe_support.dir/check.cpp.o.d"
+  "CMakeFiles/sccpipe_support.dir/log.cpp.o"
+  "CMakeFiles/sccpipe_support.dir/log.cpp.o.d"
+  "CMakeFiles/sccpipe_support.dir/stats.cpp.o"
+  "CMakeFiles/sccpipe_support.dir/stats.cpp.o.d"
+  "CMakeFiles/sccpipe_support.dir/status.cpp.o"
+  "CMakeFiles/sccpipe_support.dir/status.cpp.o.d"
+  "CMakeFiles/sccpipe_support.dir/svg_plot.cpp.o"
+  "CMakeFiles/sccpipe_support.dir/svg_plot.cpp.o.d"
+  "CMakeFiles/sccpipe_support.dir/table.cpp.o"
+  "CMakeFiles/sccpipe_support.dir/table.cpp.o.d"
+  "CMakeFiles/sccpipe_support.dir/time.cpp.o"
+  "CMakeFiles/sccpipe_support.dir/time.cpp.o.d"
+  "libsccpipe_support.a"
+  "libsccpipe_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sccpipe_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpb_test.dir/mpb_test.cpp.o"
+  "CMakeFiles/mpb_test.dir/mpb_test.cpp.o.d"
+  "mpb_test"
+  "mpb_test.pdb"
+  "mpb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_validation_test.dir/paper_validation_test.cpp.o"
+  "CMakeFiles/paper_validation_test.dir/paper_validation_test.cpp.o.d"
+  "paper_validation_test"
+  "paper_validation_test.pdb"
+  "paper_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

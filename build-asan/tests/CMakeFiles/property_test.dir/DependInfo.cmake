@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/sccpipe_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rcce/CMakeFiles/sccpipe_rcce.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/host/CMakeFiles/sccpipe_host.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/scc/CMakeFiles/sccpipe_scc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/render/CMakeFiles/sccpipe_render.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/scene/CMakeFiles/sccpipe_scene.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/filters/CMakeFiles/sccpipe_filters.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/sccpipe_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/sccpipe_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/noc/CMakeFiles/sccpipe_noc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/sccpipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/sccpipe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcce_test.dir/rcce_test.cpp.o"
+  "CMakeFiles/rcce_test.dir/rcce_test.cpp.o.d"
+  "rcce_test"
+  "rcce_test.pdb"
+  "rcce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

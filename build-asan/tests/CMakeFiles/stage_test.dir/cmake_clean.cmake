@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_test.dir/stage_test.cpp.o"
+  "CMakeFiles/stage_test.dir/stage_test.cpp.o.d"
+  "stage_test"
+  "stage_test.pdb"
+  "stage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_plot_test.dir/svg_plot_test.cpp.o"
+  "CMakeFiles/svg_plot_test.dir/svg_plot_test.cpp.o.d"
+  "svg_plot_test"
+  "svg_plot_test.pdb"
+  "svg_plot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_plot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

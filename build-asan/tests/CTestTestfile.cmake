@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/support_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/svg_plot_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/noc_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mem_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/scc_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/rcce_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mpb_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/host_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/geom_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/scene_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/render_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/filters_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/placement_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/stage_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/channel_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/timeline_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/workload_cache_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/walkthrough_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/paper_validation_test[1]_include.cmake")

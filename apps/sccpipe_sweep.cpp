@@ -3,15 +3,28 @@
 // scene/workload and emits a CSV, one row per run. The building block for
 // custom studies beyond the fixed paper harnesses.
 //
+// Runs execute in parallel on --jobs worker threads (default: all host
+// cores; SCCPIPE_JOBS overrides). Each run is an independent deterministic
+// simulation and rows print in grid order, so the CSV is byte-identical
+// at every job count.
+//
 //   $ sccpipe_sweep --pipelines 1-7 --frames 400 > sweep.csv
 //   $ sccpipe_sweep --scenarios mcpc,n-rend --platforms scc --pipelines 2-5
+//   $ sccpipe_sweep --jobs 1 > a.csv && sccpipe_sweep --jobs 8 > b.csv
+//   $ cmp a.csv b.csv   # identical
+//
+// Unless --bench-json none, a machine-readable perf record (wall-clock,
+// events/sec, jobs used, per-run timings) is written for cross-PR
+// comparison.
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "sccpipe/core/walkthrough.hpp"
+#include "sccpipe/exec/executor.hpp"
 #include "sccpipe/support/args.hpp"
 
 using namespace sccpipe;
@@ -44,6 +57,57 @@ std::vector<int> parse_range(const std::string& s) {
   return out;
 }
 
+struct GridRun {
+  RunConfig cfg;
+  std::string platform_label;
+  double wall_sec = 0.0;  // host wall-clock of this run (perf record only)
+  RunResult result;
+};
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void write_bench_json(const std::string& path, int jobs, double wall_sec,
+                      const std::vector<GridRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[sweep] cannot write %s\n", path.c_str());
+    return;
+  }
+  std::uint64_t events = 0;
+  for (const GridRun& r : runs) events += r.result.events_dispatched;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"sccpipe-bench-sweep-v1\",\n");
+  std::fprintf(f, "  \"tool\": \"sccpipe_sweep\",\n");
+  std::fprintf(f, "  \"jobs\": %d,\n", jobs);
+  std::fprintf(f, "  \"runs\": %zu,\n", runs.size());
+  std::fprintf(f, "  \"wall_clock_s\": %.3f,\n", wall_sec);
+  std::fprintf(f, "  \"events_dispatched\": %llu,\n",
+               static_cast<unsigned long long>(events));
+  std::fprintf(f, "  \"events_per_sec\": %.0f,\n",
+               wall_sec > 0.0 ? static_cast<double>(events) / wall_sec : 0.0);
+  std::fprintf(f, "  \"grid\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const GridRun& r = runs[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"arrangement\": \"%s\", "
+        "\"platform\": \"%s\", \"pipelines\": %d, \"walkthrough_s\": %.3f, "
+        "\"events\": %llu, \"wall_s\": %.3f}%s\n",
+        scenario_name(r.cfg.scenario), arrangement_name(r.cfg.arrangement),
+        r.platform_label.c_str(), r.cfg.pipelines,
+        r.result.walkthrough.to_sec(),
+        static_cast<unsigned long long>(r.result.events_dispatched),
+        r.wall_sec, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[sweep] perf record written: %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,6 +120,13 @@ int main(int argc, char** argv) {
   args.add_flag("pipelines", "range, e.g. 1-7 or 2,4,6", "1-7");
   args.add_flag("frames", "walkthrough length", "400");
   args.add_flag("size", "frame side length", "400");
+  args.add_flag("jobs",
+                "parallel runs (0 = all cores; env SCCPIPE_JOBS overrides "
+                "the default)",
+                "0");
+  args.add_flag("bench-json",
+                "perf record path, or 'none' to disable",
+                "BENCH_sweep.json");
   args.add_flag("help", "show this help", "false");
   if (!args.parse(argc, argv) || args.get_bool("help")) {
     std::fprintf(stderr, "%s%s", args.error().empty() ? "" :
@@ -67,17 +138,20 @@ int main(int argc, char** argv) {
   const std::vector<int> pipeline_list = parse_range(args.get("pipelines"));
   int max_k = 1;
   for (const int k : pipeline_list) max_k = std::max(max_k, k);
+  int jobs = args.get_int("jobs");
+  if (jobs <= 0) jobs = exec::default_jobs();
 
   const int frames = args.get_int("frames");
   const int size = args.get_int("size");
   std::fprintf(stderr, "[sweep] scene + trace (%d frames, %dx%d, max k %d)\n",
                frames, size, size, max_k);
   SceneBundle scene(CityParams{}, CameraConfig{}, size, frames);
-  const WorkloadTrace trace = WorkloadTrace::build(scene, max_k);
+  const WorkloadTrace trace =
+      WorkloadTrace::build(scene, max_k, exec::trace_runner(jobs));
 
-  std::printf("scenario,arrangement,platform,pipelines,walkthrough_s,"
-              "mean_watts,chip_energy_j,host_busy_s,host_extra_j,"
-              "blur_wait_med_ms\n");
+  // Expand the grid up front; the runs are independent deterministic
+  // simulations, so they execute in parallel and report in grid order.
+  std::vector<GridRun> runs;
   for (const std::string& sc : split_csv(args.get("scenarios"))) {
     Scenario scenario;
     if (sc == "1-rend") {
@@ -108,23 +182,49 @@ int main(int argc, char** argv) {
         const PlatformKind platform =
             pf == "cluster" ? PlatformKind::Cluster : PlatformKind::Scc;
         for (const int k : pipeline_list) {
-          RunConfig cfg;
-          cfg.scenario = scenario;
-          cfg.arrangement = arrangement;
-          cfg.platform = platform;
-          cfg.pipelines = k;
-          const RunResult r = run_walkthrough(scene, trace, cfg);
-          const StageReport* blur = r.stage(StageKind::Blur, 0);
-          std::printf("%s,%s,%s,%d,%.3f,%.2f,%.1f,%.3f,%.1f,%.2f\n",
-                      scenario_name(scenario), arrangement_name(arrangement),
-                      pf.c_str(), k, r.walkthrough.to_sec(),
-                      r.mean_chip_watts, r.chip_energy_joules,
-                      r.host_busy_sec, r.host_extra_energy_joules,
-                      blur ? blur->wait_ms.median : 0.0);
-          std::fflush(stdout);
+          GridRun gr;
+          gr.cfg.scenario = scenario;
+          gr.cfg.arrangement = arrangement;
+          gr.cfg.platform = platform;
+          gr.cfg.pipelines = k;
+          gr.platform_label = pf;
+          runs.push_back(std::move(gr));
         }
       }
     }
+  }
+
+  std::fprintf(stderr, "[sweep] %zu runs on %d jobs\n", runs.size(), jobs);
+  const double t0 = now_sec();
+  exec::parallel_for(jobs, runs.size(), [&](std::size_t i) {
+    const double rt0 = now_sec();
+    runs[i].result = run_walkthrough(scene, trace, runs[i].cfg);
+    runs[i].wall_sec = now_sec() - rt0;
+  });
+  const double wall = now_sec() - t0;
+
+  std::printf("scenario,arrangement,platform,pipelines,walkthrough_s,"
+              "mean_watts,chip_energy_j,host_busy_s,host_extra_j,"
+              "blur_wait_med_ms\n");
+  for (const GridRun& gr : runs) {
+    const RunResult& r = gr.result;
+    const StageReport* blur = r.stage(StageKind::Blur, 0);
+    std::printf("%s,%s,%s,%d,%.3f,%.2f,%.1f,%.3f,%.1f,%.2f\n",
+                scenario_name(gr.cfg.scenario),
+                arrangement_name(gr.cfg.arrangement),
+                gr.platform_label.c_str(), gr.cfg.pipelines,
+                r.walkthrough.to_sec(), r.mean_chip_watts,
+                r.chip_energy_joules, r.host_busy_sec,
+                r.host_extra_energy_joules,
+                blur ? blur->wait_ms.median : 0.0);
+  }
+  std::fflush(stdout);
+  std::fprintf(stderr, "[sweep] %zu runs in %.2f s wall (%d jobs)\n",
+               runs.size(), wall, jobs);
+
+  const std::string json = args.get("bench-json");
+  if (!json.empty() && json != "none") {
+    write_bench_json(json, jobs, wall, runs);
   }
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "common.hpp"
 
@@ -35,9 +36,11 @@ int main() {
                               "memory controllers):");
     TextTable table({"link bandwidth", "unordered [s]", "ordered [s]",
                      "flipped [s]", "max spread [%]"});
-    for (const double bw : {8.0e9, 1.0e8, 4.0e7, 1.5e7, 6.0e6}) {
-      double secs[3];
-      int i = 0;
+    // Whole block as one batch (5 bandwidths x 3 arrangements) through the
+    // parallel executor; results come back in config order.
+    const std::vector<double> bws = {8.0e9, 1.0e8, 4.0e7, 1.5e7, 6.0e6};
+    std::vector<RunConfig> cfgs;
+    for (const double bw : bws) {
       for (const Arrangement a : {Arrangement::Unordered,
                                   Arrangement::Ordered, Arrangement::Flipped}) {
         RunConfig cfg;
@@ -46,19 +49,22 @@ int main() {
         cfg.arrangement = a;
         cfg.overrides.link_bandwidth_bytes_per_sec = bw;
         cfg.rcce.local_memory_banks = local_banks;
-        secs[i++] = run_seconds(cfg);
+        cfgs.push_back(cfg);
       }
+    }
+    const std::vector<double> all_secs = run_batch_seconds(cfgs);
+    for (std::size_t row = 0; row < bws.size(); ++row) {
+      const double* secs = &all_secs[row * 3];
       const double lo = std::min({secs[0], secs[1], secs[2]});
       const double hi = std::max({secs[0], secs[1], secs[2]});
       char label[32];
-      std::snprintf(label, sizeof label, "%.0f MB/s", bw / 1e6);
+      std::snprintf(label, sizeof label, "%.0f MB/s", bws[row] / 1e6);
       table.row()
           .add(label)
           .add(secs[0], 1)
           .add(secs[1], 1)
           .add(secs[2], 1)
           .add(100.0 * (hi - lo) / lo, 1);
-      std::fflush(stdout);
     }
     std::printf("%s\n", table.to_string().c_str());
   }

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "sccpipe/exec/executor.hpp"
+
 namespace sccpipe::bench {
 
 World::World() {
@@ -20,8 +22,8 @@ World::World() {
   // on disk so the second and later binaries start instantly.
   std::string cache = ".sccpipe_workload.cache";
   if (const char* env = std::getenv("SCCPIPE_TRACE_CACHE")) cache = env;
-  trace_ = std::make_unique<WorkloadTrace>(
-      WorkloadTrace::build_cached(*scene_, 8, cache));
+  trace_ = std::make_unique<WorkloadTrace>(WorkloadTrace::build_cached(
+      *scene_, 8, cache, exec::trace_runner()));
   std::fprintf(stderr, "[bench] scene ready: %zu triangles, octree %zu nodes\n",
                scene_->mesh().size(), scene_->octree().node_count());
 }
@@ -36,8 +38,25 @@ RunResult run(const RunConfig& cfg) {
   return run_walkthrough(w.scene(), w.trace(), cfg);
 }
 
+std::vector<RunResult> run_batch(const std::vector<RunConfig>& cfgs) {
+  // Force the build on this thread so the workers share a finished,
+  // immutable world (and its disk-cache write happens exactly once).
+  const World& w = World::instance();
+  return exec::run_grid(w.scene(), w.trace(), cfgs);
+}
+
 double run_seconds(const RunConfig& cfg) {
   return run(cfg).walkthrough.to_sec() * World::instance().scale();
+}
+
+std::vector<double> run_batch_seconds(const std::vector<RunConfig>& cfgs) {
+  const double scale = World::instance().scale();
+  std::vector<double> secs;
+  secs.reserve(cfgs.size());
+  for (const RunResult& r : run_batch(cfgs)) {
+    secs.push_back(r.walkthrough.to_sec() * scale);
+  }
+  return secs;
 }
 
 void print_banner(const std::string& experiment, const std::string& summary) {
@@ -62,16 +81,21 @@ void add_sweep_rows(TextTable& table, const SweepSpec& spec, int max_k,
   sim_series.color = color;
   sim_series.label = spec.label + " (sim)";
   table.row().add(spec.label + " (sim)");
+  std::vector<RunConfig> cfgs;
   for (int k = 1; k <= max_k; ++k) {
     RunConfig cfg;
     cfg.scenario = spec.scenario;
     cfg.arrangement = spec.arrangement;
     cfg.platform = spec.platform;
     cfg.pipelines = k;
-    const double secs = run_seconds(cfg);
-    table.add(secs, 1);
+    cfgs.push_back(cfg);
+  }
+  const std::vector<double> secs = run_batch_seconds(cfgs);
+  for (int k = 1; k <= max_k; ++k) {
+    const double s = secs[static_cast<std::size_t>(k - 1)];
+    table.add(s, 1);
     sim_series.x.push_back(k);
-    sim_series.y.push_back(secs);
+    sim_series.y.push_back(s);
   }
   if (plot) plot->add_series(sim_series);
   if (!spec.paper_seconds.empty()) {

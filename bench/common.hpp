@@ -21,7 +21,10 @@
 
 namespace sccpipe::bench {
 
-/// The paper's workload, built lazily and shared within a binary.
+/// The paper's workload, built once and shared read-only within a binary.
+/// instance() is safe to call from executor worker threads (C++ magic
+/// statics serialise the build), but run_batch() forces the build on the
+/// calling thread first so workers only ever see the immutable world.
 class World {
  public:
   static const World& instance();
@@ -43,8 +46,17 @@ class World {
 /// Run one timed walkthrough on the shared world and return the result.
 RunResult run(const RunConfig& cfg);
 
+/// Run a batch of independent walkthroughs on the shared world across
+/// exec::default_jobs() worker threads (SCCPIPE_JOBS overrides). Results
+/// come back in config order, bit-identical to running serially — see
+/// exec/executor.hpp for the determinism guarantee.
+std::vector<RunResult> run_batch(const std::vector<RunConfig>& cfgs);
+
 /// Walkthrough seconds, scaled to 400 frames.
 double run_seconds(const RunConfig& cfg);
+
+/// run_batch, reduced to scaled walkthrough seconds per config.
+std::vector<double> run_batch_seconds(const std::vector<RunConfig>& cfgs);
 
 /// Standard header block for a harness: which figure/table, what the paper
 /// reports, what we print.

@@ -7,8 +7,10 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "common.hpp"
+#include "sccpipe/exec/executor.hpp"
 
 using namespace sccpipe;
 using namespace sccpipe::bench;
@@ -26,15 +28,22 @@ int main() {
                "image side length [px]", "time in sec");
   PlotSeries series;
   series.label = "sim";
-  for (const int side : {50, 100, 150, 200, 250, 300, 350, 400}) {
-    // Per-size scene: same city and path, different frame resolution.
-    SceneBundle scene(CityParams{}, CameraConfig{}, side, frames);
-    WorkloadTrace trace = WorkloadTrace::build(scene, 1);
-    RunConfig cfg;
-    cfg.scenario = Scenario::HostRenderer;
-    cfg.pipelines = 1;
-    const RunResult r = run_walkthrough(scene, trace, cfg);
-    const double secs = r.walkthrough.to_sec() * scale;
+  const std::vector<int> sides = {50, 100, 150, 200, 250, 300, 350, 400};
+  // Each size needs its own scene + trace (same city and path, different
+  // frame resolution), so the whole build+run chain parallelises per side;
+  // results come back in side order regardless of the job count.
+  const std::vector<double> times = exec::parallel_map<double>(
+      0, sides.size(), [&](std::size_t i) {
+        SceneBundle scene(CityParams{}, CameraConfig{}, sides[i], frames);
+        const WorkloadTrace trace = WorkloadTrace::build(scene, 1);
+        RunConfig cfg;
+        cfg.scenario = Scenario::HostRenderer;
+        cfg.pipelines = 1;
+        return run_walkthrough(scene, trace, cfg).walkthrough.to_sec() * scale;
+      });
+  for (std::size_t i = 0; i < sides.size(); ++i) {
+    const int side = sides[i];
+    const double secs = times[i];
     const double kb = side * side * 4.0 / 1024.0;
     table.row()
         .add(side)
@@ -43,7 +52,6 @@ int main() {
         .add(secs / (kb / 100.0), 2);
     series.x.push_back(side);
     series.y.push_back(secs);
-    std::fflush(stdout);
   }
   plot.add_series(std::move(series));
   std::printf("%s\n", table.to_string().c_str());

@@ -19,12 +19,15 @@ int main() {
   RunConfig hybrid;
   hybrid.scenario = Scenario::HostRenderer;
   hybrid.pipelines = 5;
-  const RunResult h = run(hybrid);
 
   RunConfig allscc;
   allscc.scenario = Scenario::RendererPerPipeline;
   allscc.pipelines = 7;
-  const RunResult s = run(allscc);
+
+  // Both systems simulate concurrently on the parallel executor.
+  const std::vector<RunResult> results = run_batch({hybrid, allscc});
+  const RunResult& h = results[0];
+  const RunResult& s = results[1];
 
   TextTable table({"system", "time [s]", "SCC mean [W]", "SCC E [J]",
                    "host busy [s]", "host extra E [J]", "total E [J]",

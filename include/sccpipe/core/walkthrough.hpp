@@ -147,6 +147,10 @@ struct RunResult {
 
   std::vector<double> frame_done_ms;  ///< viewer arrival time per frame
 
+  /// Simulator events dispatched for this run (perf accounting: the
+  /// sweep's BENCH_sweep.json derives events/sec from it).
+  std::uint64_t events_dispatched = 0;
+
   /// Functional runs only: the assembled final frames, in order.
   std::vector<Image> frames;
 

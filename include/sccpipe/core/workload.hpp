@@ -6,6 +6,7 @@
 /// and projected coverage for every frame at every strip count, measured
 /// once by the real culling code, and the discrete-event model prices them.
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -52,8 +53,17 @@ class SceneBundle {
 /// Render workload for every (frame, strip) pair at strip counts 1..max_k.
 class WorkloadTrace {
  public:
+  /// Optional parallelism hook for build(): invoked as for_each(n, fn) and
+  /// must call fn(i) exactly once for every i in [0, n) before returning
+  /// (any order, any thread — frames write disjoint slices, and the result
+  /// is bit-identical to a serial build). exec::trace_runner() adapts the
+  /// parallel executor to this shape; core itself stays thread-free.
+  using ForEachFrame =
+      std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
+
   /// Runs the estimation pass of the real renderer. O(frames * sum(k)).
-  static WorkloadTrace build(const SceneBundle& scene, int max_k);
+  static WorkloadTrace build(const SceneBundle& scene, int max_k,
+                             const ForEachFrame& for_each = {});
 
   /// Disk cache: build() is minutes of culling for the full paper
   /// workload, so benches persist the trace. The fingerprint (scene seed,
@@ -66,7 +76,8 @@ class WorkloadTrace {
 
   /// Load from cache or build and fill the cache.
   static WorkloadTrace build_cached(const SceneBundle& scene, int max_k,
-                                    const std::string& cache_path);
+                                    const std::string& cache_path,
+                                    const ForEachFrame& for_each = {});
 
   int frame_count() const { return frames_; }
   int max_k() const { return max_k_; }

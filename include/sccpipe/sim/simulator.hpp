@@ -8,10 +8,21 @@
 /// Determinism: events with equal timestamps are dispatched in scheduling
 /// order (a monotonically increasing sequence number breaks ties), so a
 /// given workload always produces bit-identical results.
+///
+/// Concurrency: a Simulator is strictly single-threaded. Parallel
+/// experiment execution (exec/executor.hpp) runs one independent Simulator
+/// per worker thread; instances share nothing.
+///
+/// Cancellation is O(1): every pending event owns a pooled slot recording
+/// the sequence number that currently occupies it. cancel() frees the slot
+/// without touching the heap; the heap entry becomes a tombstone that
+/// step() discards when it surfaces. When tombstones outnumber live events
+/// the heap is compacted in one O(n) pass, so retry/timeout-heavy
+/// workloads (most armed timeouts are cancelled, not dispatched) stay
+/// linear instead of quadratic.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sccpipe/support/time.hpp"
@@ -26,7 +37,9 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  EventHandle(std::uint32_t slot, std::uint64_t seq)
+      : slot_(slot), seq_(seq) {}
+  std::uint32_t slot_ = 0;
   std::uint64_t seq_ = 0;
 };
 
@@ -35,7 +48,7 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -49,7 +62,7 @@ class Simulator {
   EventHandle schedule_after(SimTime delay, Callback fn);
 
   /// Cancel a pending event. Returns false if it already ran, was already
-  /// cancelled, or the handle is empty.
+  /// cancelled, or the handle is empty. O(1).
   bool cancel(EventHandle handle);
 
   /// Dispatch the next event. Returns false when the queue is empty.
@@ -65,17 +78,17 @@ class Simulator {
   /// Number of events dispatched so far (for tests and sanity limits).
   std::uint64_t dispatched() const { return dispatched_; }
 
-  /// Number of events currently pending (cancelled events are counted until
-  /// their timestamp is reached and they are discarded).
+  /// Number of live (non-cancelled) events currently pending.
   std::size_t pending() const;
 
  private:
   struct Event {
     SimTime when;
     std::uint64_t seq;
-    Callback fn;  // empty when cancelled
+    std::uint32_t slot;
+    Callback fn;
 
-    // Min-heap on (when, seq) via std::priority_queue's max-heap comparator.
+    // Min-heap on (when, seq) via std::push_heap's max-heap comparator.
     friend bool operator<(const Event& a, const Event& b) {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
@@ -85,13 +98,22 @@ class Simulator {
   // priority_queue hides mutable access to top(); we manage our own heap so
   // we can move the callback out before invoking it.
   std::vector<Event> heap_;
-  std::vector<std::uint64_t> cancelled_;  // sorted-on-demand tombstones
+  // slot -> seq of the event occupying it (0 = free). A heap entry whose
+  // slot no longer records its seq is a tombstone.
+  std::vector<std::uint64_t> slot_seq_;
+  std::vector<std::uint32_t> free_slots_;  // slot pool (reused, never shrunk)
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
   std::size_t live_pending_ = 0;
+  std::size_t tombstones_ = 0;  // cancelled entries still in heap_
 
-  bool is_cancelled(std::uint64_t seq) const;
+  bool is_tombstone(const Event& ev) const {
+    return slot_seq_[ev.slot] != ev.seq;
+  }
+  void release_slot(std::uint32_t slot);
+  void compact_if_worthwhile();
+  void drop_front_tombstones();
 };
 
 }  // namespace sccpipe

@@ -2,8 +2,10 @@
 
 /// \file log.hpp
 /// Minimal severity-filtered logging to stderr. Benches run with Warn by
-/// default; tests raise the level to keep output clean. Not thread-safe by
-/// design: the simulator is single-threaded (determinism requirement).
+/// default; tests raise the level to keep output clean. The level is an
+/// atomic (the parallel executor's workers read it concurrently); emission
+/// is a single fprintf per message, so concurrent lines never interleave
+/// mid-line.
 
 #include <sstream>
 #include <string>

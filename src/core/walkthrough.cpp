@@ -663,6 +663,7 @@ class WalkthroughSim {
     }
     collect_fault_report(r);
     r.frames = std::move(out_frames_);
+    r.events_dispatched = sim_.dispatched();
     return r;
   }
 

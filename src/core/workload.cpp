@@ -116,12 +116,13 @@ std::optional<WorkloadTrace> WorkloadTrace::load(const std::string& path,
 }
 
 WorkloadTrace WorkloadTrace::build_cached(const SceneBundle& scene, int max_k,
-                                          const std::string& cache_path) {
+                                          const std::string& cache_path,
+                                          const ForEachFrame& for_each) {
   if (auto cached = load(cache_path, scene, max_k)) {
     SCCPIPE_INFO("workload trace loaded from " << cache_path);
     return std::move(*cached);
   }
-  WorkloadTrace trace = build(scene, max_k);
+  WorkloadTrace trace = build(scene, max_k, for_each);
   try {
     trace.save(cache_path, scene);
   } catch (const CheckError&) {
@@ -130,11 +131,16 @@ WorkloadTrace WorkloadTrace::build_cached(const SceneBundle& scene, int max_k,
   return trace;
 }
 
-WorkloadTrace WorkloadTrace::build(const SceneBundle& scene, int max_k) {
+WorkloadTrace WorkloadTrace::build(const SceneBundle& scene, int max_k,
+                                   const ForEachFrame& for_each) {
   WorkloadTrace trace(scene.frame_count(), max_k);
   const Renderer& renderer = scene.renderer();
   const int side = scene.image_side();
-  for (int frame = 0; frame < scene.frame_count(); ++frame) {
+  // Frames are independent (culling is const, each frame writes its own
+  // slice of loads_), so the estimation pass — the expensive part of every
+  // bench start-up — parallelises per frame when a runner is supplied.
+  const auto estimate_frame = [&](std::size_t f) {
+    const int frame = static_cast<int>(f);
     const Mat4 view = scene.path().view(frame);
     for (int k = 1; k <= max_k; ++k) {
       const auto strips = divide_rows(side, k);
@@ -147,6 +153,12 @@ WorkloadTrace WorkloadTrace::build(const SceneBundle& scene, int max_k) {
         load.projected_pixels = st.projected_pixels;
       }
     }
+  };
+  const std::size_t frames = static_cast<std::size_t>(scene.frame_count());
+  if (for_each) {
+    for_each(frames, estimate_frame);
+  } else {
+    for (std::size_t f = 0; f < frames; ++f) estimate_frame(f);
   }
   return trace;
 }

@@ -6,16 +6,33 @@
 
 namespace sccpipe {
 
+namespace {
+// Compaction threshold: rebuild the heap only once tombstones both dominate
+// the heap and are numerous enough that the O(n) pass amortises away.
+constexpr std::size_t kMinTombstonesForCompaction = 64;
+}  // namespace
+
+Simulator::Simulator() { heap_.reserve(1024); }
+
 EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
   SCCPIPE_CHECK_MSG(when >= now_, "schedule_at(" << when.to_string()
                                                  << ") is before now="
                                                  << now_.to_string());
   SCCPIPE_CHECK(fn != nullptr);
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Event{when, seq, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slot_seq_.size());
+    slot_seq_.push_back(0);
+  }
+  slot_seq_[slot] = seq;
+  heap_.push_back(Event{when, seq, slot, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end());
   ++live_pending_;
-  return EventHandle{seq};
+  return EventHandle{slot, seq};
 }
 
 EventHandle Simulator::schedule_after(SimTime delay, Callback fn) {
@@ -26,41 +43,56 @@ EventHandle Simulator::schedule_after(SimTime delay, Callback fn) {
 
 bool Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  if (handle.seq_ >= next_seq_) return false;
-  if (is_cancelled(handle.seq_)) return false;
-  // Only pending events can be cancelled; scan the heap to confirm the
-  // event still exists (it may have been dispatched already).
-  const auto it = std::find_if(heap_.begin(), heap_.end(),
-                               [&](const Event& e) { return e.seq == handle.seq_; });
-  if (it == heap_.end()) return false;
-  cancelled_.push_back(handle.seq_);
-  std::sort(cancelled_.begin(), cancelled_.end());
+  if (handle.slot_ >= slot_seq_.size()) return false;
+  // The slot records which seq currently occupies it; a mismatch means the
+  // event was dispatched or cancelled already (the slot may even have been
+  // reused by a newer event — seqs are unique, so the compare still works).
+  if (slot_seq_[handle.slot_] != handle.seq_) return false;
+  release_slot(handle.slot_);
   --live_pending_;
+  ++tombstones_;
+  compact_if_worthwhile();
   return true;
 }
 
-bool Simulator::is_cancelled(std::uint64_t seq) const {
-  return std::binary_search(cancelled_.begin(), cancelled_.end(), seq);
+void Simulator::release_slot(std::uint32_t slot) {
+  slot_seq_[slot] = 0;
+  free_slots_.push_back(slot);
+}
+
+void Simulator::compact_if_worthwhile() {
+  // Lazy compaction: tombstoned entries keep their (possibly capturing)
+  // callbacks alive and pad every sift. Once they are the majority, one
+  // O(n) filter + make_heap pass reclaims everything.
+  if (tombstones_ < kMinTombstonesForCompaction ||
+      tombstones_ * 2 < heap_.size()) {
+    return;
+  }
+  std::erase_if(heap_, [&](const Event& ev) { return is_tombstone(ev); });
+  std::make_heap(heap_.begin(), heap_.end());
+  tombstones_ = 0;
+}
+
+void Simulator::drop_front_tombstones() {
+  while (!heap_.empty() && is_tombstone(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+    --tombstones_;
+  }
 }
 
 bool Simulator::step() {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end());
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    if (is_cancelled(ev.seq)) {
-      cancelled_.erase(
-          std::remove(cancelled_.begin(), cancelled_.end(), ev.seq),
-          cancelled_.end());
-      continue;  // tombstone: skip without advancing dispatch count
-    }
-    now_ = ev.when;
-    --live_pending_;
-    ++dispatched_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  drop_front_tombstones();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end());
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  release_slot(ev.slot);
+  now_ = ev.when;
+  --live_pending_;
+  ++dispatched_;
+  ev.fn();
+  return true;
 }
 
 SimTime Simulator::run() {
@@ -70,10 +102,9 @@ SimTime Simulator::run() {
 }
 
 SimTime Simulator::run_until(SimTime deadline) {
-  while (!heap_.empty()) {
-    // Peek: the heap front is the earliest event.
-    const Event& front = heap_.front();
-    if (front.when > deadline) break;
+  for (;;) {
+    drop_front_tombstones();
+    if (heap_.empty() || heap_.front().when > deadline) break;
     step();
   }
   return now_;

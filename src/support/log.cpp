@@ -1,11 +1,14 @@
 #include "sccpipe/support/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace sccpipe {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Atomic: worker threads of the parallel executor read the level
+// concurrently (log.hpp); stores are rare (test setup only).
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,8 +23,10 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {

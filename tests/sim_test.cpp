@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <vector>
 
 #include "sccpipe/sim/fair_share.hpp"
@@ -84,6 +86,94 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   EXPECT_EQ(sim.pending(), 1u);
   sim.run();
   EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, StaleHandleAfterSlotReuseFails) {
+  // Cancelling frees the event's slot for reuse; a stale handle to the old
+  // occupant must not cancel the new one.
+  Simulator sim;
+  bool first = false, second = false;
+  auto h1 = sim.schedule_at(1_ms, [&] { first = true; });
+  EXPECT_TRUE(sim.cancel(h1));
+  auto h2 = sim.schedule_at(2_ms, [&] { second = true; });  // may reuse slot
+  EXPECT_FALSE(sim.cancel(h1));  // stale: must miss
+  sim.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+  EXPECT_TRUE(h2.valid());
+}
+
+TEST(Simulator, RunUntilSkipsCancelledFrontWithoutOverrunning) {
+  // A cancelled event earlier than the deadline must not cause run_until to
+  // dispatch a live event that lies beyond the deadline.
+  Simulator sim;
+  int count = 0;
+  auto h = sim.schedule_at(1_ms, [&] { ++count; });
+  sim.schedule_at(5_ms, [&] { ++count; });
+  sim.cancel(h);
+  sim.run_until(2_ms);
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, StressScheduleCancelCycles) {
+  // >10k schedule/cancel cycles modelled on the RCCE retry pattern: every
+  // transfer arms a timeout that is almost always cancelled when the reply
+  // beats it. The old implementation re-sorted the tombstone list per
+  // cancel (quadratic); this asserts correctness at a scale where that
+  // would dominate, and the ctest timeout catches any blow-up.
+  Simulator sim;
+  const int kCycles = 12000;
+  int replies = 0, timeouts = 0;
+  std::function<void(int)> transfer = [&](int i) {
+    if (i >= kCycles) return;
+    auto timeout = sim.schedule_after(10_ms, [&] { ++timeouts; });
+    sim.schedule_after(1_ms, [&, timeout, i] {
+      ++replies;
+      EXPECT_TRUE(sim.cancel(timeout));
+      transfer(i + 1);
+    });
+  };
+  transfer(0);
+  sim.run();
+  EXPECT_EQ(replies, kCycles);
+  EXPECT_EQ(timeouts, 0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.dispatched(), static_cast<std::uint64_t>(kCycles));
+  EXPECT_EQ(sim.now(), SimTime::ms(kCycles));
+}
+
+TEST(Simulator, StressMixedCancellationKeepsOrderAndCounts) {
+  // Bulk schedule + cancel every other event, across enough events to force
+  // several lazy compactions; survivors must still dispatch in (time, seq)
+  // order with exact pending/dispatched accounting.
+  Simulator sim;
+  const int kEvents = 20000;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  handles.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    // Colliding timestamps (i / 4) exercise the seq tie-break too.
+    handles.push_back(
+        sim.schedule_at(SimTime::us(i / 4), [&fired, i] { fired.push_back(i); }));
+  }
+  int cancelled = 0;
+  for (int i = 0; i < kEvents; i += 2) {
+    EXPECT_TRUE(sim.cancel(handles[static_cast<std::size_t>(i)]));
+    EXPECT_FALSE(sim.cancel(handles[static_cast<std::size_t>(i)]));
+    ++cancelled;
+  }
+  EXPECT_EQ(sim.pending(), static_cast<std::size_t>(kEvents - cancelled));
+  sim.run();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(kEvents - cancelled));
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  for (const int i : fired) EXPECT_EQ(i % 2, 1);
+  EXPECT_EQ(sim.dispatched(), static_cast<std::uint64_t>(kEvents - cancelled));
+  for (int i = 1; i < kEvents; i += 2) {
+    EXPECT_FALSE(sim.cancel(handles[static_cast<std::size_t>(i)]));
+  }
 }
 
 TEST(Simulator, EventsCanScheduleEvents) {

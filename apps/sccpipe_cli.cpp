@@ -63,6 +63,13 @@ int main(int argc, char** argv) {
                 "(grammar: docs/MODEL.md)", "");
   args.add_flag("fault-seed",
                 "fault schedule RNG seed (0 = keep the plan's seed)", "0");
+  args.add_flag("core-fail",
+                "fail-stop core fault(s), '<core>@<ms>' comma-separated, "
+                "e.g. '5@100,9@250'", "");
+  args.add_flag("heartbeat-ms", "supervisor heartbeat period [ms]", "10");
+  args.add_flag("detect-ms", "heartbeat silence declared a failure [ms]", "25");
+  args.add_flag("max-spares",
+                "spare cores recovery may consume (-1 = all)", "-1");
   args.add_flag("rcce-retries",
                 "transport attempts per message under fault injection", "1");
   args.add_flag("rcce-timeout-ms",
@@ -110,15 +117,37 @@ int main(int argc, char** argv) {
 
   const std::string fault_plan = args.get("fault-plan");
   if (!fault_plan.empty()) {
-    std::string err;
-    if (!cfg.fault.parse(fault_plan, &err)) {
-      std::fprintf(stderr, "error: bad --fault-plan: %s\n", err.c_str());
+    const Status st = cfg.fault.parse(fault_plan);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: bad --fault-plan: %s\n",
+                   st.message().c_str());
       return 2;
+    }
+  }
+  const std::string core_fail = args.get("core-fail");
+  if (!core_fail.empty()) {
+    std::size_t pos = 0;
+    while (pos <= core_fail.size()) {
+      const std::size_t comma = core_fail.find(',', pos);
+      const std::string item =
+          core_fail.substr(pos, comma == std::string::npos ? std::string::npos
+                                                           : comma - pos);
+      const Status st = cfg.fault.parse("core-fail=" + item);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: bad --core-fail: %s\n",
+                     st.message().c_str());
+        return 2;
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
     }
   }
   if (args.get_int("fault-seed") > 0) {
     cfg.fault.seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
   }
+  cfg.recovery.heartbeat_period = SimTime::ms(args.get_double("heartbeat-ms"));
+  cfg.recovery.detection_deadline = SimTime::ms(args.get_double("detect-ms"));
+  cfg.recovery.max_spares = args.get_int("max-spares");
   cfg.rcce.retry.max_attempts = args.get_int("rcce-retries");
   cfg.rcce.retry.timeout = SimTime::ms(args.get_double("rcce-timeout-ms"));
 
@@ -140,13 +169,20 @@ int main(int argc, char** argv) {
 
   if (args.get_bool("csv")) {
     std::printf("scenario,arrangement,platform,pipelines,frames,walkthrough_s,"
-                "mean_watts,chip_energy_j,host_busy_s,host_extra_j\n");
-    std::printf("%s,%s,%s,%d,%d,%.3f,%.2f,%.1f,%.3f,%.1f\n",
+                "mean_watts,chip_energy_j,host_busy_s,host_extra_j,"
+                "failures_detected,failures_recovered,frames_replayed,"
+                "frames_lost,spares_used,max_detect_ms,post_failure_fps\n");
+    std::printf("%s,%s,%s,%d,%d,%.3f,%.2f,%.1f,%.3f,%.1f,%d,%d,%d,%d,%d,"
+                "%.3f,%.3f\n",
                 scenario_name(cfg.scenario), arrangement_name(cfg.arrangement),
                 cfg.platform == PlatformKind::Scc ? "scc" : "cluster",
                 cfg.pipelines, frames, r.walkthrough.to_sec(),
                 r.mean_chip_watts, r.chip_energy_joules, r.host_busy_sec,
-                r.host_extra_energy_joules);
+                r.host_extra_energy_joules, r.recovery.failures_detected,
+                r.recovery.failures_recovered, r.recovery.frames_replayed,
+                r.recovery.frames_lost, r.recovery.spares_used,
+                r.recovery.max_detection_latency_ms,
+                r.recovery.post_failure_fps);
     return r.fault.failed ? 1 : 0;
   }
 
@@ -176,6 +212,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.fault.host_drops),
                 static_cast<unsigned long long>(r.fault.host_delays),
                 static_cast<unsigned long long>(r.fault.host_retransmissions));
+    if (r.fault.rcce_corrupts > 0 || r.fault.host_corrupts > 0) {
+      std::printf("  crc:  %llu rcce + %llu host payloads corrupted, all "
+                  "caught and retried\n",
+                  static_cast<unsigned long long>(r.fault.rcce_corrupts),
+                  static_cast<unsigned long long>(r.fault.host_corrupts));
+    }
     if (r.fault.failed) {
       std::printf("  RUN FAILED after %d/%d frames at %.3f s: %s\n",
                   r.fault.frames_completed, frames,
@@ -183,6 +225,38 @@ int main(int argc, char** argv) {
       for (const std::string& e : r.fault.stage_errors) {
         std::printf("    %s\n", e.c_str());
       }
+    }
+  }
+  if (r.recovery.enabled) {
+    std::printf("recovery:      %d failure(s) detected, %d recovered "
+                "(%d remap, %d degrade); max detection latency %.3f ms\n",
+                r.recovery.failures_detected, r.recovery.failures_recovered,
+                r.recovery.spares_used, r.recovery.pipelines_lost,
+                r.recovery.max_detection_latency_ms);
+    std::printf("  replay: %d frame(s) replayed, %d lost; checkpoints %llu "
+                "writes / %llu reads (%.0f KiB DRAM traffic)\n",
+                r.recovery.frames_replayed, r.recovery.frames_lost,
+                static_cast<unsigned long long>(r.recovery.checkpoint_writes),
+                static_cast<unsigned long long>(r.recovery.checkpoint_replays),
+                r.recovery.checkpoint_bytes / 1024.0);
+    std::printf("  liveness: %llu heartbeats (%.0f KiB mesh traffic)",
+                static_cast<unsigned long long>(r.recovery.heartbeats_sent),
+                r.recovery.heartbeat_bytes / 1024.0);
+    if (r.recovery.post_failure_fps > 0.0) {
+      std::printf("; post-failure throughput %.2f fps",
+                  r.recovery.post_failure_fps);
+    }
+    std::printf("\n");
+    for (const FailureRecord& f : r.recovery.failures) {
+      std::printf("  core %d (%s, pipeline %d) died %.3f s, detected +%.3f "
+                  "ms -> %s\n",
+                  f.core, stage_name(f.stage), f.pipeline,
+                  f.failed_at_ms / 1000.0, f.detection_latency_ms,
+                  f.degraded ? "degraded"
+                  : f.remapped_to >= 0
+                      ? ("remapped to core " + std::to_string(f.remapped_to))
+                            .c_str()
+                      : (f.recovered ? "no action needed" : "run failed"));
     }
   }
 

@@ -25,6 +25,7 @@
 
 #include "sccpipe/core/walkthrough.hpp"
 #include "sccpipe/exec/executor.hpp"
+#include "sccpipe/sim/fault.hpp"
 #include "sccpipe/support/args.hpp"
 
 using namespace sccpipe;
@@ -127,6 +128,17 @@ int main(int argc, char** argv) {
   args.add_flag("bench-json",
                 "perf record path, or 'none' to disable",
                 "BENCH_sweep.json");
+  args.add_flag("fault-plan",
+                "fault plan applied to every run (see sccpipe --help)", "");
+  args.add_flag("core-fail",
+                "fail-stop core(s): '<core>@<ms>' comma-separated, "
+                "e.g. '5@100,9@250'",
+                "");
+  args.add_flag("heartbeat-ms", "supervisor heartbeat period [ms]", "10");
+  args.add_flag("detect-ms", "heartbeat silence declared a failure [ms]",
+                "25");
+  args.add_flag("max-spares",
+                "spare cores the supervisor may promote (-1 = all)", "-1");
   args.add_flag("help", "show this help", "false");
   if (!args.parse(argc, argv) || args.get_bool("help")) {
     std::fprintf(stderr, "%s%s", args.error().empty() ? "" :
@@ -134,6 +146,30 @@ int main(int argc, char** argv) {
                  args.usage("sccpipe_sweep").c_str());
     return args.get_bool("help") ? 0 : 2;
   }
+
+  // One fault plan + recovery config shared by every grid point (the seed
+  // keeps each run deterministic regardless of worker interleaving).
+  FaultPlan fault;
+  if (!args.get("fault-plan").empty()) {
+    const Status st = fault.parse(args.get("fault-plan"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "[sweep] bad --fault-plan: %s\n",
+                   st.to_string().c_str());
+      return 2;
+    }
+  }
+  for (const std::string& item : split_csv(args.get("core-fail"))) {
+    const Status st = fault.parse("core-fail=" + item);
+    if (!st.ok()) {
+      std::fprintf(stderr, "[sweep] bad --core-fail: %s\n",
+                   st.to_string().c_str());
+      return 2;
+    }
+  }
+  RecoveryConfig recovery;
+  recovery.heartbeat_period = SimTime::ms(args.get_double("heartbeat-ms"));
+  recovery.detection_deadline = SimTime::ms(args.get_double("detect-ms"));
+  recovery.max_spares = args.get_int("max-spares");
 
   const std::vector<int> pipeline_list = parse_range(args.get("pipelines"));
   int max_k = 1;
@@ -187,6 +223,8 @@ int main(int argc, char** argv) {
           gr.cfg.arrangement = arrangement;
           gr.cfg.platform = platform;
           gr.cfg.pipelines = k;
+          gr.cfg.fault = fault;
+          gr.cfg.recovery = recovery;
           gr.platform_label = pf;
           runs.push_back(std::move(gr));
         }
@@ -205,18 +243,27 @@ int main(int argc, char** argv) {
 
   std::printf("scenario,arrangement,platform,pipelines,walkthrough_s,"
               "mean_watts,chip_energy_j,host_busy_s,host_extra_j,"
-              "blur_wait_med_ms\n");
+              "blur_wait_med_ms,failures_detected,failures_recovered,"
+              "frames_replayed,frames_lost,spares_used,max_detect_ms,"
+              "post_failure_fps\n");
   for (const GridRun& gr : runs) {
     const RunResult& r = gr.result;
     const StageReport* blur = r.stage(StageKind::Blur, 0);
-    std::printf("%s,%s,%s,%d,%.3f,%.2f,%.1f,%.3f,%.1f,%.2f\n",
+    std::printf("%s,%s,%s,%d,%.3f,%.2f,%.1f,%.3f,%.1f,%.2f,"
+                "%llu,%llu,%llu,%llu,%d,%.3f,%.2f\n",
                 scenario_name(gr.cfg.scenario),
                 arrangement_name(gr.cfg.arrangement),
                 gr.platform_label.c_str(), gr.cfg.pipelines,
                 r.walkthrough.to_sec(), r.mean_chip_watts,
                 r.chip_energy_joules, r.host_busy_sec,
                 r.host_extra_energy_joules,
-                blur ? blur->wait_ms.median : 0.0);
+                blur ? blur->wait_ms.median : 0.0,
+                static_cast<unsigned long long>(r.recovery.failures_detected),
+                static_cast<unsigned long long>(r.recovery.failures_recovered),
+                static_cast<unsigned long long>(r.recovery.frames_replayed),
+                static_cast<unsigned long long>(r.recovery.frames_lost),
+                r.recovery.spares_used, r.recovery.max_detection_latency_ms,
+                r.recovery.post_failure_fps);
   }
   std::fflush(stdout);
   std::fprintf(stderr, "[sweep] %zu runs in %.2f s wall (%d jobs)\n",

@@ -5,6 +5,12 @@
 // to show what reliability costs: each lost payload burns a detection
 // timeout plus a full protocol round, so walkthrough time grows with the
 // loss rate long before any transfer actually fails.
+//
+// Part two sweeps fail-stop core deaths (0-4 failed cores x failure time):
+// the supervisor detects each silence by heartbeat, remaps the dead stage
+// onto a spare core and replays the checkpointed frames, so the cost of
+// self-healing shows up as throughput degradation rather than a hang. The
+// rows land in BENCH_fault_recovery.json for cross-PR comparison.
 
 #include <cstdio>
 #include <vector>
@@ -13,6 +19,52 @@
 
 using namespace sccpipe;
 using namespace sccpipe::bench;
+
+namespace {
+
+void write_recovery_json(const std::vector<RunConfig>& cfgs,
+                         const std::vector<RunResult>& results,
+                         double clean_sec, double scale) {
+  const char* path = "BENCH_fault_recovery.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"sccpipe-bench-fault-recovery-v1\",\n");
+  std::fprintf(f, "  \"tool\": \"ablation_fault_tolerance\",\n");
+  std::fprintf(f, "  \"clean_walkthrough_s\": %.3f,\n", clean_sec);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    const double t = r.walkthrough.to_sec() * scale;
+    std::fprintf(
+        f,
+        "    {\"failed_cores\": %zu, \"fail_at_s\": %.3f, "
+        "\"walkthrough_s\": %.3f, \"slowdown_pct\": %.2f, "
+        "\"failures_detected\": %llu, \"frames_replayed\": %llu, "
+        "\"frames_lost\": %llu, \"spares_used\": %d, "
+        "\"max_detect_ms\": %.3f, \"post_failure_fps\": %.2f, "
+        "\"completed\": %s}%s\n",
+        cfgs[i].fault.core_failures.size(),
+        cfgs[i].fault.core_failures.empty()
+            ? 0.0
+            : cfgs[i].fault.core_failures.front().at.to_sec(),
+        t, clean_sec > 0.0 ? 100.0 * (t / clean_sec - 1.0) : 0.0,
+        static_cast<unsigned long long>(r.recovery.failures_detected),
+        static_cast<unsigned long long>(r.recovery.frames_replayed),
+        static_cast<unsigned long long>(r.recovery.frames_lost),
+        r.recovery.spares_used, r.recovery.max_detection_latency_ms,
+        r.recovery.post_failure_fps, r.fault.failed ? "false" : "true",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] recovery record written: %s\n", path);
+}
+
+}  // namespace
 
 int main() {
   print_banner(
@@ -59,5 +111,65 @@ int main() {
       "round (sender overhead, partition read, mesh crossing), so the\n"
       "slowdown grows faster than the raw loss rate; the retry budget\n"
       "(12 attempts here) keeps even the 20%% column completing.\n");
+
+  // ------------------------------------------------ core-failure sweep
+  std::printf(
+      "\nCore failures (fail-stop, heartbeat detection, remap + replay)\n");
+  RunConfig rbase;
+  rbase.scenario = Scenario::HostRenderer;
+  rbase.pipelines = 4;
+  rbase.fault.seed = 7;
+  const RunResult clean = run(rbase);
+  const double clean_sec = clean.walkthrough.to_sec() * scale;
+  // One victim stage core per pipeline, spread across the filter chain.
+  std::vector<CoreId> victims;
+  for (std::size_t p = 0; p < 4; ++p) {
+    victims.push_back(clean.placement.pipeline_cores[p][(p + 1) % 5]);
+  }
+
+  std::vector<RunConfig> rcfgs;
+  for (const double frac : {0.25, 0.6}) {
+    for (int n = 0; n <= 4; ++n) {
+      RunConfig cfg = rbase;
+      for (int i = 0; i < n; ++i) {
+        // Stagger the deaths slightly so each failure is detected and
+        // healed on its own rather than as one simultaneous burst.
+        cfg.fault.core_failures.push_back(
+            {victims[static_cast<std::size_t>(i)],
+             SimTime::ms(clean.walkthrough.to_ms() * frac * (1.0 + 0.05 * i))});
+      }
+      rcfgs.push_back(cfg);
+    }
+  }
+  const std::vector<RunResult> rresults = run_batch(rcfgs);
+
+  TextTable rtable({"failed cores", "fail at [s]", "walkthrough [s]",
+                    "slowdown [%]", "detected", "replayed", "lost", "spares",
+                    "post-fail fps", "outcome"});
+  for (std::size_t i = 0; i < rcfgs.size(); ++i) {
+    const RunResult& r = rresults[i];
+    const double t = r.walkthrough.to_sec() * scale;
+    rtable.row()
+        .add(static_cast<double>(rcfgs[i].fault.core_failures.size()), 0)
+        .add(rcfgs[i].fault.core_failures.empty()
+                 ? 0.0
+                 : rcfgs[i].fault.core_failures.front().at.to_sec(),
+             2)
+        .add(t, 2)
+        .add(clean_sec > 0.0 ? 100.0 * (t / clean_sec - 1.0) : 0.0, 1)
+        .add(static_cast<double>(r.recovery.failures_detected), 0)
+        .add(static_cast<double>(r.recovery.frames_replayed), 0)
+        .add(static_cast<double>(r.recovery.frames_lost), 0)
+        .add(static_cast<double>(r.recovery.spares_used), 0)
+        .add(r.recovery.post_failure_fps, 1)
+        .add(r.fault.failed ? "FAILED: " + r.fault.failure : "completed");
+  }
+  std::printf("%s\n", rtable.to_string().c_str());
+  std::printf(
+      "each death costs its detection deadline, the checkpoint re-reads\n"
+      "and the replayed strips; with spares on the chip the pipeline count\n"
+      "never shrinks, so throughput dips only while the replacement core\n"
+      "drains the backlog.\n");
+  write_recovery_json(rcfgs, rresults, clean_sec, scale);
   return 0;
 }

@@ -25,7 +25,16 @@ struct FrameToken {
   StripRange strip{};
   double bytes = 0.0;
   std::shared_ptr<Image> image;  ///< present only in functional runs
+  /// End-to-end CRC-32 over the header (and pixels, when functional),
+  /// stamped by Channel::send and verified at delivery. Transport-level
+  /// corruption (MessageFate::Corrupt) is caught *below* this layer by the
+  /// transports' own CRC check and retried, so a token that reaches a
+  /// consumer with a bad checksum is a simulator bug, not a modelled fault.
+  std::uint32_t crc = 0;
 };
+
+/// The checksum Channel implementations stamp into FrameToken::crc.
+std::uint32_t frame_token_crc(const FrameToken& token);
 
 class Channel {
  public:

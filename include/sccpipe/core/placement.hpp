@@ -40,8 +40,14 @@ struct Placement {
   std::vector<std::vector<CoreId>> pipeline_cores;
   CoreId producer = -1;  ///< single renderer / connect stage (if requested)
   CoreId transfer = -1;
+  /// Unassigned cores, in the order the Supervisor consumes them when a
+  /// stage core fail-stops and its pipeline is remapped (src/core/recovery).
+  /// Nearest leftover cores first (rest of the producer/transfer slot, then
+  /// whole unused slots), so a healed pipeline stays close to its row.
+  std::vector<CoreId> spare_cores;
 
-  /// All distinct cores in use.
+  /// All distinct cores in use (spares excluded — they idle unallocated
+  /// until a failure promotes them).
   std::vector<CoreId> all_cores() const;
 };
 

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file recovery.hpp
+/// Self-healing for fail-stop core faults: the Supervisor and the recovery
+/// report. The SCC has no hardware failure notification — a dead core is
+/// just *silent* — so liveness is inferred the way a real runtime would:
+///
+///   heartbeats  Every watched core sends a tiny datagram to the monitor
+///               core (the transfer stage's core, which already talks to
+///               every pipeline) once per heartbeat period. The packets
+///               ride the simulated mesh, so monitoring has a visible,
+///               deterministic traffic cost.
+///   deadline    The monitor scans its heartbeat table each period; a core
+///               whose last heartbeat is older than the detection deadline
+///               is declared fail-stopped and the failure handler runs.
+///               Worst-case detection latency is therefore bounded by
+///               deadline + 2 * period + one mesh transit.
+///
+/// What the handler (WalkthroughSim) does with a declared death — remap the
+/// pipeline onto a spare core and replay checkpointed frames, or degrade to
+/// fewer pipelines — is described in docs/MODEL.md §7. The Supervisor
+/// itself only detects; keeping it policy-free makes the detection latency
+/// independently testable (tests/recovery_test.cpp).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sccpipe/core/stage.hpp"
+#include "sccpipe/noc/topology.hpp"
+#include "sccpipe/scc/chip.hpp"
+#include "sccpipe/sim/fault.hpp"
+#include "sccpipe/support/time.hpp"
+
+namespace sccpipe {
+
+/// Tuning of the heartbeat/watchdog protocol and the remap policy.
+struct RecoveryConfig {
+  SimTime heartbeat_period = SimTime::ms(10);
+  /// Silence longer than this declares the core dead. Must comfortably
+  /// exceed one period plus a mesh transit, or healthy-but-congested cores
+  /// get declared dead spuriously.
+  SimTime detection_deadline = SimTime::ms(25);
+  double heartbeat_bytes = 64.0;  ///< one liveness datagram
+  /// Cap on how many spare cores a run may consume (-1 = all the placement
+  /// offers). 0 forces every failure down the degrade path — used by the
+  /// spare-exhaustion tests.
+  int max_spares = -1;
+};
+
+/// One detected fail-stop failure and what recovery did about it.
+struct FailureRecord {
+  int core = -1;
+  StageKind stage{};      ///< role the core played when it died
+  int pipeline = -1;      ///< -1 for producer/transfer/idle cores
+  double failed_at_ms = 0.0;    ///< planned death time (ground truth)
+  double detected_at_ms = 0.0;  ///< when the watchdog declared it dead
+  double detection_latency_ms = 0.0;
+  int remapped_to = -1;   ///< spare core that took over, or -1
+  bool degraded = false;  ///< pipeline dropped instead of remapped
+  bool recovered = false; ///< run continued past this failure
+};
+
+/// Aggregated recovery outcome, part of RunResult.
+struct RecoveryReport {
+  bool enabled = false;
+  int failures_detected = 0;
+  int failures_recovered = 0;
+  std::vector<FailureRecord> failures;
+  int frames_replayed = 0;  ///< checkpointed strips re-sent after a remap
+  int frames_lost = 0;      ///< frames abandoned by degraded pipelines
+  int spares_used = 0;
+  int pipelines_lost = 0;
+  std::uint64_t heartbeats_sent = 0;
+  double heartbeat_bytes = 0.0;       ///< mesh traffic spent on liveness
+  std::uint64_t checkpoint_writes = 0;
+  std::uint64_t checkpoint_replays = 0;
+  double checkpoint_bytes = 0.0;      ///< DRAM traffic spent on checkpoints
+  double max_detection_latency_ms = 0.0;
+  /// Delivered-frame throughput measured from the first detection to the
+  /// end of the run; 0 when nothing failed (or nothing followed).
+  double post_failure_fps = 0.0;
+};
+
+/// Heartbeat emitter + watchdog. Construction is passive; start() arms the
+/// periodic tick. All state lives in sorted vectors keyed by core id, so
+/// iteration order — and with it every mesh transfer and every detection —
+/// is deterministic.
+class Supervisor {
+ public:
+  /// (dead core, time the watchdog declared it dead)
+  using FailureHandler = std::function<void(CoreId, SimTime)>;
+
+  Supervisor(SccChip& chip, const FaultInjector& fault, RecoveryConfig cfg,
+             CoreId monitor_core);
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  const RecoveryConfig& config() const { return cfg_; }
+  CoreId monitor_core() const { return monitor_; }
+
+  /// Add \p core to the watched set (idempotent). Its heartbeat clock
+  /// starts at the current simulated time.
+  void watch(CoreId core);
+  /// Stop watching \p core (a declared-dead core is unwatched implicitly).
+  void unwatch(CoreId core);
+
+  /// Arm the periodic tick. \p on_failure runs from inside the tick, once
+  /// per declared death.
+  void start(FailureHandler on_failure);
+  /// Disarm; pending tick events are cancelled so the event queue drains.
+  void stop();
+  bool stopped() const { return stopped_; }
+
+  std::uint64_t heartbeats_sent() const { return heartbeats_; }
+  double heartbeat_bytes_total() const { return heartbeat_bytes_; }
+
+ private:
+  struct Watched {
+    CoreId core = -1;
+    SimTime last_heartbeat = SimTime::zero();
+  };
+
+  void tick();
+  Watched* find(CoreId core);
+
+  SccChip& chip_;
+  const FaultInjector& fault_;
+  RecoveryConfig cfg_;
+  CoreId monitor_;
+  FailureHandler on_failure_;
+  std::vector<Watched> watched_;  ///< sorted by core id
+  EventHandle tick_event_{};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::uint64_t heartbeats_ = 0;
+  double heartbeat_bytes_ = 0.0;
+};
+
+}  // namespace sccpipe

@@ -13,6 +13,7 @@
 #include "sccpipe/core/calibration.hpp"
 #include "sccpipe/core/channel.hpp"
 #include "sccpipe/core/placement.hpp"
+#include "sccpipe/core/recovery.hpp"
 #include "sccpipe/core/stage.hpp"
 #include "sccpipe/core/timeline.hpp"
 #include "sccpipe/core/workload.hpp"
@@ -81,6 +82,11 @@ struct RunConfig {
   /// and the host links).
   FaultPlan fault{};
 
+  /// Self-healing knobs (see core/recovery.hpp). Only consulted when the
+  /// fault plan schedules at least one core failure; otherwise no
+  /// Supervisor is built and the run stays bit-identical to PR-1 behaviour.
+  RecoveryConfig recovery{};
+
   /// Optional: record per-stage wait/process spans here (chrome://tracing
   /// export; see timeline.hpp). Must outlive the run.
   TimelineRecorder* timeline = nullptr;
@@ -125,6 +131,8 @@ struct FaultReport {
   std::uint64_t rcce_delays = 0;
   std::uint64_t host_drops = 0;
   std::uint64_t host_delays = 0;
+  std::uint64_t rcce_corrupts = 0;  ///< payloads mangled in flight (CRC-caught)
+  std::uint64_t host_corrupts = 0;
   std::uint64_t rcce_retransmissions = 0;
   std::uint64_t host_retransmissions = 0;
   std::uint64_t rcce_transfers_failed = 0;
@@ -156,6 +164,10 @@ struct RunResult {
 
   /// Fault-injection outcome (enabled == false for ordinary runs).
   FaultReport fault;
+
+  /// Self-healing outcome (enabled == false unless the plan scheduled a
+  /// core failure): detections, remaps, replay traffic, degradations.
+  RecoveryReport recovery;
 
   /// Convenience: wait summary of the first stage of the given kind.
   const StageReport* stage(StageKind kind, int pipeline = 0) const;

@@ -122,6 +122,14 @@ class RcceComm {
   /// or their deadline.
   std::uint64_t transfers_failed() const { return transfers_failed_; }
 
+  /// Drop every *unmatched* pending send and recv posted on the (from, to)
+  /// pair and return how many were discarded. The Supervisor uses this when
+  /// it tears a failed pipeline down: the dead incarnation's rendezvous
+  /// state must not pair with the healed incarnation's. Matched transfers
+  /// already in flight are not affected (their completions are ignored by
+  /// the caller via generation checks).
+  std::size_t abandon_pair(CoreId from, CoreId to);
+
  private:
   struct PendingSend {
     double bytes;
@@ -137,6 +145,12 @@ class RcceComm {
                         StatusCallback receiver_done);
   void finish_delivery(CoreId to, double bytes, StatusCallback sender_done,
                        StatusCallback receiver_done);
+  /// Shared retry-or-give-up tail for a lost or corrupted attempt. \p detect
+  /// is when the sender learns of the loss (timeout expiry for a drop, NACK
+  /// completion for a CRC failure); \p how labels the error message.
+  void resolve_loss(CoreId from, CoreId to, double bytes, int attempt,
+                    SimTime first_attempt_at, SimTime detect, const char* how,
+                    StatusCallback sender_done, StatusCallback receiver_done);
   /// Wrap a plain Callback into a StatusCallback that fails loudly.
   static StatusCallback require_ok(Callback cb, const char* what);
 

@@ -22,6 +22,8 @@
 
 namespace sccpipe {
 
+class FaultInjector;
+
 /// How finely the supply voltage can be set. Frequency is always per tile;
 /// the SCC's silicon couples voltage across 2x2-tile domains (8 cores, six
 /// domains per chip), while the paper reasons as if a single tile could be
@@ -112,6 +114,17 @@ class SccChip {
   const PowerMeter& power_meter() const { return meter_; }
   const PowerModel& power_model() const { return power_model_; }
 
+  // --- fail-stop faults ---------------------------------------------------
+  /// Attach the fault layer so cores can fail-stop (FaultPlan core-fail).
+  /// A dead core starts no new work: compute/memory_walk/dram_stream on it
+  /// silently drop their continuation, so everything waiting on the core
+  /// stalls — exactly the silence the Supervisor's heartbeat deadline is
+  /// built to detect. Work already in flight at death completes (the
+  /// schedule was committed); nullptr detaches.
+  void set_fault_injector(const FaultInjector* fault) { fault_ = fault; }
+  /// True when \p core has fail-stopped at the current simulated time.
+  bool core_dead(CoreId core) const;
+
   // --- timed execution ---------------------------------------------------
   /// Run \p ref_cycles of computation on \p core, then call \p on_done.
   /// The core is marked busy for the duration.
@@ -148,6 +161,7 @@ class SccChip {
   std::vector<int> tile_mhz_;             ///< requested frequency per tile
   std::vector<OperatingPoint> tile_points_;  ///< effective (freq, voltage)
   std::vector<CoreState> cores_;
+  const FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace sccpipe

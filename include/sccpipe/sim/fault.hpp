@@ -13,15 +13,23 @@
 ///                      serve at a fraction of its bandwidth for a window.
 ///   * RCCE (src/rcce) and host link (src/host) — an individual message
 ///                      can be dropped (lost in flight, triggering the
-///                      transport's timeout/retry machinery) or delayed.
+///                      transport's timeout/retry machinery), corrupted
+///                      (delivered but failing the CRC-32 integrity check
+///                      at the receiver, which NACKs and retries), or
+///                      delayed.
+///   * Cores (src/scc) — a core can fail-stop at a planned instant
+///                      (core-fail=<core>@<time>): it finishes nothing
+///                      after T, and the Supervisor (src/core/recovery)
+///                      detects the silence and heals the pipeline.
 ///
-/// Determinism: window faults are generated eagerly at construction, so
-/// the schedule is a pure function of the plan. Message fates draw from
-/// dedicated per-category RNG streams in event-dispatch order, which the
-/// single-threaded simulator makes reproducible — the same seed yields a
-/// bit-identical fault trace and therefore bit-identical simulated timing.
-/// Every consulted fault is appended to trace(); fingerprint() hashes the
-/// trace so two runs can be compared exactly (tests/fault_injection_test).
+/// Determinism: window faults and core failures are generated eagerly at
+/// construction, so the schedule is a pure function of the plan. Message
+/// fates draw from dedicated per-category RNG streams in event-dispatch
+/// order, which the single-threaded simulator makes reproducible — the
+/// same seed yields a bit-identical fault trace and therefore bit-identical
+/// simulated timing. Every consulted fault is appended to trace();
+/// fingerprint() hashes the trace so two runs can be compared exactly
+/// (tests/fault_injection_test).
 
 #include <cstdint>
 #include <string>
@@ -43,11 +51,16 @@ struct RetryPolicy {
   SimTime timeout = SimTime::ms(50);  ///< per-attempt loss-detection deadline
   SimTime backoff = SimTime::ms(1);   ///< backoff before the 2nd attempt
   double backoff_factor = 2.0;        ///< growth per further attempt
+  /// Ceiling for the exponential backoff; large attempt counts would
+  /// otherwise overflow the fixed-point SimTime long before the retry
+  /// budget runs out.
+  SimTime max_backoff = SimTime::sec(10);
   /// Hard per-transfer deadline measured from the first attempt; a retry
   /// that would start after it surfaces DeadlineExceeded. Zero = none.
   SimTime deadline = SimTime::zero();
 
-  /// Backoff to wait after the \p failed_attempts-th loss (1-based).
+  /// Backoff to wait after the \p failed_attempts-th loss (1-based),
+  /// capped at max_backoff.
   SimTime backoff_after(int failed_attempts) const;
 };
 
@@ -57,10 +70,13 @@ enum class FaultKind : std::uint8_t {
   RouterDegrade,  ///< router latency multiplied by 1/factor in window
   McDegrade,      ///< MC service time divided by `factor` in window
   McStall,        ///< MC admits no new flows during the window
+  CoreFail,       ///< fail-stop: core `target` dies at `start`, forever
   RcceDrop,       ///< decision record: an RCCE payload was lost
   RcceDelay,      ///< decision record: an RCCE payload was delayed
+  RcceCorrupt,    ///< decision record: an RCCE payload failed its CRC
   HostDrop,       ///< decision record: a host-link message was lost
   HostDelay,      ///< decision record: a host-link message was delayed
+  HostCorrupt,    ///< decision record: a host-link message failed its CRC
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -71,9 +87,17 @@ struct FaultEvent {
   FaultKind kind{};
   SimTime start = SimTime::zero();
   SimTime end = SimTime::zero();
-  int target = -1;      ///< link index, tile id or MC id; -1 for messages
+  int target = -1;      ///< link index, tile/MC/core id; -1 for messages
   double factor = 1.0;  ///< bandwidth/service fraction in (0, 1]
   SimTime extra = SimTime::zero();  ///< added delay (delay faults)
+};
+
+/// A planned fail-stop core death: the core executes nothing scheduled to
+/// *complete* after `at` (work already in flight finishes; nothing new
+/// starts or returns).
+struct CoreFailure {
+  int core = -1;
+  SimTime at = SimTime::zero();
 };
 
 /// What can go wrong, reproducible from `seed`. Parsed from the CLI's
@@ -89,9 +113,11 @@ struct FaultPlan {
   double rcce_drop_rate = 0.0;
   double rcce_delay_rate = 0.0;
   SimTime rcce_delay = SimTime::ms(1);  ///< max extra delay per delayed msg
+  double rcce_corrupt_rate = 0.0;
   double host_drop_rate = 0.0;
   double host_delay_rate = 0.0;
   SimTime host_delay = SimTime::ms(5);
+  double host_corrupt_rate = 0.0;
 
   // Scheduled window faults: how many of each to scatter over the horizon.
   int link_degrade_count = 0;
@@ -103,17 +129,32 @@ struct FaultPlan {
   double mc_degrade_factor = 0.5;
   int mc_stall_count = 0;
 
+  /// Planned fail-stop core deaths ("core-fail=<core>@<time>", repeatable;
+  /// each occurrence appends one entry).
+  std::vector<CoreFailure> core_failures;
+
   /// True when any fault class is active; a disabled plan is guaranteed to
   /// leave the simulation bit-identical to one with no fault layer at all.
+  /// Derived from the same field table the parser uses, so a newly added
+  /// fault kind cannot be parseable yet silently unreachable.
   bool enabled() const;
 
   /// Parse "key=value;key=value" (e.g. "rcce-drop=0.05;link-down=2;
-  /// horizon=2s;window=20ms"). Returns false and fills \p error on
-  /// malformed input. Keys: rcce-drop, rcce-delay=<rate>:<time>,
-  /// host-drop, host-delay=<rate>:<time>, link-degrade=<n>:<factor>,
+  /// horizon=2s;window=20ms;core-fail=13@1.5s"). Returns a typed error on
+  /// malformed input: InvalidArgument for unknown keys or bad values. Keys:
+  /// rcce-drop, rcce-delay=<rate>:<time>, rcce-corrupt, host-drop,
+  /// host-delay=<rate>:<time>, host-corrupt, link-degrade=<n>:<factor>,
   /// link-down=<n>, router-degrade=<n>:<factor>, mc-degrade=<n>:<factor>,
-  /// mc-stall=<n>, horizon=<time>, window=<time>, seed=<n>.
-  bool parse(const std::string& text, std::string* error);
+  /// mc-stall=<n>, core-fail=<core>@<time>, horizon=<time>, window=<time>,
+  /// seed=<n>.
+  Status parse(const std::string& text);
+};
+
+/// Fate of one message attempt, decided by the injector.
+enum class MessageFate : std::uint8_t {
+  Deliver,  ///< arrives (possibly late — check *extra_delay)
+  Drop,     ///< lost in flight; the sender's timeout machinery fires
+  Corrupt,  ///< arrives, fails the receiver's CRC check, and is NACKed
 };
 
 /// The run-time oracle the component models consult. Const queries serve
@@ -132,7 +173,7 @@ class FaultInjector {
 
   bool enabled() const { return enabled_; }
   const FaultPlan& plan() const { return plan_; }
-  /// The pre-generated window faults, sorted by start time.
+  /// The pre-generated window faults (and core failures), sorted by start.
   const std::vector<FaultEvent>& schedule() const { return schedule_; }
 
   // --- NoC hooks ---------------------------------------------------------
@@ -150,13 +191,20 @@ class FaultInjector {
   /// Service-time multiplier (>= 1) for the controller at \p at.
   double mc_slowdown(int mc, SimTime at) const;
 
+  // --- core fail-stop hooks ----------------------------------------------
+  /// True when \p core has fail-stopped at or before \p at.
+  bool core_failed(int core, SimTime at) const;
+  /// The planned death time of \p core, or SimTime::max() if it never dies.
+  SimTime core_fail_time(int core) const;
+  bool has_core_failures() const { return !plan_.core_failures.empty(); }
+
   // --- message fates (stateful; recorded into the trace) -----------------
-  /// Decide the fate of one RCCE transfer attempt. Returns true when the
-  /// payload is lost; otherwise *extra_delay receives the injected delay
-  /// (zero for an unharmed message).
-  bool rcce_message_fate(SimTime at, int from, int to, SimTime* extra_delay);
+  /// Decide the fate of one RCCE transfer attempt. On Deliver/Corrupt,
+  /// *extra_delay receives the injected transit delay (zero when unharmed).
+  MessageFate rcce_message_fate(SimTime at, int from, int to,
+                                SimTime* extra_delay);
   /// Same for one host-link message.
-  bool host_message_fate(SimTime at, SimTime* extra_delay);
+  MessageFate host_message_fate(SimTime at, SimTime* extra_delay);
 
   // --- observability -----------------------------------------------------
   /// Message-fate decisions in the order they were taken.
@@ -167,8 +215,10 @@ class FaultInjector {
 
   std::uint64_t rcce_drops() const { return rcce_drops_; }
   std::uint64_t rcce_delays() const { return rcce_delays_; }
+  std::uint64_t rcce_corrupts() const { return rcce_corrupts_; }
   std::uint64_t host_drops() const { return host_drops_; }
   std::uint64_t host_delays() const { return host_delays_; }
+  std::uint64_t host_corrupts() const { return host_corrupts_; }
 
  private:
   SimTime available_after(FaultKind kind, int target, SimTime at) const;
@@ -182,8 +232,10 @@ class FaultInjector {
   Rng host_rng_{0};
   std::uint64_t rcce_drops_ = 0;
   std::uint64_t rcce_delays_ = 0;
+  std::uint64_t rcce_corrupts_ = 0;
   std::uint64_t host_drops_ = 0;
   std::uint64_t host_delays_ = 0;
+  std::uint64_t host_corrupts_ = 0;
 };
 
 }  // namespace sccpipe

@@ -21,6 +21,7 @@ enum class StatusCode {
   DeadlineExceeded,   ///< the per-transfer deadline passed before delivery
   Unavailable,        ///< the target resource is faulted out of service
   Cancelled,          ///< the operation was abandoned (run aborting)
+  InvalidArgument,    ///< malformed user input (e.g. a fault-plan string)
 };
 
 const char* status_code_name(StatusCode code);

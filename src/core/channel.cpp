@@ -3,8 +3,33 @@
 #include <utility>
 
 #include "sccpipe/support/check.hpp"
+#include "sccpipe/support/crc.hpp"
 
 namespace sccpipe {
+
+std::uint32_t frame_token_crc(const FrameToken& token) {
+  Crc32 crc;
+  crc.update(&token.frame, sizeof(token.frame));
+  crc.update(&token.strip.y0, sizeof(token.strip.y0));
+  crc.update(&token.strip.rows, sizeof(token.strip.rows));
+  crc.update(&token.bytes, sizeof(token.bytes));
+  if (token.image != nullptr) {
+    crc.update(token.image->data(), token.image->byte_size());
+  }
+  return crc.value();
+}
+
+namespace {
+
+/// Delivery-side integrity check: the "never delivered silently" guarantee.
+void verify_token(const FrameToken& token, const char* where) {
+  SCCPIPE_CHECK_MSG(frame_token_crc(token) == token.crc,
+                    "frame " << token.frame << " failed its CRC-32 check at "
+                             << where
+                             << " — corruption leaked past the transport");
+}
+
+}  // namespace
 
 void Channel::fail(const Status& status) {
   SCCPIPE_CHECK_MSG(on_error_ != nullptr,
@@ -24,6 +49,7 @@ SccChannel::SccChannel(RcceComm& comm, CoreId from, CoreId to)
 void SccChannel::send(FrameToken token, SendDone on_sent) {
   SCCPIPE_CHECK(on_sent != nullptr);
   const double bytes = token.bytes;
+  token.crc = frame_token_crc(token);
   tokens_.push_back(std::move(token));
   send_posted_.push_back(comm_.chip().sim().now());
   comm_.send(from_, to_, bytes,
@@ -54,6 +80,7 @@ void SccChannel::recv(RecvDone on_token) {
       fail(s);
       return;
     }
+    verify_token(token, "SccChannel delivery");
     cb(std::move(token), matched);
   });
 }
@@ -73,6 +100,7 @@ HostToChipChannel::HostToChipChannel(HostCpu& host, SccChip& chip,
 void HostToChipChannel::send(FrameToken token, SendDone on_sent) {
   SCCPIPE_CHECK(on_sent != nullptr);
   const double bytes = token.bytes;
+  token.crc = frame_token_crc(token);
   tokens_.push_back(std::move(token));
   // Host-side stack cost, then the wire (credit-bounded).
   host_.compute(wire_.host_side_cycles(bytes),
@@ -95,6 +123,7 @@ void HostToChipChannel::recv(RecvDone on_token) {
                     SCCPIPE_CHECK(!tokens_.empty());
                     FrameToken token = std::move(tokens_.front());
                     tokens_.pop_front();
+                    verify_token(token, "host-to-chip delivery");
                     cb(std::move(token), matched);
                   });
   });
@@ -120,6 +149,7 @@ void ChipToViewerChannel::set_fault(FaultInjector* fault, RetryPolicy retry) {
 void ChipToViewerChannel::send(FrameToken token, SendDone on_sent) {
   SCCPIPE_CHECK(on_sent != nullptr);
   const double bytes = token.bytes;
+  token.crc = frame_token_crc(token);
   // UDP send cost on the producer core, then the wire; the viewer drains
   // the channel immediately on arrival.
   chip_.compute(producer_, wire_.scc_send_cycles(bytes),
@@ -127,6 +157,7 @@ void ChipToViewerChannel::send(FrameToken token, SendDone on_sent) {
                  cb = std::move(on_sent)]() mutable {
                   wire_.push(bytes, std::move(cb));
                   wire_.pop([this, t = std::move(t)](double) mutable {
+                    verify_token(t, "viewer delivery");
                     sink_(t, chip_.sim().now());
                   });
                 });

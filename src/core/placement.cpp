@@ -103,6 +103,9 @@ Placement make_placement(const MeshTopology& topo, Arrangement arrangement,
       }
     }
     out.transfer = take();
+    for (CoreId c = next; c < topo.core_count(); ++c) {
+      out.spare_cores.push_back(c);
+    }
     return out;
   }
 
@@ -166,7 +169,19 @@ Placement make_placement(const MeshTopology& topo, Arrangement arrangement,
   const auto& spare = slots[static_cast<std::size_t>(req.pipelines)];
   std::size_t spare_i = 0;
   if (req.needs_producer) out.producer = spare[spare_i++];
-  out.transfer = spare[spare_i];
+  out.transfer = spare[spare_i++];
+  // Everything left over is recovery headroom: first the rest of the
+  // producer/transfer slot, then the untouched slots beyond it. With
+  // isolate_blur_tile the skipped tile siblings stay idle (not spares) —
+  // promoting one would put pipeline work back onto the isolated tile.
+  for (; spare_i < spare.size(); ++spare_i) {
+    out.spare_cores.push_back(spare[spare_i]);
+  }
+  for (std::size_t s = static_cast<std::size_t>(req.pipelines) + 1;
+       s < slots.size(); ++s) {
+    out.spare_cores.insert(out.spare_cores.end(), slots[s].begin(),
+                           slots[s].end());
+  }
   return out;
 }
 

@@ -1,0 +1,114 @@
+#include "sccpipe/core/recovery.hpp"
+
+#include <algorithm>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+Supervisor::Supervisor(SccChip& chip, const FaultInjector& fault,
+                       RecoveryConfig cfg, CoreId monitor_core)
+    : chip_(chip), fault_(fault), cfg_(cfg), monitor_(monitor_core) {
+  SCCPIPE_CHECK(chip.topology().valid_core(monitor_core));
+  SCCPIPE_CHECK(cfg_.heartbeat_period > SimTime::zero());
+  SCCPIPE_CHECK_MSG(cfg_.detection_deadline > cfg_.heartbeat_period,
+                    "detection deadline must exceed the heartbeat period or "
+                    "every core is declared dead at the first tick");
+}
+
+Supervisor::Watched* Supervisor::find(CoreId core) {
+  const auto it = std::lower_bound(
+      watched_.begin(), watched_.end(), core,
+      [](const Watched& w, CoreId c) { return w.core < c; });
+  if (it == watched_.end() || it->core != core) return nullptr;
+  return &*it;
+}
+
+void Supervisor::watch(CoreId core) {
+  SCCPIPE_CHECK(chip_.topology().valid_core(core));
+  if (find(core) != nullptr) return;
+  const auto it = std::lower_bound(
+      watched_.begin(), watched_.end(), core,
+      [](const Watched& w, CoreId c) { return w.core < c; });
+  watched_.insert(it, Watched{core, chip_.sim().now()});
+}
+
+void Supervisor::unwatch(CoreId core) {
+  const auto it = std::lower_bound(
+      watched_.begin(), watched_.end(), core,
+      [](const Watched& w, CoreId c) { return w.core < c; });
+  if (it != watched_.end() && it->core == core) watched_.erase(it);
+}
+
+void Supervisor::start(FailureHandler on_failure) {
+  SCCPIPE_CHECK(!started_);
+  SCCPIPE_CHECK(on_failure != nullptr);
+  started_ = true;
+  on_failure_ = std::move(on_failure);
+  tick_event_ =
+      chip_.sim().schedule_after(cfg_.heartbeat_period, [this] { tick(); });
+}
+
+void Supervisor::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // Cancel rather than orphan the pending tick: the simulator runs until
+  // its queue drains, and a self-rescheduling watchdog would keep an
+  // otherwise-finished run alive forever.
+  chip_.sim().cancel(tick_event_);
+}
+
+void Supervisor::tick() {
+  if (stopped_) return;
+  const SimTime now = chip_.sim().now();
+  const MeshTopology& topo = chip_.topology();
+
+  // Nobody watches the watcher from on-chip: if the monitor core itself
+  // fail-stops, the host run driver is what notices the collector going
+  // silent. Model that as an immediate verdict against the monitor and
+  // stop ticking — with the assembly point gone there is no recovery.
+  if (fault_.core_failed(monitor_, now)) {
+    stopped_ = true;
+    on_failure_(monitor_, now);
+    return;
+  }
+
+  // Emit first, in core order: every live watched core pushes one liveness
+  // datagram through the mesh towards the monitor. The transfer advances
+  // real mesh contention state, so monitoring is not free. last_heartbeat
+  // records the *arrival* instant; it may lie in the future, which the
+  // deadline comparison below handles naturally (now - future < deadline).
+  for (Watched& w : watched_) {
+    if (fault_.core_failed(w.core, now)) continue;  // the silence itself
+    if (w.core == monitor_) {
+      w.last_heartbeat = now;  // the monitor trusts its own pulse
+      continue;
+    }
+    const SimTime arrival =
+        chip_.mesh().transfer(now, topo.core_coord(w.core),
+                              topo.core_coord(monitor_), cfg_.heartbeat_bytes);
+    w.last_heartbeat = max(w.last_heartbeat, arrival);
+    ++heartbeats_;
+    heartbeat_bytes_ += cfg_.heartbeat_bytes;
+  }
+
+  // Watchdog scan: declare anything silent past the deadline. Collect
+  // first, then fire — the handler mutates the watched set (unwatch,
+  // watch of the spare).
+  std::vector<CoreId> dead;
+  for (const Watched& w : watched_) {
+    if (now - w.last_heartbeat > cfg_.detection_deadline) {
+      dead.push_back(w.core);
+    }
+  }
+  for (const CoreId core : dead) {
+    unwatch(core);
+    on_failure_(core, now);
+    if (stopped_) return;  // the handler may abort the run
+  }
+
+  tick_event_ =
+      chip_.sim().schedule_after(cfg_.heartbeat_period, [this] { tick(); });
+}
+
+}  // namespace sccpipe

@@ -1,6 +1,9 @@
 #include "sccpipe/core/walkthrough.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
 #include <utility>
 
 #include "sccpipe/filters/filters.hpp"
@@ -93,10 +96,16 @@ class WalkthroughSim {
     build_placement();
     apply_dvfs();
     build_channels_and_stages();
+    build_supervisor();
   }
 
   RunResult run() {
     allocate_cores();
+    if (supervisor_) {
+      supervisor_->start([this](CoreId core, SimTime detected_at) {
+        handle_core_failure(core, detected_at);
+      });
+    }
     start_producer();
     start_filter_stages();
     start_transfer();
@@ -151,6 +160,7 @@ class WalkthroughSim {
                                                topo.mc_count());
       chip_->mesh().set_fault_injector(fault_.get());
       chip_->memory().set_fault_injector(fault_.get());
+      chip_->set_fault_injector(fault_.get());
       rcce_->set_fault_injector(fault_.get());
     }
   }
@@ -189,6 +199,37 @@ class WalkthroughSim {
     return pipeline_cores[pipeline_cores.size() - 4];
   }
 
+  /// The Supervisor exists only when the plan schedules a core failure, so
+  /// every other configuration — including PR-1 drop/delay fault runs —
+  /// takes exactly the code paths it did before this feature existed.
+  void build_supervisor() {
+    if (fault_ == nullptr || !fault_->has_core_failures()) return;
+    const MeshTopology& topo = chip_->topology();
+    for (const CoreFailure& cf : cfg_.fault.core_failures) {
+      SCCPIPE_CHECK_MSG(topo.valid_core(cf.core),
+                        "core-fail targets core " << cf.core
+                            << " which the chip does not have");
+    }
+    supervisor_ = std::make_unique<Supervisor>(*chip_, *fault_, cfg_.recovery,
+                                               placement_.transfer);
+    recovery_.enabled = true;
+    spares_ = placement_.spare_cores;
+    if (cfg_.recovery.max_spares >= 0 &&
+        static_cast<int>(spares_.size()) > cfg_.recovery.max_spares) {
+      spares_.resize(static_cast<std::size_t>(cfg_.recovery.max_spares));
+    }
+    const std::size_t k = static_cast<std::size_t>(cfg_.pipelines);
+    cores_now_ = placement_.pipeline_cores;
+    pipeline_alive_.assign(k, 1);
+    pipeline_gen_.assign(k, 0);
+    acked_.assign(k, -1);
+    head_sent_.assign(k, -1);
+    outstanding_.resize(k);
+    replay_q_.resize(k);
+    replay_active_.assign(k, 0);
+    for (const CoreId c : placement_.all_cores()) supervisor_->watch(c);
+  }
+
   // --------------------------------------------------------- construction
   struct StageState {
     StageKind kind{};
@@ -199,6 +240,9 @@ class WalkthroughSim {
     SampleSet wait_ms;
     int frames_done = 0;
     SimTime recv_posted = SimTime::zero();
+    /// Bumped (via pipeline_gen_) each time the pipeline is rebuilt after a
+    /// remap; callbacks captured under an older generation are orphaned.
+    int gen = 0;
   };
 
   /// First transport error wins (records the failure headline); every
@@ -212,6 +256,9 @@ class WalkthroughSim {
     first_failure_ = status;
     first_failure_where_ = where;
     failed_at_ = sim_.now();
+    // A failed run must still drain: without this the watchdog would keep
+    // rescheduling itself and the event loop would never empty.
+    if (supervisor_) supervisor_->stop();
   }
 
   /// Label a channel's transport errors with the hop they broke.
@@ -309,6 +356,7 @@ class WalkthroughSim {
 
   void release_cores() {
     for (const CoreId c : placement_.all_cores()) chip_->release_core(c);
+    for (const CoreId c : remapped_cores_) chip_->release_core(c);
   }
 
   // --------------------------------------------------------------- actors
@@ -362,10 +410,51 @@ class WalkthroughSim {
             whole = std::make_shared<Image>(
                 scene_.renderer().render(scene_.path().view(frame)));
           }
-          send_strips(frame, 0, whole);
+          begin_distribution(frame, whole);
         });
       });
     });
+  }
+
+  /// Distribution entry point. Without a Supervisor this is exactly the
+  /// old direct send_strips path; with one, the whole frame is first staged
+  /// as a checkpoint in the producer's DRAM partition (so a remapped
+  /// pipeline can replay its strips), and routing honours degraded
+  /// pipelines.
+  void begin_distribution(int frame, std::shared_ptr<Image> whole) {
+    if (failed_) return;
+    if (!supervisor_) {
+      send_strips(frame, 0, whole);
+      return;
+    }
+    std::vector<int> route;
+    for (int q = 0; q < cfg_.pipelines; ++q) {
+      if (pipeline_alive_[static_cast<std::size_t>(q)]) route.push_back(q);
+    }
+    if (route.empty()) {
+      on_fault("producer",
+               Status(StatusCode::Unavailable,
+                      "every pipeline has failed; no cores left to route "
+                      "frames through"));
+      return;
+    }
+    frame_routes_[frame] = std::move(route);
+    dist_active_ = true;
+    dist_frame_ = frame;
+    dist_slot_ = 0;
+    dist_image_ = whole;
+    const double frame_bytes =
+        static_cast<double>(side()) * static_cast<double>(side()) * 4.0;
+    ++recovery_.checkpoint_writes;
+    recovery_.checkpoint_bytes += frame_bytes;
+    chip_->dram_stream(placement_.producer, frame_bytes,
+                       [this, frame, whole] {
+                         if (failed_) return;
+                         send_strips_routed(frame, 0, whole);
+                       });
+    // The transfer stage may have been stalled waiting to learn this
+    // frame's route.
+    if (transfer_deferred_) transfer_begin_frame();
   }
 
   /// Sequentially hand strip s of \p frame to pipeline s (scenario 1 and
@@ -397,17 +486,82 @@ class WalkthroughSim {
         });
   }
 
+  /// Supervisor-mode distribution: slot \p s indexes the frame's *route*
+  /// (the pipelines alive when distribution began), and the frame is split
+  /// across exactly those pipelines — a degraded run re-splits subsequent
+  /// frames across the survivors instead of leaving a hole.
+  void send_strips_routed(int frame, int s, std::shared_ptr<Image> whole) {
+    if (failed_) return;
+    const std::vector<int>& route = frame_routes_[frame];
+    // A pipeline that died after the route was snapped already marked this
+    // frame lost; skip its slot and keep the chain moving.
+    while (s < static_cast<int>(route.size()) &&
+           !pipeline_alive_[static_cast<std::size_t>(
+               route[static_cast<std::size_t>(s)])]) {
+      ++s;
+    }
+    if (s >= static_cast<int>(route.size())) {
+      dist_active_ = false;
+      dist_pending_pipeline_ = -1;
+      if (cfg_.scenario == Scenario::SingleRenderer) {
+        record_span(placement_.producer, StageKind::Render, frame, "process",
+                    producer_span_start_, sim_.now());
+        render_single_frame(frame + 1);
+      } else {
+        record_span(placement_.producer, StageKind::Connect, frame, "process",
+                    producer_span_start_, sim_.now());
+        connect_loop();
+      }
+      return;
+    }
+    const int p = route[static_cast<std::size_t>(s)];
+    const auto strips = divide_rows(side(), static_cast<int>(route.size()));
+    FrameToken tok;
+    tok.frame = frame;
+    tok.strip = strips[static_cast<std::size_t>(s)];
+    tok.bytes = strip_bytes(tok.strip);
+    if (whole) tok.image = std::make_shared<Image>(whole->strip(tok.strip));
+    record_outstanding(p, frame, tok);
+    dist_slot_ = s;
+    if (replay_active_[static_cast<std::size_t>(p)]) {
+      // The pipeline is still replaying its checkpoint backlog. Queue
+      // behind it (the pump reads the strip we just checkpointed) so the
+      // head channel sees frames in order, and keep distributing.
+      replay_q_[static_cast<std::size_t>(p)].push_back(frame);
+      send_strips_routed(frame, s + 1, whole);
+      return;
+    }
+    dist_pending_pipeline_ = p;
+    const int gen = pipeline_gen_[static_cast<std::size_t>(p)];
+    head_channels_[static_cast<std::size_t>(p)]->send(
+        std::move(tok), [this, frame, s, whole, p, gen] {
+          if (failed_) return;
+          // A remap while this send was pending already resumed the chain.
+          if (gen != pipeline_gen_[static_cast<std::size_t>(p)]) return;
+          dist_pending_pipeline_ = -1;
+          send_strips_routed(frame, s + 1, whole);
+        });
+  }
+
   /// Scenario 2: each pipeline's own renderer draws just its strip with an
   /// adjusted frustum.
   void render_pipeline_frame(int p, int frame) {
     if (failed_ || frame >= frames_total()) return;
-    const auto& cores = placement_.pipeline_cores[static_cast<std::size_t>(p)];
+    const auto& cores =
+        supervisor_ ? cores_now_[static_cast<std::size_t>(p)]
+                    : placement_.pipeline_cores[static_cast<std::size_t>(p)];
     const CoreId core = cores[0];
+    const int gen =
+        supervisor_ ? pipeline_gen_[static_cast<std::size_t>(p)] : 0;
     const RenderLoad& load = trace_.load(frame, cfg_.pipelines, p);
     const StageWork w = scaled_render_work(load, /*adjust_frustum=*/true);
-    chip_->memory_walk(core, w.walk_accesses, [this, p, frame, core, w] {
-      chip_->compute(core, w.cycles, [this, p, frame, core, w] {
-        chip_->dram_stream(core, w.dram_bytes, [this, p, frame] {
+    chip_->memory_walk(core, w.walk_accesses, [this, p, frame, core, w, gen] {
+      chip_->compute(core, w.cycles, [this, p, frame, core, w, gen] {
+        chip_->dram_stream(core, w.dram_bytes, [this, p, frame, core, gen] {
+          if (supervisor_ &&
+              (failed_ || gen != pipeline_gen_[static_cast<std::size_t>(p)])) {
+            return;  // superseded by a remap; the rebuilt chain re-renders
+          }
           const auto strips = divide_rows(side(), cfg_.pipelines);
           FrameToken tok;
           tok.frame = frame;
@@ -417,9 +571,35 @@ class WalkthroughSim {
             tok.image = std::make_shared<Image>(scene_.renderer().render_strip(
                 scene_.path().view(frame), tok.strip));
           }
-          head_channels_[static_cast<std::size_t>(p)]->send(
-              std::move(tok),
-              [this, p, frame] { render_pipeline_frame(p, frame + 1); });
+          if (!supervisor_) {
+            head_channels_[static_cast<std::size_t>(p)]->send(
+                std::move(tok),
+                [this, p, frame] { render_pipeline_frame(p, frame + 1); });
+            return;
+          }
+          // Checkpoint the rendered strip in the renderer's DRAM partition
+          // before it enters the pipeline, so a remap can replay it
+          // without re-rendering.
+          record_outstanding(p, frame, tok);
+          head_sent_[static_cast<std::size_t>(p)] = frame;
+          ++recovery_.checkpoint_writes;
+          recovery_.checkpoint_bytes += tok.bytes;
+          chip_->dram_stream(
+              core, tok.bytes, [this, p, frame, gen, tok = std::move(tok)]() mutable {
+                if (failed_ ||
+                    gen != pipeline_gen_[static_cast<std::size_t>(p)]) {
+                  return;
+                }
+                head_channels_[static_cast<std::size_t>(p)]->send(
+                    std::move(tok), [this, p, frame, gen] {
+                      if (failed_ ||
+                          gen !=
+                              pipeline_gen_[static_cast<std::size_t>(p)]) {
+                        return;
+                      }
+                      render_pipeline_frame(p, frame + 1);
+                    });
+              });
         });
       });
     });
@@ -458,7 +638,7 @@ class WalkthroughSim {
       SCCPIPE_CHECK(tok.frame == frame);
       chip_->dram_stream(core, 2.0 * tok.bytes,
                          [this, frame, img = tok.image] {
-                           send_strips(frame, 0, img);
+                           begin_distribution(frame, img);
                          });
     });
   }
@@ -478,8 +658,15 @@ class WalkthroughSim {
 
   void arm_filter_stage(StageState& st) {
     if (failed_) return;
+    // Generation guard: a remap rebuilds the pipeline's channels and bumps
+    // the generation; callbacks captured under the old one fall silent
+    // instead of feeding stale tokens into the new chain. Without a
+    // Supervisor the generation never changes and these guards are inert,
+    // keeping PR-1 behaviour bit-identical.
+    const int gen = st.gen;
     st.recv_posted = sim_.now();
-    st.in->recv([this, &st](FrameToken tok, SimTime matched) {
+    st.in->recv([this, &st, gen](FrameToken tok, SimTime matched) {
+      if (supervisor_ && (failed_ || st.gen != gen)) return;
       st.wait_ms.add((matched - st.recv_posted).to_ms());
       record_span(st.core, st.kind, tok.frame, "wait", st.recv_posted,
                   matched);
@@ -490,16 +677,18 @@ class WalkthroughSim {
                                    cfg_.cal.max_scratches)
               .count;
       const StageWork w = filter_work(cfg_.cal, st.kind, pixels, scratches);
-      chip_->compute(st.core, w.cycles, [this, &st, w, matched,
+      chip_->compute(st.core, w.cycles, [this, &st, gen, w, matched,
                                          tok = std::move(tok)]() mutable {
-        chip_->dram_stream(st.core, w.dram_bytes, [this, &st, matched,
+        chip_->dram_stream(st.core, w.dram_bytes, [this, &st, gen, matched,
                                                    tok = std::move(tok)]() mutable {
+          if (supervisor_ && (failed_ || st.gen != gen)) return;
           if (cfg_.functional && tok.image) {
             apply_stage_functional(st.kind, *tok.image, tok.frame, cfg_.seed,
                                    cfg_.cal.max_scratches);
           }
           const int frame = tok.frame;
-          st.out->send(std::move(tok), [this, &st, frame, matched] {
+          st.out->send(std::move(tok), [this, &st, gen, frame, matched] {
+            if (supervisor_ && (failed_ || st.gen != gen)) return;
             record_span(st.core, st.kind, frame, "process", matched,
                         sim_.now());
             if (++st.frames_done < frames_total()) arm_filter_stage(st);
@@ -512,7 +701,14 @@ class WalkthroughSim {
   /// Transfer stage: gather one strip from every pipeline (in pipeline
   /// order, as RCCE receives are posted one at a time), assemble, send to
   /// the viewer.
-  void start_transfer() { transfer_collect(0); }
+  void start_transfer() {
+    if (supervisor_) {
+      transfer_frame_ = 0;
+      transfer_begin_frame();
+      return;
+    }
+    transfer_collect(0);
+  }
 
   void transfer_collect(int s) {
     if (failed_) return;
@@ -569,12 +765,474 @@ class WalkthroughSim {
     });
   }
 
+  // -------------------------------------- supervisor-mode transfer stage
+  //
+  // The legacy collector above assumes every pipeline delivers every frame;
+  // under core failures a frame's strip set is the *route* recorded when
+  // the frame was distributed, frames can be lost outright (degrade with
+  // no spares), and a remapped pipeline redelivers through a rebuilt
+  // channel. The ticket makes superseded recv callbacks inert.
+
+  /// Frame route for the transfer stage: constant (all pipelines) in the
+  /// per-pipeline-renderer scenario, per-frame snapshot otherwise.
+  bool transfer_route_for(int frame, std::vector<int>* route) {
+    if (cfg_.scenario == Scenario::RendererPerPipeline) {
+      route->clear();
+      for (int q = 0; q < cfg_.pipelines; ++q) route->push_back(q);
+      return true;
+    }
+    const auto it = frame_routes_.find(frame);
+    if (it == frame_routes_.end()) return false;
+    *route = it->second;
+    return true;
+  }
+
+  void transfer_begin_frame() {
+    if (failed_) return;
+    for (;;) {
+      if (transfer_frame_ >= frames_total()) {
+        supervisor_->stop();  // run is over; let the event queue drain
+        return;
+      }
+      if (lost_frames_.count(transfer_frame_) != 0) {
+        ++transfer_frame_;
+        continue;
+      }
+      if (!transfer_route_for(transfer_frame_, &transfer_route_)) {
+        // Route unknown: the frame has not been distributed yet. The
+        // producer kicks us when it starts the frame.
+        transfer_deferred_ = true;
+        return;
+      }
+      break;
+    }
+    transfer_deferred_ = false;
+    transfer_slot_ = 0;
+    transfer_wait_posted_ = sim_.now();
+    transfer_assembly_.clear();
+    if (cfg_.functional) {
+      transfer_image_ = std::make_shared<Image>(side(), side());
+    }
+    transfer_recv_slot();
+  }
+
+  void transfer_recv_slot() {
+    if (failed_) return;
+    if (transfer_slot_ >= static_cast<int>(transfer_route_.size())) {
+      transfer_waiting_ = false;
+      transfer_assemble_supervised();
+      return;
+    }
+    const int p = transfer_route_[static_cast<std::size_t>(transfer_slot_)];
+    const int ticket = ++transfer_ticket_seq_;
+    transfer_ticket_ = ticket;
+    transfer_waiting_ = true;
+    tail_channels_[static_cast<std::size_t>(p)]->recv(
+        [this, p, ticket, slot = transfer_slot_](FrameToken tok,
+                                                 SimTime matched) {
+          if (failed_) return;
+          if (ticket != transfer_ticket_) return;  // superseded recv
+          if (tok.frame != transfer_frame_) {
+            // A strip of an earlier, since-lost frame draining out of the
+            // pipeline (pairwise FIFO puts it ahead of the frame we want):
+            // discard it and keep listening on the same slot.
+            transfer_recv_slot();
+            return;
+          }
+          transfer_waiting_ = false;
+          ack_pipeline(p, tok.frame);
+          if (slot == 0) {
+            transfer_wait_.add((matched - transfer_wait_posted_).to_ms());
+          }
+          if (cfg_.functional && tok.image) {
+            const int dst_y0 = side() - tok.strip.y0 - tok.strip.rows;
+            transfer_image_->paste(*tok.image, dst_y0);
+          }
+          transfer_assembly_.push_back(tok.frame);
+          ++transfer_slot_;
+          transfer_recv_slot();
+        });
+  }
+
+  void transfer_assemble_supervised() {
+    const CoreId core = placement_.transfer;
+    const int frame = transfer_frame_;
+    for (const int f : transfer_assembly_) {
+      SCCPIPE_CHECK_MSG(f == frame, "transfer stage mixed frames");
+    }
+    const double frame_bytes =
+        static_cast<double>(side()) * static_cast<double>(side()) * 4.0;
+    const StageWork w = assemble_work(cfg_.cal, frame_bytes);
+    chip_->compute(core, w.cycles, [this, core, w, frame, frame_bytes] {
+      chip_->dram_stream(core, w.dram_bytes, [this, frame, frame_bytes] {
+        FrameToken tok;
+        tok.frame = frame;
+        tok.strip = StripRange{0, side()};
+        tok.bytes = frame_bytes;
+        tok.image = transfer_image_;
+        transfer_image_.reset();
+        const SimTime span_start = sim_.now();
+        viewer_->send(std::move(tok), [this, frame, span_start] {
+          record_span(placement_.transfer, StageKind::Transfer, frame,
+                      "process", span_start, sim_.now());
+          ++transfer_frame_;
+          transfer_begin_frame();
+        });
+      });
+    });
+  }
+
+  // ------------------------------------------------- failure handling
+
+  /// Checkpoint bookkeeping: what each pipeline has been handed but not
+  /// yet delivered to the transfer stage. The image copy (functional runs)
+  /// stands in for the strip staged in the owning DRAM partition.
+  struct SentStrip {
+    StripRange strip{};
+    double bytes = 0.0;
+    std::shared_ptr<Image> image;
+  };
+
+  void record_outstanding(int p, int frame, const FrameToken& tok) {
+    SentStrip m;
+    m.strip = tok.strip;
+    m.bytes = tok.bytes;
+    if (tok.image) m.image = std::make_shared<Image>(*tok.image);
+    outstanding_[static_cast<std::size_t>(p)][frame] = std::move(m);
+  }
+
+  void ack_pipeline(int p, int frame) {
+    auto& acked = acked_[static_cast<std::size_t>(p)];
+    acked = std::max(acked, frame);
+    auto& out = outstanding_[static_cast<std::size_t>(p)];
+    out.erase(out.begin(), out.upper_bound(frame));
+  }
+
+  StageKind stage_kind_of(std::size_t idx) const {
+    const bool own_renderer = cfg_.scenario == Scenario::RendererPerPipeline;
+    if (own_renderer && idx == 0) return StageKind::Render;
+    return kFilterChain[idx - (own_renderer ? 1 : 0)];
+  }
+
+  /// Watchdog verdict arrived: decide remap / degrade / graceful failure.
+  void handle_core_failure(CoreId core, SimTime detected_at) {
+    FailureRecord rec;
+    rec.core = core;
+    rec.failed_at_ms = fault_->core_fail_time(core).to_ms();
+    rec.detected_at_ms = detected_at.to_ms();
+    rec.detection_latency_ms = rec.detected_at_ms - rec.failed_at_ms;
+    ++recovery_.failures_detected;
+    recovery_.max_detection_latency_ms =
+        std::max(recovery_.max_detection_latency_ms, rec.detection_latency_ms);
+    if (first_detect_ms_ < 0.0) first_detect_ms_ = rec.detected_at_ms;
+
+    if (core == placement_.producer) {
+      rec.stage = cfg_.scenario == Scenario::HostRenderer ? StageKind::Connect
+                                                          : StageKind::Render;
+      recovery_.failures.push_back(rec);
+      on_fault("producer core " + std::to_string(core),
+               Status(StatusCode::Unavailable,
+                      "producer core failed; the frame source cannot be "
+                      "remapped"));
+      return;
+    }
+    if (core == placement_.transfer) {
+      rec.stage = StageKind::Transfer;
+      recovery_.failures.push_back(rec);
+      on_fault("transfer core " + std::to_string(core),
+               Status(StatusCode::Unavailable,
+                      "transfer (collector/watchdog) core failed; the "
+                      "assembly point cannot be remapped"));
+      return;
+    }
+    // Locate the core in the *current* pipeline map (it may be a promoted
+    // spare from an earlier failure).
+    int p = -1;
+    std::size_t idx = 0;
+    for (int q = 0; q < cfg_.pipelines && p < 0; ++q) {
+      const auto& cores = cores_now_[static_cast<std::size_t>(q)];
+      for (std::size_t i = 0; i < cores.size(); ++i) {
+        if (cores[i] == core) {
+          p = q;
+          idx = i;
+          break;
+        }
+      }
+    }
+    if (p < 0) {
+      // An allocated-but-roleless core (should not happen — only placement
+      // cores are watched). Record the detection and move on.
+      rec.recovered = true;
+      recovery_.failures.push_back(rec);
+      return;
+    }
+    rec.pipeline = p;
+    rec.stage = stage_kind_of(idx);
+    if (!pipeline_alive_[static_cast<std::size_t>(p)] ||
+        transfer_frame_ >= frames_total()) {
+      // Already-degraded pipeline, or the walkthrough already finished
+      // collecting: nothing left to heal.
+      rec.recovered = true;
+      ++recovery_.failures_recovered;
+      recovery_.failures.push_back(rec);
+      return;
+    }
+    if (!spares_.empty()) {
+      remap_pipeline(p, idx, rec);
+    } else if (cfg_.scenario == Scenario::RendererPerPipeline) {
+      // Degrading would need the surviving renderers to re-render with new
+      // frusta mid-stream; out of scope — fail the run gracefully.
+      recovery_.failures.push_back(rec);
+      on_fault("pipeline " + std::to_string(p) + " core " +
+                   std::to_string(core),
+               Status(StatusCode::Unavailable,
+                      "render core failed with no spare cores left"));
+      return;
+    } else {
+      degrade_pipeline(p, rec);
+    }
+    recovery_.failures.push_back(rec);
+  }
+
+  /// Drop the dead pipeline's pending rendezvous so nothing blocks on it.
+  void abandon_pipeline_pairs(int p) {
+    const auto& cores = cores_now_[static_cast<std::size_t>(p)];
+    const bool own_renderer = cfg_.scenario == Scenario::RendererPerPipeline;
+    CoreId prev = own_renderer ? cores[0] : placement_.producer;
+    for (std::size_t i = own_renderer ? 1 : 0; i < cores.size(); ++i) {
+      rcce_->abandon_pair(prev, cores[i]);
+      prev = cores[i];
+    }
+    rcce_->abandon_pair(prev, placement_.transfer);
+  }
+
+  /// Silence transport errors on a pipeline's superseded channels. Once a
+  /// pipeline is rebuilt (or written off), retransmit chains already in
+  /// flight toward the dead core may still exhaust their retries; the
+  /// replacement chain (or the lost-frame ledger) already accounts for that
+  /// data, so the stale error must not abort the run.
+  void swallow_pipeline_errors(int p) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    head_channels_[sp]->set_error_handler([](const Status&) {});
+    for (int f = 0; f < kFilterCount; ++f) {
+      stages_[static_cast<std::size_t>(p * kFilterCount + f)]
+          ->out->set_error_handler([](const Status&) {});
+    }
+  }
+
+  void remap_pipeline(int p, std::size_t idx, FailureRecord& rec) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    const CoreId spare = spares_.front();
+    spares_.erase(spares_.begin());
+    ++recovery_.spares_used;
+    rec.remapped_to = spare;
+    rec.recovered = true;
+    ++recovery_.failures_recovered;
+
+    chip_->allocate_core(spare);
+    remapped_cores_.push_back(spare);
+    supervisor_->watch(spare);
+    abandon_pipeline_pairs(p);
+    swallow_pipeline_errors(p);
+    cores_now_[sp][idx] = spare;
+    apply_dvfs_to_replacement(p, idx, spare);
+    ++pipeline_gen_[sp];
+    rebuild_pipeline(p);
+    // If the transfer stage was waiting on this pipeline, its recv died
+    // with the old channel; re-post on the rebuilt one (fresh ticket).
+    if (transfer_waiting_ &&
+        transfer_route_[static_cast<std::size_t>(transfer_slot_)] == p) {
+      transfer_recv_slot();
+    }
+    // If the producer's distribution chain was stuck sending into the dead
+    // core, resume it; the stuck strip is outstanding and will be replayed.
+    if (dist_pending_pipeline_ == p) {
+      dist_pending_pipeline_ = -1;
+      send_strips_routed(dist_frame_, dist_slot_ + 1, dist_image_);
+    }
+    queue_replay(p);
+  }
+
+  void degrade_pipeline(int p, FailureRecord& rec) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    rec.degraded = true;
+    rec.recovered = true;
+    ++recovery_.failures_recovered;
+    ++recovery_.pipelines_lost;
+    pipeline_alive_[sp] = 0;
+    ++pipeline_gen_[sp];
+    abandon_pipeline_pairs(p);
+    swallow_pipeline_errors(p);
+    // Every frame with a strip stuck in this pipeline can never be
+    // assembled; so too the frame currently being distributed if its route
+    // includes us.
+    for (const auto& [f, m] : outstanding_[sp]) lost_frames_.insert(f);
+    outstanding_[sp].clear();
+    replay_q_[sp].clear();
+    replay_active_[sp] = 0;
+    if (dist_active_) {
+      const auto it = frame_routes_.find(dist_frame_);
+      if (it != frame_routes_.end() &&
+          std::find(it->second.begin(), it->second.end(), p) !=
+              it->second.end()) {
+        lost_frames_.insert(dist_frame_);
+      }
+    }
+    if (dist_pending_pipeline_ == p) {
+      dist_pending_pipeline_ = -1;
+      send_strips_routed(dist_frame_, dist_slot_ + 1, dist_image_);
+    }
+    // The transfer stage may be waiting on a frame that just became lost
+    // (if it waits on *this* pipeline, the frame necessarily is).
+    if (transfer_waiting_ && lost_frames_.count(transfer_frame_) != 0) {
+      transfer_waiting_ = false;
+      ++transfer_ticket_seq_;  // invalidate the posted recv
+      transfer_ticket_ = 0;
+      transfer_begin_frame();
+    } else if (transfer_deferred_ &&
+               lost_frames_.count(transfer_frame_) != 0) {
+      transfer_begin_frame();
+    }
+  }
+
+  /// Reproduce the DVFS treatment the dead core had on its replacement.
+  void apply_dvfs_to_replacement(int p, std::size_t idx, CoreId spare) {
+    const auto& cores = cores_now_[static_cast<std::size_t>(p)];
+    const std::size_t blur_idx = cores.size() - 4;
+    if (cfg_.blur_mhz > 0 && idx == blur_idx) {
+      chip_->set_core_frequency(spare, cfg_.blur_mhz);
+    } else if (cfg_.tail_mhz > 0 && idx > blur_idx) {
+      chip_->set_core_frequency(spare, cfg_.tail_mhz);
+    }
+  }
+
+  /// Re-create pipeline \p p's channels over its current core list and
+  /// re-arm its stages. Stage objects are reused (their wait statistics
+  /// span the failure), frame counters rewind to the last acked frame.
+  void rebuild_pipeline(int p) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    const auto& cores = cores_now_[sp];
+    const bool own_renderer = cfg_.scenario == Scenario::RendererPerPipeline;
+    const std::size_t first_filter = own_renderer ? 1 : 0;
+    const std::string pl =
+        "[p" + std::to_string(p) + "g" +
+        std::to_string(pipeline_gen_[sp]) + "]";
+
+    Channel* head;
+    if (own_renderer) {
+      head = make_scc_channel(cores[0], cores[1], "render->sepia" + pl);
+    } else {
+      head = make_scc_channel(placement_.producer, cores[0],
+                              "producer->sepia" + pl);
+    }
+    head_channels_[sp] = head;
+
+    Channel* in = head;
+    for (int f = 0; f < kFilterCount; ++f) {
+      const CoreId core = cores[first_filter + static_cast<std::size_t>(f)];
+      Channel* out;
+      if (f + 1 < kFilterCount) {
+        const CoreId next =
+            cores[first_filter + static_cast<std::size_t>(f) + 1];
+        out = make_scc_channel(core, next,
+                               std::string(stage_name(kFilterChain[f])) +
+                                   "->" + stage_name(kFilterChain[f + 1]) +
+                                   pl);
+      } else {
+        out = make_scc_channel(core, placement_.transfer,
+                               "swap->transfer" + pl);
+        tail_channels_[sp] = out;
+      }
+      StageState& st = *stages_[static_cast<std::size_t>(p * kFilterCount + f)];
+      st.core = core;
+      st.in = in;
+      st.out = out;
+      st.gen = pipeline_gen_[sp];
+      st.frames_done = acked_[sp] + 1;
+      in = out;
+    }
+    for (int f = 0; f < kFilterCount; ++f) {
+      arm_filter_stage(*stages_[static_cast<std::size_t>(p * kFilterCount + f)]);
+    }
+  }
+
+  // ------------------------------------------------- checkpointed replay
+
+  CoreId checkpoint_reader(int p) const {
+    return cfg_.scenario == Scenario::RendererPerPipeline
+               ? cores_now_[static_cast<std::size_t>(p)][0]
+               : placement_.producer;
+  }
+
+  void queue_replay(int p) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    auto& q = replay_q_[sp];
+    q.clear();
+    for (const auto& [f, m] : outstanding_[sp]) q.push_back(f);
+    replay_active_[sp] = 1;
+    pump_replay(p, pipeline_gen_[sp]);
+  }
+
+  /// Re-send the pipeline's undelivered strips, oldest first, each paid
+  /// for with a checkpoint read from the owning DRAM partition. New frames
+  /// arriving meanwhile are appended to the queue (see send_strips_routed)
+  /// so the head channel stays FIFO.
+  void pump_replay(int p, int gen) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    if (failed_ || gen != pipeline_gen_[sp]) return;
+    auto& q = replay_q_[sp];
+    while (!q.empty() && outstanding_[sp].count(q.front()) == 0) {
+      q.pop_front();
+    }
+    if (q.empty()) {
+      replay_active_[sp] = 0;
+      if (cfg_.scenario == Scenario::RendererPerPipeline) {
+        // Backlog drained; the (possibly new) renderer resumes the frames
+        // it never handed over.
+        render_pipeline_frame(p, head_sent_[sp] + 1);
+      }
+      return;
+    }
+    const int frame = q.front();
+    q.pop_front();
+    const SentStrip& m = outstanding_[sp][frame];
+    ++recovery_.checkpoint_replays;
+    ++recovery_.frames_replayed;
+    recovery_.checkpoint_bytes += m.bytes;
+    chip_->dram_stream(checkpoint_reader(p), m.bytes, [this, p, sp, gen,
+                                                       frame] {
+      if (failed_ || gen != pipeline_gen_[sp]) return;
+      const auto it = outstanding_[sp].find(frame);
+      if (it == outstanding_[sp].end()) {
+        pump_replay(p, gen);
+        return;
+      }
+      FrameToken tok;
+      tok.frame = frame;
+      tok.strip = it->second.strip;
+      tok.bytes = it->second.bytes;
+      if (it->second.image) {
+        tok.image = std::make_shared<Image>(*it->second.image);
+      }
+      head_channels_[sp]->send(std::move(tok), [this, p, gen] {
+        if (failed_ || gen != pipeline_gen_[static_cast<std::size_t>(p)]) {
+          return;
+        }
+        pump_replay(p, gen);
+      });
+    });
+  }
+
   // -------------------------------------------------------------- results
   RunResult collect() {
     RunResult r;
     // A fault-free run must always complete; a faulted run may legitimately
-    // end early (graceful failure, reported below).
-    SCCPIPE_CHECK_MSG(failed_ || static_cast<int>(frame_done_ms_.size()) ==
+    // end early (graceful failure, reported below), and a degraded
+    // self-healing run delivers everything except the explicitly-lost
+    // frames.
+    SCCPIPE_CHECK_MSG(failed_ || static_cast<int>(frame_done_ms_.size()) +
+                                         static_cast<int>(
+                                             lost_frames_.size()) ==
                                      frames_total(),
                       "walkthrough did not complete: " << frame_done_ms_.size()
                           << '/' << frames_total() << " frames");
@@ -629,7 +1287,8 @@ class WalkthroughSim {
       rep.core = placement_.transfer;
       rep.wait_ms = transfer_wait_.summary();
       rep.busy_ms = chip_->core_busy_time(placement_.transfer).to_ms();
-      rep.frames = frames_total();
+      rep.frames = supervisor_ ? static_cast<int>(frame_done_ms_.size())
+                               : frames_total();
       r.stages.push_back(rep);
     }
 
@@ -662,9 +1321,28 @@ class WalkthroughSim {
           (host_->config().busy_watts - host_->config().idle_watts);
     }
     collect_fault_report(r);
+    collect_recovery_report(r);
     r.frames = std::move(out_frames_);
     r.events_dispatched = sim_.dispatched();
     return r;
+  }
+
+  void collect_recovery_report(RunResult& r) {
+    r.recovery = recovery_;
+    if (supervisor_ == nullptr) return;
+    r.recovery.heartbeats_sent = supervisor_->heartbeats_sent();
+    r.recovery.heartbeat_bytes = supervisor_->heartbeat_bytes_total();
+    r.recovery.frames_lost = static_cast<int>(lost_frames_.size());
+    if (first_detect_ms_ >= 0.0 && !frame_done_ms_.empty()) {
+      int after = 0;
+      for (const double t : frame_done_ms_) {
+        if (t > first_detect_ms_) ++after;
+      }
+      const double span_s = (frame_done_ms_.back() - first_detect_ms_) / 1e3;
+      if (after > 0 && span_s > 0.0) {
+        r.recovery.post_failure_fps = after / span_s;
+      }
+    }
   }
 
   void collect_fault_report(RunResult& r) {
@@ -682,6 +1360,8 @@ class WalkthroughSim {
     r.fault.rcce_delays = fault_->rcce_delays();
     r.fault.host_drops = fault_->host_drops();
     r.fault.host_delays = fault_->host_delays();
+    r.fault.rcce_corrupts = fault_->rcce_corrupts();
+    r.fault.host_corrupts = fault_->host_corrupts();
     r.fault.rcce_retransmissions = rcce_->retransmissions();
     r.fault.rcce_transfers_failed = rcce_->transfers_failed();
     r.fault.host_retransmissions = viewer_wire_->wire_retransmissions();
@@ -756,6 +1436,38 @@ class WalkthroughSim {
   std::string first_failure_where_;
   SimTime failed_at_ = SimTime::zero();
   std::vector<std::string> fault_errors_;
+
+  // ---- self-healing state (all empty/unused when supervisor_ is null) ----
+  std::unique_ptr<Supervisor> supervisor_;
+  RecoveryReport recovery_;
+  std::vector<CoreId> spares_;          // remaining promotion candidates
+  std::vector<CoreId> remapped_cores_;  // spares promoted into pipelines
+  std::vector<std::vector<CoreId>> cores_now_;  // live pipeline->core map
+  std::vector<char> pipeline_alive_;
+  std::vector<int> pipeline_gen_;
+  std::vector<int> acked_;      // last frame delivered to transfer, per pl
+  std::vector<int> head_sent_;  // last frame handed to the head, per pl
+  std::vector<std::map<int, SentStrip>> outstanding_;  // checkpoint index
+  std::vector<std::deque<int>> replay_q_;
+  std::vector<char> replay_active_;
+  std::set<int> lost_frames_;
+  std::map<int, std::vector<int>> frame_routes_;
+  double first_detect_ms_ = -1.0;
+
+  // Producer distribution progress (to resume a chain stalled on a dead
+  // core) and the supervisor-mode transfer collector's cursor.
+  bool dist_active_ = false;
+  int dist_frame_ = -1;
+  int dist_slot_ = 0;
+  int dist_pending_pipeline_ = -1;
+  std::shared_ptr<Image> dist_image_;
+  int transfer_frame_ = 0;
+  int transfer_slot_ = 0;
+  std::vector<int> transfer_route_;
+  int transfer_ticket_ = 0;
+  int transfer_ticket_seq_ = 0;
+  bool transfer_waiting_ = false;
+  bool transfer_deferred_ = false;
 };
 
 }  // namespace

@@ -70,9 +70,10 @@ void HostChannel::transmit(double bytes, PushCallback on_accepted,
       SimTime::sec(bytes / cfg_.wire_bandwidth_bytes_per_sec);
   const SimTime done = wire_.acquire(sim_.now(), wire_time);
   SimTime extra = SimTime::zero();
-  const bool dropped =
-      fault_ != nullptr && fault_->host_message_fate(sim_.now(), &extra);
-  if (!dropped) {
+  const MessageFate fate = fault_ != nullptr
+                               ? fault_->host_message_fate(sim_.now(), &extra)
+                               : MessageFate::Deliver;
+  if (fate == MessageFate::Deliver) {
     sim_.schedule_at(done + extra, [this, bytes,
                                     cb = std::move(on_accepted)]() mutable {
       arrived_.push_back(bytes);
@@ -81,7 +82,13 @@ void HostChannel::transmit(double bytes, PushCallback on_accepted,
     });
     return;
   }
-  const SimTime detect = max(done, sim_.now() + retry_.timeout);
+  // Drop: the application-level ack timer expires. Corrupt: the datagram
+  // crossed the wire but fails the endpoint CRC check, so the NACK returns
+  // at delivery time — detection is faster, but the wire occupancy was
+  // paid. Both resolve into the same retransmit-or-surface tail.
+  const SimTime detect = fate == MessageFate::Corrupt
+                             ? done + extra
+                             : max(done, sim_.now() + retry_.timeout);
   const bool budget_left = attempt < retry_.max_attempts;
   const SimTime next_start =
       detect + (budget_left ? retry_.backoff_after(attempt) : SimTime::zero());
@@ -96,8 +103,9 @@ void HostChannel::transmit(double bytes, PushCallback on_accepted,
     return;
   }
   std::ostringstream oss;
-  oss << "host-link message (" << bytes << " B) lost after " << attempt
-      << " attempt(s)";
+  oss << "host-link message (" << bytes << " B) "
+      << (fate == MessageFate::Corrupt ? "corrupted" : "lost") << " after "
+      << attempt << " attempt(s)";
   const Status failure{budget_left ? StatusCode::DeadlineExceeded
                                    : StatusCode::RetriesExhausted,
                        oss.str()};

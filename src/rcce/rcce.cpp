@@ -128,10 +128,10 @@ void RcceComm::attempt_transfer(CoreId from, CoreId to, double bytes,
       const SimTime mesh_done = chip_.mesh().transfer(
           now, topo.core_coord(from), topo.core_coord(to), bytes);
       SimTime extra = SimTime::zero();
-      const bool dropped =
-          fault_ != nullptr &&
-          fault_->rcce_message_fate(now, from, to, &extra);
-      if (!dropped) {
+      const MessageFate fate =
+          fault_ != nullptr ? fault_->rcce_message_fate(now, from, to, &extra)
+                            : MessageFate::Deliver;
+      if (fate == MessageFate::Deliver) {
         chip_.sim().schedule_at(mesh_done + extra,
                                 [this, to, bytes, sd = std::move(sd),
                                  rd = std::move(rd)]() mutable {
@@ -140,40 +140,44 @@ void RcceComm::attempt_transfer(CoreId from, CoreId to, double bytes,
                                 });
         return;
       }
-      // The payload is gone. The sender spins on the ack flag until its
-      // per-attempt timeout expires, then either retransmits after the
-      // backoff or gives up with a typed error to both endpoints.
-      const RetryPolicy& rp = cfg_.retry;
-      const SimTime detect = max(mesh_done, now + rp.timeout);
-      const bool budget_left = attempt < rp.max_attempts;
-      const SimTime next_start =
-          detect + (budget_left ? rp.backoff_after(attempt) : SimTime::zero());
-      const bool deadline_ok =
-          rp.deadline.is_zero() ||
-          next_start - first_attempt_at <= rp.deadline;
-      if (budget_left && deadline_ok) {
+      if (fate == MessageFate::Corrupt) {
+        // The payload arrives but fails the receiver's CRC-32 check. The
+        // receiver pays its full consumption cost for the bad copy
+        // (software overhead + partition bounce) before the NACK returns;
+        // only then does the sender restart the protocol round.
         chip_.sim().schedule_at(
-            next_start, [this, from, to, bytes, attempt, first_attempt_at,
-                         sd = std::move(sd), rd = std::move(rd)]() mutable {
-              ++retransmissions_;
-              attempt_transfer(from, to, bytes, attempt + 1, first_attempt_at,
-                               std::move(sd), std::move(rd));
+            mesh_done + extra,
+            [this, from, to, bytes, attempt, first_attempt_at,
+             sd = std::move(sd), rd = std::move(rd)]() mutable {
+              const double recv_cycles =
+                  cfg_.recv_overhead_cycles +
+                  cfg_.per_chunk_cycles * chunk_count(bytes);
+              chip_.compute(
+                  to, recv_cycles,
+                  [this, from, to, bytes, attempt, first_attempt_at,
+                   sd = std::move(sd), rd = std::move(rd)]() mutable {
+                    auto nack = [this, from, to, bytes, attempt,
+                                 first_attempt_at, sd = std::move(sd),
+                                 rd = std::move(rd)]() mutable {
+                      resolve_loss(from, to, bytes, attempt, first_attempt_at,
+                                   chip_.sim().now(), "corrupted",
+                                   std::move(sd), std::move(rd));
+                    };
+                    if (cfg_.local_memory_banks) {
+                      nack();
+                    } else {
+                      chip_.dram_stream(to, bytes, std::move(nack));
+                    }
+                  });
             });
         return;
       }
-      std::ostringstream oss;
-      oss << "rcce " << from << "->" << to << " lost after " << attempt
-          << " attempt(s), " << (chip_.sim().now() - first_attempt_at).to_ms()
-          << " ms since rendezvous";
-      const Status failure{budget_left ? StatusCode::DeadlineExceeded
-                                       : StatusCode::RetriesExhausted,
-                           oss.str()};
-      chip_.sim().schedule_at(detect, [this, failure, sd = std::move(sd),
-                                       rd = std::move(rd)]() mutable {
-        ++transfers_failed_;
-        sd(failure);
-        rd(failure);
-      });
+      // The payload is gone. The sender spins on the ack flag until its
+      // per-attempt timeout expires, then either retransmits after the
+      // backoff or gives up with a typed error to both endpoints.
+      const SimTime detect = max(mesh_done, now + cfg_.retry.timeout);
+      resolve_loss(from, to, bytes, attempt, first_attempt_at, detect, "lost",
+                   std::move(sd), std::move(rd));
     };
     if (cfg_.local_memory_banks) {
       after_source();
@@ -181,6 +185,57 @@ void RcceComm::attempt_transfer(CoreId from, CoreId to, double bytes,
       chip_.dram_stream(from, bytes, std::move(after_source));
     }
   });
+}
+
+void RcceComm::resolve_loss(CoreId from, CoreId to, double bytes, int attempt,
+                            SimTime first_attempt_at, SimTime detect,
+                            const char* how, StatusCallback sender_done,
+                            StatusCallback receiver_done) {
+  const RetryPolicy& rp = cfg_.retry;
+  const bool budget_left = attempt < rp.max_attempts;
+  const SimTime next_start =
+      detect + (budget_left ? rp.backoff_after(attempt) : SimTime::zero());
+  const bool deadline_ok =
+      rp.deadline.is_zero() || next_start - first_attempt_at <= rp.deadline;
+  if (budget_left && deadline_ok) {
+    chip_.sim().schedule_at(
+        next_start,
+        [this, from, to, bytes, attempt, first_attempt_at,
+         sd = std::move(sender_done), rd = std::move(receiver_done)]() mutable {
+          ++retransmissions_;
+          attempt_transfer(from, to, bytes, attempt + 1, first_attempt_at,
+                           std::move(sd), std::move(rd));
+        });
+    return;
+  }
+  std::ostringstream oss;
+  oss << "rcce " << from << "->" << to << " " << how << " after " << attempt
+      << " attempt(s), " << (detect - first_attempt_at).to_ms()
+      << " ms since rendezvous";
+  const Status failure{budget_left ? StatusCode::DeadlineExceeded
+                                   : StatusCode::RetriesExhausted,
+                       oss.str()};
+  chip_.sim().schedule_at(detect, [this, failure,
+                                   sd = std::move(sender_done),
+                                   rd = std::move(receiver_done)]() mutable {
+    ++transfers_failed_;
+    sd(failure);
+    rd(failure);
+  });
+}
+
+std::size_t RcceComm::abandon_pair(CoreId from, CoreId to) {
+  const Key key{from, to};
+  std::size_t dropped = 0;
+  if (auto it = sends_.find(key); it != sends_.end()) {
+    dropped += it->second.size();
+    sends_.erase(it);
+  }
+  if (auto it = recvs_.find(key); it != recvs_.end()) {
+    dropped += it->second.size();
+    recvs_.erase(it);
+  }
+  return dropped;
 }
 
 SimTime RcceComm::ideal_transfer_time(CoreId from, CoreId to,

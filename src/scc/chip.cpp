@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "sccpipe/sim/fault.hpp"
+
 namespace sccpipe {
 
 ChipConfig ChipConfig::scc() { return ChipConfig{}; }
@@ -155,10 +157,15 @@ SimTime SccChip::core_busy_time(CoreId core) const {
   return t;
 }
 
+bool SccChip::core_dead(CoreId core) const {
+  return fault_ != nullptr && fault_->core_failed(core, sim_.now());
+}
+
 void SccChip::compute(CoreId core, double ref_cycles,
                       std::function<void()> on_done) {
   SCCPIPE_CHECK(ref_cycles >= 0.0);
   SCCPIPE_CHECK(on_done != nullptr);
+  if (core_dead(core)) return;  // fail-stop: nothing starts, nothing returns
   const SimTime dur = SimTime::sec(ref_cycles / effective_hz(core));
   set_core_busy(core, true);
   sim_.schedule_after(dur, [this, core, cb = std::move(on_done)]() mutable {
@@ -170,6 +177,7 @@ void SccChip::compute(CoreId core, double ref_cycles,
 void SccChip::memory_walk(CoreId core, double line_accesses,
                           std::function<void()> on_done) {
   SCCPIPE_CHECK(on_done != nullptr);
+  if (core_dead(core)) return;
   mem_.register_latency_stream(core);
   set_core_busy(core, true);
   // Split the walk into segments, re-sampling the controller load at each
@@ -204,6 +212,7 @@ void SccChip::memory_walk(CoreId core, double line_accesses,
 void SccChip::dram_stream(CoreId core, double bytes,
                           std::function<void()> on_done) {
   SCCPIPE_CHECK(on_done != nullptr);
+  if (core_dead(core)) return;
   set_core_busy(core, true);
   mem_.bulk(core, bytes, copy_rate(core),
             [this, core, cb = std::move(on_done)]() mutable {

@@ -9,9 +9,17 @@ namespace sccpipe {
 
 SimTime RetryPolicy::backoff_after(int failed_attempts) const {
   SCCPIPE_CHECK(failed_attempts >= 1);
-  SimTime b = backoff;
-  for (int i = 1; i < failed_attempts; ++i) b = b * backoff_factor;
-  return b;
+  // Compute in floating point with a per-step cap: the naive fixed-point
+  // multiply overflows int64 nanoseconds after ~60 doublings, long before
+  // a generous retry budget is spent.
+  const double cap_ns = static_cast<double>(max_backoff.to_ns());
+  double ns = static_cast<double>(backoff.to_ns());
+  for (int i = 1; i < failed_attempts; ++i) {
+    ns *= backoff_factor;
+    if (ns >= cap_ns) return max_backoff;
+  }
+  if (ns >= cap_ns) return max_backoff;
+  return SimTime::ns(static_cast<std::int64_t>(ns));
 }
 
 const char* fault_kind_name(FaultKind kind) {
@@ -21,20 +29,15 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::RouterDegrade: return "router-degrade";
     case FaultKind::McDegrade: return "mc-degrade";
     case FaultKind::McStall: return "mc-stall";
+    case FaultKind::CoreFail: return "core-fail";
     case FaultKind::RcceDrop: return "rcce-drop";
     case FaultKind::RcceDelay: return "rcce-delay";
+    case FaultKind::RcceCorrupt: return "rcce-corrupt";
     case FaultKind::HostDrop: return "host-drop";
     case FaultKind::HostDelay: return "host-delay";
+    case FaultKind::HostCorrupt: return "host-corrupt";
   }
   return "?";
-}
-
-bool FaultPlan::enabled() const {
-  return rcce_drop_rate > 0.0 || rcce_delay_rate > 0.0 ||
-         host_drop_rate > 0.0 || host_delay_rate > 0.0 ||
-         link_degrade_count > 0 || link_down_count > 0 ||
-         router_degrade_count > 0 || mc_degrade_count > 0 ||
-         mc_stall_count > 0;
 }
 
 namespace {
@@ -96,9 +99,121 @@ bool parse_rate_time(const std::string& v, double* rate, SimTime* t) {
   return parse_time(v.substr(colon + 1), t);
 }
 
+/// "<core>@<time>" for one planned fail-stop death; appends to the list.
+bool parse_core_fail(const std::string& v, std::vector<CoreFailure>* out) {
+  const auto at = v.find('@');
+  if (at == std::string::npos) return false;
+  CoreFailure cf;
+  if (!parse_count(v.substr(0, at), &cf.core)) return false;
+  if (!parse_time(v.substr(at + 1), &cf.at)) return false;
+  out->push_back(cf);
+  return true;
+}
+
+/// One row per plan key: how to parse the value into the plan, and whether
+/// the field (once set) activates the fault layer. enabled() and parse()
+/// both walk this table, so a fault kind that can be parsed is by
+/// construction reachable — adding a key without an `active` predicate is
+/// a deliberate, visible choice (config-only keys: seed/horizon/window).
+struct PlanField {
+  const char* key;
+  bool (*parse)(FaultPlan& p, const std::string& v);
+  bool (*active)(const FaultPlan& p);  ///< nullptr: never enables the plan
+};
+
+constexpr PlanField kPlanFields[] = {
+    {"seed",
+     [](FaultPlan& p, const std::string& v) {
+       char* end = nullptr;
+       p.seed = std::strtoull(v.c_str(), &end, 10);
+       return end != v.c_str() && *end == '\0';
+     },
+     nullptr},
+    {"horizon",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_time(v, &p.horizon);
+     },
+     nullptr},
+    {"window",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_time(v, &p.window);
+     },
+     nullptr},
+    {"rcce-drop",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_rate(v, &p.rcce_drop_rate);
+     },
+     [](const FaultPlan& p) { return p.rcce_drop_rate > 0.0; }},
+    {"rcce-delay",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_rate_time(v, &p.rcce_delay_rate, &p.rcce_delay);
+     },
+     [](const FaultPlan& p) { return p.rcce_delay_rate > 0.0; }},
+    {"rcce-corrupt",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_rate(v, &p.rcce_corrupt_rate);
+     },
+     [](const FaultPlan& p) { return p.rcce_corrupt_rate > 0.0; }},
+    {"host-drop",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_rate(v, &p.host_drop_rate);
+     },
+     [](const FaultPlan& p) { return p.host_drop_rate > 0.0; }},
+    {"host-delay",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_rate_time(v, &p.host_delay_rate, &p.host_delay);
+     },
+     [](const FaultPlan& p) { return p.host_delay_rate > 0.0; }},
+    {"host-corrupt",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_rate(v, &p.host_corrupt_rate);
+     },
+     [](const FaultPlan& p) { return p.host_corrupt_rate > 0.0; }},
+    {"link-degrade",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_count_factor(v, &p.link_degrade_count,
+                                 &p.link_degrade_factor);
+     },
+     [](const FaultPlan& p) { return p.link_degrade_count > 0; }},
+    {"link-down",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_count(v, &p.link_down_count);
+     },
+     [](const FaultPlan& p) { return p.link_down_count > 0; }},
+    {"router-degrade",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_count_factor(v, &p.router_degrade_count,
+                                 &p.router_degrade_factor);
+     },
+     [](const FaultPlan& p) { return p.router_degrade_count > 0; }},
+    {"mc-degrade",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_count_factor(v, &p.mc_degrade_count,
+                                 &p.mc_degrade_factor);
+     },
+     [](const FaultPlan& p) { return p.mc_degrade_count > 0; }},
+    {"mc-stall",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_count(v, &p.mc_stall_count);
+     },
+     [](const FaultPlan& p) { return p.mc_stall_count > 0; }},
+    {"core-fail",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_core_fail(v, &p.core_failures);
+     },
+     [](const FaultPlan& p) { return !p.core_failures.empty(); }},
+};
+
 }  // namespace
 
-bool FaultPlan::parse(const std::string& text, std::string* error) {
+bool FaultPlan::enabled() const {
+  for (const PlanField& f : kPlanFields) {
+    if (f.active != nullptr && f.active(*this)) return true;
+  }
+  return false;
+}
+
+Status FaultPlan::parse(const std::string& text) {
   std::size_t pos = 0;
   while (pos < text.size()) {
     std::size_t semi = text.find(';', pos);
@@ -108,49 +223,28 @@ bool FaultPlan::parse(const std::string& text, std::string* error) {
     if (item.empty()) continue;
     const auto eq = item.find('=');
     if (eq == std::string::npos) {
-      if (error) *error = "fault-plan item '" + item + "' lacks '='";
-      return false;
+      return Status(StatusCode::InvalidArgument,
+                    "fault-plan item '" + item + "' lacks '='");
     }
     const std::string key = item.substr(0, eq);
     const std::string val = item.substr(eq + 1);
-    bool ok = true;
-    if (key == "seed") {
-      char* end = nullptr;
-      seed = std::strtoull(val.c_str(), &end, 10);
-      ok = end != val.c_str() && *end == '\0';
-    } else if (key == "horizon") {
-      ok = parse_time(val, &horizon);
-    } else if (key == "window") {
-      ok = parse_time(val, &window);
-    } else if (key == "rcce-drop") {
-      ok = parse_rate(val, &rcce_drop_rate);
-    } else if (key == "rcce-delay") {
-      ok = parse_rate_time(val, &rcce_delay_rate, &rcce_delay);
-    } else if (key == "host-drop") {
-      ok = parse_rate(val, &host_drop_rate);
-    } else if (key == "host-delay") {
-      ok = parse_rate_time(val, &host_delay_rate, &host_delay);
-    } else if (key == "link-degrade") {
-      ok = parse_count_factor(val, &link_degrade_count, &link_degrade_factor);
-    } else if (key == "link-down") {
-      ok = parse_count(val, &link_down_count);
-    } else if (key == "router-degrade") {
-      ok = parse_count_factor(val, &router_degrade_count,
-                              &router_degrade_factor);
-    } else if (key == "mc-degrade") {
-      ok = parse_count_factor(val, &mc_degrade_count, &mc_degrade_factor);
-    } else if (key == "mc-stall") {
-      ok = parse_count(val, &mc_stall_count);
-    } else {
-      if (error) *error = "unknown fault-plan key '" + key + "'";
-      return false;
+    const PlanField* field = nullptr;
+    for (const PlanField& f : kPlanFields) {
+      if (key == f.key) {
+        field = &f;
+        break;
+      }
     }
-    if (!ok) {
-      if (error) *error = "bad value for fault-plan key '" + key + "'";
-      return false;
+    if (field == nullptr) {
+      return Status(StatusCode::InvalidArgument,
+                    "unknown fault-plan key '" + key + "'");
+    }
+    if (!field->parse(*this, val)) {
+      return Status(StatusCode::InvalidArgument,
+                    "bad value for fault-plan key '" + key + "'");
     }
   }
-  return true;
+  return Status();
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan, int link_count,
@@ -193,6 +287,16 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int link_count,
   add(FaultKind::McDegrade, plan_.mc_degrade_count, mc_count,
       plan_.mc_degrade_factor);
   add(FaultKind::McStall, plan_.mc_stall_count, mc_count, 1.0);
+  // Core failures come straight from the plan (no RNG): a fail-stop death
+  // is a point event that never ends.
+  for (const CoreFailure& cf : plan_.core_failures) {
+    SCCPIPE_CHECK(cf.core >= 0);
+    FaultEvent ev;
+    ev.kind = FaultKind::CoreFail;
+    ev.target = cf.core;
+    ev.start = ev.end = cf.at;
+    schedule_.push_back(ev);
+  }
   std::sort(schedule_.begin(), schedule_.end(),
             [](const FaultEvent& a, const FaultEvent& b) {
               if (a.start != b.start) return a.start < b.start;
@@ -256,11 +360,29 @@ double FaultInjector::mc_slowdown(int mc, SimTime at) const {
   return slowdown(FaultKind::McDegrade, mc, at);
 }
 
-bool FaultInjector::rcce_message_fate(SimTime at, int from, int to,
-                                      SimTime* extra_delay) {
-  *extra_delay = SimTime::zero();
+bool FaultInjector::core_failed(int core, SimTime at) const {
   if (!enabled_) return false;
-  // One draw per decision point keeps the stream aligned across runs.
+  for (const CoreFailure& cf : plan_.core_failures) {
+    if (cf.core == core && cf.at <= at) return true;
+  }
+  return false;
+}
+
+SimTime FaultInjector::core_fail_time(int core) const {
+  SimTime t = SimTime::max();
+  for (const CoreFailure& cf : plan_.core_failures) {
+    if (cf.core == core) t = std::min(t, cf.at);
+  }
+  return t;
+}
+
+MessageFate FaultInjector::rcce_message_fate(SimTime at, int from, int to,
+                                             SimTime* extra_delay) {
+  *extra_delay = SimTime::zero();
+  if (!enabled_) return MessageFate::Deliver;
+  // One draw per decision point keeps the stream aligned across runs; each
+  // draw is rate-gated, so a plan that never uses a fate class consumes no
+  // randomness for it and older plans keep their exact streams.
   if (plan_.rcce_drop_rate > 0.0 &&
       rcce_rng_.uniform() < plan_.rcce_drop_rate) {
     ++rcce_drops_;
@@ -269,7 +391,18 @@ bool FaultInjector::rcce_message_fate(SimTime at, int from, int to,
     ev.start = ev.end = at;
     ev.target = from * 1000 + to;  // compact pair id for the trace
     trace_.push_back(ev);
-    return true;
+    return MessageFate::Drop;
+  }
+  MessageFate fate = MessageFate::Deliver;
+  if (plan_.rcce_corrupt_rate > 0.0 &&
+      rcce_rng_.uniform() < plan_.rcce_corrupt_rate) {
+    ++rcce_corrupts_;
+    FaultEvent ev;
+    ev.kind = FaultKind::RcceCorrupt;
+    ev.start = ev.end = at;
+    ev.target = from * 1000 + to;
+    trace_.push_back(ev);
+    fate = MessageFate::Corrupt;
   }
   if (plan_.rcce_delay_rate > 0.0 &&
       rcce_rng_.uniform() < plan_.rcce_delay_rate) {
@@ -282,12 +415,13 @@ bool FaultInjector::rcce_message_fate(SimTime at, int from, int to,
     trace_.push_back(ev);
     *extra_delay = ev.extra;
   }
-  return false;
+  return fate;
 }
 
-bool FaultInjector::host_message_fate(SimTime at, SimTime* extra_delay) {
+MessageFate FaultInjector::host_message_fate(SimTime at,
+                                             SimTime* extra_delay) {
   *extra_delay = SimTime::zero();
-  if (!enabled_) return false;
+  if (!enabled_) return MessageFate::Deliver;
   if (plan_.host_drop_rate > 0.0 &&
       host_rng_.uniform() < plan_.host_drop_rate) {
     ++host_drops_;
@@ -295,7 +429,17 @@ bool FaultInjector::host_message_fate(SimTime at, SimTime* extra_delay) {
     ev.kind = FaultKind::HostDrop;
     ev.start = ev.end = at;
     trace_.push_back(ev);
-    return true;
+    return MessageFate::Drop;
+  }
+  MessageFate fate = MessageFate::Deliver;
+  if (plan_.host_corrupt_rate > 0.0 &&
+      host_rng_.uniform() < plan_.host_corrupt_rate) {
+    ++host_corrupts_;
+    FaultEvent ev;
+    ev.kind = FaultKind::HostCorrupt;
+    ev.start = ev.end = at;
+    trace_.push_back(ev);
+    fate = MessageFate::Corrupt;
   }
   if (plan_.host_delay_rate > 0.0 &&
       host_rng_.uniform() < plan_.host_delay_rate) {
@@ -307,7 +451,7 @@ bool FaultInjector::host_message_fate(SimTime at, SimTime* extra_delay) {
     trace_.push_back(ev);
     *extra_delay = ev.extra;
   }
-  return false;
+  return fate;
 }
 
 std::uint64_t FaultInjector::fingerprint() const {

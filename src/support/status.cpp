@@ -10,6 +10,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::DeadlineExceeded: return "DeadlineExceeded";
     case StatusCode::Unavailable: return "Unavailable";
     case StatusCode::Cancelled: return "Cancelled";
+    case StatusCode::InvalidArgument: return "InvalidArgument";
   }
   return "?";
 }

@@ -57,13 +57,12 @@ TEST(FaultPlan, DefaultPlanIsDisabled) {
 
 TEST(FaultPlan, ParsesTheFullGrammar) {
   FaultPlan plan;
-  std::string err;
-  ASSERT_TRUE(plan.parse(
+  const Status st = plan.parse(
       "seed=9;horizon=2s;window=20ms;rcce-drop=0.05;rcce-delay=0.1:3ms;"
+      "rcce-corrupt=0.02;host-corrupt=0.03;"
       "host-drop=0.01;host-delay=0.2:500us;link-degrade=3:0.5;link-down=2;"
-      "router-degrade=1:0.25;mc-degrade=2:0.75;mc-stall=1",
-      &err))
-      << err;
+      "router-degrade=1:0.25;mc-degrade=2:0.75;mc-stall=1;core-fail=7@150ms");
+  ASSERT_TRUE(st.ok()) << st.to_string();
   EXPECT_EQ(plan.seed, 9u);
   EXPECT_EQ(plan.horizon, SimTime::sec(2));
   EXPECT_EQ(plan.window, SimTime::ms(20));
@@ -73,6 +72,11 @@ TEST(FaultPlan, ParsesTheFullGrammar) {
   EXPECT_DOUBLE_EQ(plan.host_drop_rate, 0.01);
   EXPECT_DOUBLE_EQ(plan.host_delay_rate, 0.2);
   EXPECT_EQ(plan.host_delay, SimTime::us(500));
+  EXPECT_DOUBLE_EQ(plan.rcce_corrupt_rate, 0.02);
+  EXPECT_DOUBLE_EQ(plan.host_corrupt_rate, 0.03);
+  ASSERT_EQ(plan.core_failures.size(), 1u);
+  EXPECT_EQ(plan.core_failures[0].core, 7);
+  EXPECT_EQ(plan.core_failures[0].at, SimTime::ms(150));
   EXPECT_EQ(plan.link_degrade_count, 3);
   EXPECT_DOUBLE_EQ(plan.link_degrade_factor, 0.5);
   EXPECT_EQ(plan.link_down_count, 2);
@@ -85,15 +89,17 @@ TEST(FaultPlan, ParsesTheFullGrammar) {
 
 TEST(FaultPlan, RejectsMalformedInput) {
   FaultPlan plan;
-  std::string err;
-  EXPECT_FALSE(plan.parse("bogus-key=1", &err));
-  EXPECT_FALSE(err.empty());
-  EXPECT_FALSE(plan.parse("rcce-drop=1.5", &err));  // rate out of [0, 1]
-  EXPECT_FALSE(plan.parse("rcce-drop=abc", &err));
-  EXPECT_FALSE(plan.parse("horizon=12parsecs", &err));
-  EXPECT_FALSE(plan.parse("link-degrade=3:2", &err));  // factor > 1
-  EXPECT_FALSE(plan.parse("link-degrade=3:", &err));   // empty factor
-  EXPECT_FALSE(plan.parse("rcce-drop", &err));         // missing =
+  const Status unknown = plan.parse("bogus-key=1");
+  EXPECT_EQ(unknown.code(), StatusCode::InvalidArgument);
+  EXPECT_FALSE(unknown.message().empty());
+  EXPECT_FALSE(plan.parse("rcce-drop=1.5").ok());  // rate out of [0, 1]
+  EXPECT_FALSE(plan.parse("rcce-drop=abc").ok());
+  EXPECT_FALSE(plan.parse("horizon=12parsecs").ok());
+  EXPECT_FALSE(plan.parse("link-degrade=3:2").ok());  // factor > 1
+  EXPECT_FALSE(plan.parse("link-degrade=3:").ok());   // empty factor
+  EXPECT_FALSE(plan.parse("rcce-drop").ok());         // missing =
+  EXPECT_FALSE(plan.parse("core-fail=5").ok());       // missing @time
+  EXPECT_FALSE(plan.parse("core-fail=-1@10ms").ok()); // negative core
 }
 
 // ------------------------------------------------------ schedule determinism
@@ -140,8 +146,8 @@ TEST(FaultInjector, MessageFatesAreDeterministic) {
   FaultInjector b(plan, 96, 24, 4);
   for (int i = 0; i < 200; ++i) {
     SimTime ea = SimTime::zero(), eb = SimTime::zero();
-    const bool da = a.rcce_message_fate(SimTime::ms(i), 0, 1, &ea);
-    const bool db = b.rcce_message_fate(SimTime::ms(i), 0, 1, &eb);
+    const MessageFate da = a.rcce_message_fate(SimTime::ms(i), 0, 1, &ea);
+    const MessageFate db = b.rcce_message_fate(SimTime::ms(i), 0, 1, &eb);
     EXPECT_EQ(da, db);
     EXPECT_EQ(ea, eb);
   }

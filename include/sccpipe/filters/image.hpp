@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "sccpipe/support/check.hpp"
+
 namespace sccpipe {
 
 struct Color {
@@ -42,6 +44,21 @@ class Image {
 
   std::uint8_t* data() { return data_.data(); }
   const std::uint8_t* data() const { return data_.data(); }
+
+  /// First byte of row \p y — 4 * width() contiguous RGBA bytes. The hot
+  /// per-pixel loops walk these raw rows; bounds are debug-checked only so
+  /// the release kernels stay branch-free and vectorizable.
+  std::uint8_t* row(int y) {
+    SCCPIPE_DCHECK(y >= 0 && y < height_);
+    return data_.data() + static_cast<std::size_t>(y) * row_bytes();
+  }
+  const std::uint8_t* row(int y) const {
+    SCCPIPE_DCHECK(y >= 0 && y < height_);
+    return data_.data() + static_cast<std::size_t>(y) * row_bytes();
+  }
+  std::size_t row_bytes() const {
+    return static_cast<std::size_t>(width_) * 4;
+  }
 
   Color get(int x, int y) const;
   void set(int x, int y, Color c);

@@ -7,8 +7,6 @@
 /// reference cycles (the same unit SccChip::compute uses); the host divides
 /// them by its much larger effective rate.
 
-#include <functional>
-
 #include "sccpipe/scc/power.hpp"
 #include "sccpipe/sim/simulator.hpp"
 #include "sccpipe/support/time.hpp"
@@ -42,7 +40,7 @@ class HostCpu {
 
   /// Run \p ref_cycles of work, then \p on_done. Serialised: a call while
   /// busy queues behind the current work (single worker thread model).
-  void compute(double ref_cycles, std::function<void()> on_done);
+  void compute(double ref_cycles, StageCallback on_done);
 
   bool busy() const { return busy_depth_ > 0; }
   SimTime busy_time() const;

@@ -66,8 +66,9 @@ struct HostLinkConfig {
 /// on their own processor so that stage busy/idle metrics stay truthful.
 class HostChannel {
  public:
-  using PushCallback = std::function<void()>;
-  using PopCallback = std::function<void(double bytes)>;
+  using PushCallback = InplaceFunction<void(), kHostPushCallbackBytes>;
+  using PopCallback =
+      InplaceFunction<void(double bytes), kHostPopCallbackBytes>;
   using ErrorHandler = std::function<void(const Status&)>;
 
   HostChannel(Simulator& sim, HostLinkConfig cfg = HostLinkConfig::mcpc());

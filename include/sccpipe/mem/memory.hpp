@@ -18,7 +18,6 @@
 ///    penalises the "as many renderers as pipelines" scenario (§VI-A).
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -69,8 +68,9 @@ class MemorySystem {
   /// \p core_rate_cap is the issuing core's copy bandwidth (bytes/s).
   /// \p on_done fires when the stream completes; mesh link contention along
   /// the core<->MC route is charged as well.
+  using BulkCallback = InplaceFunction<void(), kMemCallbackBytes>;
   void bulk(CoreId core, double bytes, double core_rate_cap,
-            std::function<void()> on_done);
+            BulkCallback on_done);
 
   /// Duration of \p n_accesses dependent line fetches issued by \p core
   /// under the current load of its home controller. Pure query plus load

@@ -67,8 +67,12 @@ class MeshTopology {
 
   /// Memory controller owning a core's private DRAM partition: the nearest
   /// controller by Manhattan distance (ties broken by lower MC id), which
-  /// matches the SCC's default quadrant assignment.
+  /// matches the SCC's default quadrant assignment. O(1): precomputed per
+  /// tile at construction.
   McId home_mc(CoreId core) const;
+
+  /// Router hops from a core's tile to its home controller (precomputed).
+  int home_mc_hops(CoreId core) const;
 
   /// Manhattan distance in router hops between two tiles.
   int hop_distance(TileCoord a, TileCoord b) const;
@@ -84,6 +88,8 @@ class MeshTopology {
 
  private:
   MeshLayout layout_;
+  std::vector<McId> tile_home_mc_;   ///< nearest controller, per tile
+  std::vector<int> tile_home_hops_;  ///< hops to that controller, per tile
 };
 
 }  // namespace sccpipe

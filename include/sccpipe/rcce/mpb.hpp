@@ -14,7 +14,6 @@
 /// Capacity: bytes resident in a core's MPB are tracked; exceeding the
 /// 8 KiB window is a programming error (RCCE chunks large messages).
 
-#include <functional>
 #include <map>
 #include <vector>
 
@@ -31,7 +30,9 @@ struct MpbConfig {
 
 class MpbSystem {
  public:
-  using Callback = std::function<void()>;
+  /// MPB continuations are the innermost callback tier: put/get wrap
+  /// them with a few words of context before handing them to the chip.
+  using Callback = InplaceFunction<void(), kMpbCallbackBytes>;
 
   MpbSystem(SccChip& chip, MpbConfig cfg = {});
 

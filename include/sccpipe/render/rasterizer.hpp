@@ -27,6 +27,19 @@ class Framebuffer {
   float depth(int x, int y) const;
   void set_pixel(int x, int y, float z, Color c);
 
+  /// Raw z-buffer row — the raster inner loop's depth test path (bounds are
+  /// debug-checked only, like Image::row).
+  float* depth_row(int y) {
+    SCCPIPE_DCHECK(y >= 0 && y < height());
+    return depth_.data() +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(width());
+  }
+  const float* depth_row(int y) const {
+    SCCPIPE_DCHECK(y >= 0 && y < height());
+    return depth_.data() +
+           static_cast<std::size_t>(y) * static_cast<std::size_t>(width());
+  }
+
  private:
   Image color_;
   std::vector<float> depth_;

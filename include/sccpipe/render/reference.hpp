@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file reference.hpp
+/// Naive reference rasterizer — the per-pixel edge-function form the
+/// optimised inner loop in rasterizer.cpp replaced. Kept compiled for the
+/// golden-equivalence tests (bit-identical framebuffers on seeded random
+/// triangle batches) and the perf baseline's optimised-vs-reference ratio.
+/// See filters/reference.hpp for the rationale; the same "do not optimise
+/// this" rule applies.
+
+#include "sccpipe/render/rasterizer.hpp"
+
+namespace sccpipe::reference {
+
+void draw_triangle_clip(Framebuffer& fb, const Viewport& vp, Vec4 c0, Vec4 c1,
+                        Vec4 c2, Color col, RasterStats* stats = nullptr);
+
+}  // namespace sccpipe::reference

@@ -9,7 +9,6 @@
 /// with fast cores, a flat high-bandwidth "mesh" and effectively
 /// uncontended memory — see ChipConfig::mogon_node().
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -128,16 +127,16 @@ class SccChip {
   // --- timed execution ---------------------------------------------------
   /// Run \p ref_cycles of computation on \p core, then call \p on_done.
   /// The core is marked busy for the duration.
-  void compute(CoreId core, double ref_cycles, std::function<void()> on_done);
+  void compute(CoreId core, double ref_cycles, StageCallback on_done);
 
   /// Run a latency-bound memory walk (octree traversal): \p line_accesses
   /// dependent misses under current MC load, then \p on_done.
   void memory_walk(CoreId core, double line_accesses,
-                   std::function<void()> on_done);
+                   StageCallback on_done);
 
   /// Stream \p bytes between the core and its DRAM partition (capped at
   /// the core's copy rate, contended at the MC), then \p on_done.
-  void dram_stream(CoreId core, double bytes, std::function<void()> on_done);
+  void dram_stream(CoreId core, double bytes, StageCallback on_done);
 
  private:
   struct CoreState {
@@ -147,6 +146,14 @@ class SccChip {
     SimTime busy_total = SimTime::zero();
   };
 
+  struct WalkState {
+    CoreId core;
+    double per_segment;
+    int remaining;
+    StageCallback on_done;
+  };
+
+  void walk_step(WalkState st);
   void refresh_power();
   void refresh_voltages();
 

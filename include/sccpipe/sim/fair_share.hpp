@@ -14,7 +14,6 @@
 /// completion" event is rescheduled.
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,7 +24,9 @@ namespace sccpipe {
 
 class FairShareResource {
  public:
-  using Callback = std::function<void()>;
+  /// Flow completions sit near the top of the callback tower: a
+  /// completion may carry a whole memory-system continuation inline.
+  using Callback = InplaceFunction<void(), kFlowCallbackBytes>;
 
   /// \p capacity_bytes_per_sec is the aggregate bandwidth shared by flows.
   FairShareResource(Simulator& sim, std::string name,

@@ -13,18 +13,26 @@
 /// experiment execution (exec/executor.hpp) runs one independent Simulator
 /// per worker thread; instances share nothing.
 ///
+/// Hot-path layout (structure of arrays): the priority heap holds only
+/// 24-byte (time, seq, slot) keys — sifts touch nothing but hot cache
+/// lines — while callbacks live in a pooled slot table indexed by the key's
+/// slot. Callbacks are `SimCallback` (inline fixed-capacity storage, see
+/// callback.hpp), so steady-state schedule/cancel/dispatch performs zero
+/// heap allocations; SimulatorStats counts the container growths so tests
+/// can assert exactly that.
+///
 /// Cancellation is O(1): every pending event owns a pooled slot recording
-/// the sequence number that currently occupies it. cancel() frees the slot
-/// without touching the heap; the heap entry becomes a tombstone that
-/// step() discards when it surfaces. When tombstones outnumber live events
-/// the heap is compacted in one O(n) pass, so retry/timeout-heavy
-/// workloads (most armed timeouts are cancelled, not dispatched) stay
-/// linear instead of quadratic.
+/// the sequence number that currently occupies it. cancel() destroys the
+/// callback, frees the slot and leaves the heap key behind as a tombstone
+/// that step() discards when it surfaces. When tombstones outnumber live
+/// events the key heap is compacted in one O(n) pass over PODs, so
+/// retry/timeout-heavy workloads (most armed timeouts are cancelled, not
+/// dispatched) stay linear instead of quadratic.
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sccpipe/sim/callback.hpp"
 #include "sccpipe/support/time.hpp"
 
 namespace sccpipe {
@@ -43,26 +51,48 @@ class EventHandle {
   std::uint64_t seq_ = 0;
 };
 
+/// Allocation/occupancy counters of one Simulator, for tests and the perf
+/// harness. `allocs` counts every growth of the event containers (key heap,
+/// slot pool, free list); after warm-up it must stay flat — the perf-smoke
+/// test asserts schedule/cancel/dispatch churn leaves it unchanged.
+struct SimulatorStats {
+  std::uint64_t allocs = 0;        ///< container growths (reallocations)
+  std::uint64_t compactions = 0;   ///< tombstone sweeps of the key heap
+  std::uint64_t peak_events = 0;   ///< max simultaneous live pending events
+};
+
 /// The event-driven scheduler.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SimCallback;
 
-  Simulator();
+  /// \p size_hint pre-reserves the key heap and slot pool for that many
+  /// simultaneously pending events (they still grow on demand).
+  explicit Simulator(std::size_t size_hint = kDefaultSizeHint);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Grow the reserved event capacity (no-op when already that large).
+  void reserve_events(std::size_t expected_pending);
 
   /// Current simulated time.
   SimTime now() const { return now_; }
 
   /// Schedule \p fn at absolute time \p when (must not be in the past).
-  EventHandle schedule_at(SimTime when, Callback fn);
+  /// (Thin forwarders: the callable is materialised once at the call site
+  /// and relocated exactly once, into its slot.)
+  EventHandle schedule_at(SimTime when, Callback fn) {
+    return schedule_impl(when, std::move(fn));
+  }
 
   /// Schedule \p fn \p delay after now (delay must be non-negative).
-  EventHandle schedule_after(SimTime delay, Callback fn);
+  EventHandle schedule_after(SimTime delay, Callback fn) {
+    return schedule_impl(delay_to_when(delay), std::move(fn));
+  }
 
   /// Cancel a pending event. Returns false if it already ran, was already
-  /// cancelled, or the handle is empty. O(1).
+  /// cancelled, or the handle is empty. O(1); the captured state is
+  /// destroyed immediately.
   bool cancel(EventHandle handle);
 
   /// Dispatch the next event. Returns false when the queue is empty.
@@ -81,35 +111,46 @@ class Simulator {
   /// Number of live (non-cancelled) events currently pending.
   std::size_t pending() const;
 
+  /// Allocation/compaction/occupancy counters (see SimulatorStats).
+  const SimulatorStats& stats() const { return stats_; }
+
+  static constexpr std::size_t kDefaultSizeHint = 1024;
+
  private:
-  struct Event {
+  EventHandle schedule_impl(SimTime when, Callback&& fn);
+  SimTime delay_to_when(SimTime delay) const;
+
+  /// Hot heap entry: the ordering key plus the slot that holds the cold
+  /// callback. 24 bytes, trivially copyable — sifts never touch callbacks.
+  struct HeapKey {
     SimTime when;
     std::uint64_t seq;
     std::uint32_t slot;
-    Callback fn;
 
     // Min-heap on (when, seq) via std::push_heap's max-heap comparator.
-    friend bool operator<(const Event& a, const Event& b) {
+    friend bool operator<(const HeapKey& a, const HeapKey& b) {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  // priority_queue hides mutable access to top(); we manage our own heap so
-  // we can move the callback out before invoking it.
-  std::vector<Event> heap_;
-  // slot -> seq of the event occupying it (0 = free). A heap entry whose
+  std::vector<HeapKey> heap_;
+  // slot -> seq of the event occupying it (0 = free). A heap key whose
   // slot no longer records its seq is a tombstone.
   std::vector<std::uint64_t> slot_seq_;
+  // slot -> callback of the occupying event (cold storage, touched only at
+  // schedule/cancel/dispatch of that one event, never during sifts).
+  std::vector<Callback> slot_fn_;
   std::vector<std::uint32_t> free_slots_;  // slot pool (reused, never shrunk)
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
   std::size_t live_pending_ = 0;
-  std::size_t tombstones_ = 0;  // cancelled entries still in heap_
+  std::size_t tombstones_ = 0;  // cancelled keys still in heap_
+  SimulatorStats stats_;
 
-  bool is_tombstone(const Event& ev) const {
-    return slot_seq_[ev.slot] != ev.seq;
+  bool is_tombstone(const HeapKey& key) const {
+    return slot_seq_[key.slot] != key.seq;
   }
   void release_slot(std::uint32_t slot);
   void compact_if_worthwhile();

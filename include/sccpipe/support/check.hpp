@@ -43,3 +43,14 @@ namespace detail {
                                       sccpipe_check_oss_.str());             \
     }                                                                        \
   } while (false)
+
+/// Debug-only check for per-pixel/per-event hot paths where an always-on
+/// branch would defeat vectorisation. Compiles to nothing under NDEBUG;
+/// use SCCPIPE_CHECK everywhere the cost is not measurable.
+#ifdef NDEBUG
+#define SCCPIPE_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define SCCPIPE_DCHECK(cond) SCCPIPE_CHECK(cond)
+#endif

@@ -19,49 +19,103 @@ std::uint8_t to_byte(float v) {
 }  // namespace
 
 void apply_sepia(Image& img) {
-  // Paper §IV (Sepia stage): constants and formula verbatim.
-  constexpr Vec3 kS1{0.2f, 0.05f, 0.0f};
-  constexpr Vec3 kS2{1.0f, 0.9f, 0.5f};
-  for (int y = 0; y < img.height(); ++y) {
-    for (int x = 0; x < img.width(); ++x) {
-      const Color c = img.get(x, y);
-      const float r = to_unit(c.r);
-      const float g = to_unit(c.g);
-      const float b = to_unit(c.b);
-      const float mix = clamp01(0.3f * r + 0.59f * g + 0.11f * b);
-      const Vec3 rgb = kS1 * (1.0f - mix) + kS2 * mix;
-      img.set(x, y, Color{to_byte(rgb.x), to_byte(rgb.y), to_byte(rgb.z), c.a});
+  // Paper §IV (Sepia stage): constants and formula verbatim — the mix
+  // weights are (0.3, 0.59, 0.11), the tone ramp S1=(0.2,0.05,0),
+  // S2=(1,0.9,0.5). The per-byte products 0.3*(v/255), 0.59*(v/255),
+  // 0.11*(v/255) are tabulated once; summing the table entries
+  // left-to-right performs the same two products-then-adds the scalar
+  // expression did, so the result is bit-identical (the build never
+  // contracts into FMA), while the hot loop loses its three divisions and
+  // the per-pixel bounds-checked get/set round trips.
+  float lut_r[256], lut_g[256], lut_b[256];
+  for (int v = 0; v < 256; ++v) {
+    const float u = to_unit(static_cast<std::uint8_t>(v));
+    lut_r[v] = 0.3f * u;
+    lut_g[v] = 0.59f * u;
+    lut_b[v] = 0.11f * u;
+  }
+  const int w = img.width();
+  const int h = img.height();
+  for (int y = 0; y < h; ++y) {
+    std::uint8_t* row = img.row(y);
+    for (int x = 0; x < w; ++x) {
+      std::uint8_t* p = row + 4 * x;
+      const float mix = clamp01(lut_r[p[0]] + lut_g[p[1]] + lut_b[p[2]]);
+      const float omix = 1.0f - mix;
+      p[0] = to_byte(0.2f * omix + 1.0f * mix);
+      p[1] = to_byte(0.05f * omix + 0.9f * mix);
+      p[2] = to_byte(0.0f * omix + 0.5f * mix);
+      // alpha byte untouched
     }
   }
 }
 
 void apply_blur(Image& img) {
-  // 3x3 box average from the original data — a second buffer is required
-  // (paper §IV, Blur stage).
-  const Image src = img;
+  // 3x3 box average over the original data (paper §IV, Blur stage). The
+  // naive form re-reads nine neighbours per pixel from a full frame copy;
+  // here each source row's horizontal window sums are computed once into a
+  // three-row ring (max 3*255 fits uint16), and each output pixel folds
+  // three vertical taps over them. The ring always holds sums of *original*
+  // rows: row y+1's sums are taken before row y is overwritten, so the
+  // filter runs in place with O(width) scratch instead of an image copy.
+  // Every pixel's sum and divisor cover exactly the clamped window the
+  // naive loop visited — integer arithmetic, so restructuring is exact.
   const int w = img.width();
   const int h = img.height();
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      int sum_r = 0, sum_g = 0, sum_b = 0, n = 0;
-      for (int dy = -1; dy <= 1; ++dy) {
-        for (int dx = -1; dx <= 1; ++dx) {
-          const int nx = x + dx;
-          const int ny = y + dy;
-          if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
-          const Color c = src.get(nx, ny);
-          sum_r += c.r;
-          sum_g += c.g;
-          sum_b += c.b;
-          ++n;
-        }
-      }
-      const Color orig = src.get(x, y);
-      img.set(x, y,
-              Color{static_cast<std::uint8_t>(sum_r / n),
-                    static_cast<std::uint8_t>(sum_g / n),
-                    static_cast<std::uint8_t>(sum_b / n), orig.a});
+  if (w == 0 || h == 0) return;
+  const std::size_t row_sums = static_cast<std::size_t>(w) * 3;
+  std::vector<std::uint16_t> ring(3 * row_sums);
+  std::vector<std::uint16_t> zeros(row_sums, 0);  // off-image rows
+  const auto ring_row = [&](int y) {
+    return ring.data() + static_cast<std::size_t>(y % 3) * row_sums;
+  };
+  const auto compute_hsums = [&](int y) {
+    const std::uint8_t* src = img.row(y);
+    std::uint16_t* hs = ring_row(y);
+    if (w == 1) {
+      hs[0] = src[0];
+      hs[1] = src[1];
+      hs[2] = src[2];
+      return;
     }
+    hs[0] = static_cast<std::uint16_t>(src[0] + src[4]);
+    hs[1] = static_cast<std::uint16_t>(src[1] + src[5]);
+    hs[2] = static_cast<std::uint16_t>(src[2] + src[6]);
+    for (int x = 1; x < w - 1; ++x) {
+      const std::uint8_t* p = src + 4 * (x - 1);
+      std::uint16_t* o = hs + 3 * x;
+      o[0] = static_cast<std::uint16_t>(p[0] + p[4] + p[8]);
+      o[1] = static_cast<std::uint16_t>(p[1] + p[5] + p[9]);
+      o[2] = static_cast<std::uint16_t>(p[2] + p[6] + p[10]);
+    }
+    const std::uint8_t* p = src + 4 * (w - 2);
+    std::uint16_t* o = hs + 3 * (w - 1);
+    o[0] = static_cast<std::uint16_t>(p[0] + p[4]);
+    o[1] = static_cast<std::uint16_t>(p[1] + p[5]);
+    o[2] = static_cast<std::uint16_t>(p[2] + p[6]);
+  };
+  compute_hsums(0);
+  for (int y = 0; y < h; ++y) {
+    if (y + 1 < h) compute_hsums(y + 1);
+    const std::uint16_t* above = y > 0 ? ring_row(y - 1) : zeros.data();
+    const std::uint16_t* cur = ring_row(y);
+    const std::uint16_t* below = y + 1 < h ? ring_row(y + 1) : zeros.data();
+    const int wy = 1 + (y > 0 ? 1 : 0) + (y + 1 < h ? 1 : 0);
+    std::uint8_t* dst = img.row(y);
+    const auto emit = [&](int x, int n) {
+      const int i = 3 * x;
+      std::uint8_t* o = dst + 4 * x;
+      o[0] = static_cast<std::uint8_t>((above[i] + cur[i] + below[i]) / n);
+      o[1] = static_cast<std::uint8_t>(
+          (above[i + 1] + cur[i + 1] + below[i + 1]) / n);
+      o[2] = static_cast<std::uint8_t>(
+          (above[i + 2] + cur[i + 2] + below[i + 2]) / n);
+      // alpha byte untouched
+    };
+    emit(0, wy * (w > 1 ? 2 : 1));
+    const int n3 = wy * 3;  // interior fast path: full-width window
+    for (int x = 1; x < w - 1; ++x) emit(x, n3);
+    if (w > 1) emit(w - 1, wy * 2);
   }
 }
 
@@ -84,9 +138,13 @@ ScratchParams ScratchParams::draw(Rng& rng, int image_width,
 void apply_scratches(Image& img, const ScratchParams& params) {
   for (const int x : params.columns) {
     if (x < 0 || x >= img.width()) continue;
+    const std::size_t off = static_cast<std::size_t>(x) * 4;
     for (int y = 0; y < img.height(); ++y) {
-      const Color c = img.get(x, y);
-      img.set(x, y, Color{params.color.r, params.color.g, params.color.b, c.a});
+      std::uint8_t* p = img.row(y) + off;
+      p[0] = params.color.r;
+      p[1] = params.color.g;
+      p[2] = params.color.b;
+      // alpha byte untouched
     }
   }
 }
@@ -96,12 +154,22 @@ FlickerParams FlickerParams::draw(Rng& rng) {
 }
 
 void apply_flicker(Image& img, FlickerParams params) {
+  // One brightness delta for the whole frame: the 256 possible outputs are
+  // tabulated through the exact per-pixel expression, then applied as byte
+  // lookups.
+  std::uint8_t lut[256];
+  for (int v = 0; v < 256; ++v) {
+    lut[v] = to_byte(to_unit(static_cast<std::uint8_t>(v)) + params.delta);
+  }
+  const int w = img.width();
   for (int y = 0; y < img.height(); ++y) {
-    for (int x = 0; x < img.width(); ++x) {
-      const Color c = img.get(x, y);
-      img.set(x, y, Color{to_byte(to_unit(c.r) + params.delta),
-                          to_byte(to_unit(c.g) + params.delta),
-                          to_byte(to_unit(c.b) + params.delta), c.a});
+    std::uint8_t* row = img.row(y);
+    for (int x = 0; x < w; ++x) {
+      std::uint8_t* p = row + 4 * x;
+      p[0] = lut[p[0]];
+      p[1] = lut[p[1]];
+      p[2] = lut[p[2]];
+      // alpha byte untouched
     }
   }
 }
@@ -170,23 +238,23 @@ void apply_oriented_scratches(Image& img, const OrientedScratchParams& params,
       if (x < 0 || x >= img.width() || row < 0 || row >= img.height()) {
         continue;
       }
-      const Color prev = img.get(x, row);
-      img.set(x, row, Color{s.color.r, s.color.g, s.color.b, prev.a});
+      std::uint8_t* p = img.row(row) + static_cast<std::size_t>(x) * 4;
+      p[0] = s.color.r;
+      p[1] = s.color.g;
+      p[2] = s.color.b;
+      // alpha byte untouched
     }
   }
 }
 
 void apply_vflip(Image& img) {
   // Line-buffer swap, exactly the paper's three-copy scheme.
-  const int w = img.width();
   const int h = img.height();
-  const std::size_t row_bytes = static_cast<std::size_t>(w) * 4;
+  const std::size_t row_bytes = img.row_bytes();
   std::vector<std::uint8_t> line(row_bytes);
-  std::uint8_t* data = img.data();
   for (int i = 0; i < h / 2; ++i) {
-    const int j = h - 1 - i;
-    std::uint8_t* row_i = data + static_cast<std::size_t>(i) * row_bytes;
-    std::uint8_t* row_j = data + static_cast<std::size_t>(j) * row_bytes;
+    std::uint8_t* row_i = img.row(i);
+    std::uint8_t* row_j = img.row(h - 1 - i);
     std::copy_n(row_i, row_bytes, line.data());
     std::copy_n(row_j, row_bytes, row_i);
     std::copy_n(line.data(), row_bytes, row_j);

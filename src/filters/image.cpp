@@ -63,10 +63,8 @@ Image Image::strip(StripRange r) const {
                     "strip [" << r.y0 << ", " << r.y0 + r.rows << ") of height "
                               << height_);
   Image out(width_, r.rows);
-  const std::size_t row_bytes = static_cast<std::size_t>(width_) * 4;
-  std::memcpy(out.data_.data(),
-              data_.data() + static_cast<std::size_t>(r.y0) * row_bytes,
-              static_cast<std::size_t>(r.rows) * row_bytes);
+  std::memcpy(out.row(0), row(r.y0),
+              static_cast<std::size_t>(r.rows) * row_bytes());
   return out;
 }
 
@@ -75,9 +73,8 @@ void Image::paste(const Image& src, int y0) {
   SCCPIPE_CHECK_MSG(y0 >= 0 && y0 + src.height_ <= height_,
                     "paste rows [" << y0 << ", " << y0 + src.height_
                                    << ") of height " << height_);
-  const std::size_t row_bytes = static_cast<std::size_t>(width_) * 4;
-  std::memcpy(data_.data() + static_cast<std::size_t>(y0) * row_bytes,
-              src.data_.data(), static_cast<std::size_t>(src.height_) * row_bytes);
+  std::memcpy(row(y0), src.row(0),
+              static_cast<std::size_t>(src.height_) * row_bytes());
 }
 
 std::string Image::to_ppm() const {

@@ -10,7 +10,7 @@ HostCpu::HostCpu(Simulator& sim, HostCpuConfig cfg)
   meter_.set_power(cfg_.idle_watts);
 }
 
-void HostCpu::compute(double ref_cycles, std::function<void()> on_done) {
+void HostCpu::compute(double ref_cycles, StageCallback on_done) {
   SCCPIPE_CHECK(ref_cycles >= 0.0);
   SCCPIPE_CHECK(on_done != nullptr);
   const SimTime dur = SimTime::sec(ref_cycles / cfg_.effective_hz);

@@ -106,10 +106,10 @@ void HostChannel::transmit(double bytes, PushCallback on_accepted,
   oss << "host-link message (" << bytes << " B) "
       << (fate == MessageFate::Corrupt ? "corrupted" : "lost") << " after "
       << attempt << " attempt(s)";
-  const Status failure{budget_left ? StatusCode::DeadlineExceeded
+  Status failure{budget_left ? StatusCode::DeadlineExceeded
                                    : StatusCode::RetriesExhausted,
                        oss.str()};
-  sim_.schedule_at(detect, [this, failure] {
+  sim_.schedule_at(detect, [this, failure = std::move(failure)] {
     SCCPIPE_CHECK_MSG(on_error_ != nullptr,
                       "host-link fault without an error handler: "
                           << failure.to_string());

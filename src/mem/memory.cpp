@@ -20,7 +20,7 @@ MemorySystem::MemorySystem(Simulator& sim, const MeshTopology& topo,
 }
 
 void MemorySystem::bulk(CoreId core, double bytes, double core_rate_cap,
-                        std::function<void()> on_done) {
+                        BulkCallback on_done) {
   SCCPIPE_CHECK(topo_.valid_core(core));
   SCCPIPE_CHECK(bytes >= 0.0);
   SCCPIPE_CHECK(on_done != nullptr);
@@ -72,8 +72,7 @@ SimTime MemorySystem::latency_bound(CoreId core, double n_accesses) const {
   SCCPIPE_CHECK(topo_.valid_core(core));
   SCCPIPE_CHECK(n_accesses >= 0.0);
   const McId mc = topo_.home_mc(core);
-  const int hops =
-      topo_.hop_distance(topo_.core_coord(core), topo_.mc_position(mc));
+  const int hops = topo_.home_mc_hops(core);
   const double load = mc_load(mc);
   const double inflation = std::min(
       cfg_.latency_contention_cap,

@@ -18,7 +18,6 @@ MeshModel::MeshModel(const MeshTopology& topo, MeshTimingConfig cfg)
 SimTime MeshModel::transfer(SimTime start, TileCoord from, TileCoord to,
                             double bytes) {
   SCCPIPE_CHECK(bytes >= 0.0);
-  const auto route = topo_.route(from, to);
   const SimTime serialisation =
       SimTime::sec(bytes / cfg_.link_bandwidth_bytes_per_sec);
   const bool faulty = fault_ != nullptr && fault_->enabled();
@@ -26,8 +25,16 @@ SimTime MeshModel::transfer(SimTime start, TileCoord from, TileCoord to,
   SimTime t = start + (faulty ? cfg_.router_latency *
                                     fault_->router_slowdown(topo_.tile_at(from), start)
                               : cfg_.router_latency);
-  for (const LinkId& link : route) {
-    const auto idx = static_cast<std::size_t>(topo_.link_index(link));
+  // Dimension-ordered X-then-Y walk over the same directed links route()
+  // would return, but without materialising the route: the dense link index
+  // is tile * 4 + dir, and the tile id steps by ±1 / ±width per hop.
+  // queue_delay is time waiting for the link beyond the pure
+  // serialisation + router latency cost (invariant across hops).
+  const SimTime pure = serialisation + cfg_.router_latency;
+  const int width = topo_.layout().width;
+  int tile = from.y * width + from.x;
+  const auto hop = [&](Direction dir) {
+    const auto idx = static_cast<std::size_t>(tile * 4 + static_cast<int>(dir));
     const SimTime before = t;
     SimTime service = serialisation;
     SimTime hop_latency = cfg_.router_latency;
@@ -38,18 +45,18 @@ SimTime MeshModel::transfer(SimTime start, TileCoord from, TileCoord to,
       // stretches the per-hop forwarding latency.
       t = fault_->link_available(static_cast<int>(idx), t);
       service = service * fault_->link_slowdown(static_cast<int>(idx), t);
-      hop_latency = hop_latency *
-                    fault_->router_slowdown(topo_.tile_at(link.from), t);
+      hop_latency = hop_latency * fault_->router_slowdown(tile, t);
     }
     t = links_[idx].acquire(t, service) + hop_latency;
     LinkTraffic& tr = traffic_[idx];
     ++tr.messages;
     tr.bytes += bytes;
-    // queue_delay here is time spent waiting for the link beyond pure
-    // serialisation + router latency.
-    const SimTime pure = serialisation + cfg_.router_latency;
     tr.queue_delay += (t - before) - pure;
-  }
+  };
+  for (int x = from.x; x < to.x; ++x, ++tile) hop(Direction::East);
+  for (int x = from.x; x > to.x; --x, --tile) hop(Direction::West);
+  for (int y = from.y; y < to.y; ++y, tile += width) hop(Direction::South);
+  for (int y = from.y; y > to.y; --y, tile -= width) hop(Direction::North);
   return t;
 }
 

@@ -14,6 +14,24 @@ MeshTopology::MeshTopology(MeshLayout layout) : layout_(std::move(layout)) {
                       "MC position (" << mc.x << ',' << mc.y
                                       << ") outside mesh");
   }
+  const auto n_tiles = static_cast<std::size_t>(tile_count());
+  tile_home_mc_.reserve(n_tiles);
+  tile_home_hops_.reserve(n_tiles);
+  for (TileId t = 0; t < tile_count(); ++t) {
+    const TileCoord c = coord_of(t);
+    McId best = 0;
+    int best_dist = hop_distance(c, layout_.mc_positions[0]);
+    for (McId m = 1; m < mc_count(); ++m) {
+      const int d =
+          hop_distance(c, layout_.mc_positions[static_cast<std::size_t>(m)]);
+      if (d < best_dist) {
+        best = m;
+        best_dist = d;
+      }
+    }
+    tile_home_mc_.push_back(best);
+    tile_home_hops_.push_back(best_dist);
+  }
 }
 
 TileId MeshTopology::tile_of(CoreId core) const {
@@ -38,17 +56,11 @@ TileCoord MeshTopology::mc_position(McId mc) const {
 }
 
 McId MeshTopology::home_mc(CoreId core) const {
-  const TileCoord c = core_coord(core);
-  McId best = 0;
-  int best_dist = hop_distance(c, layout_.mc_positions[0]);
-  for (McId m = 1; m < mc_count(); ++m) {
-    const int d = hop_distance(c, layout_.mc_positions[static_cast<std::size_t>(m)]);
-    if (d < best_dist) {
-      best = m;
-      best_dist = d;
-    }
-  }
-  return best;
+  return tile_home_mc_[static_cast<std::size_t>(tile_of(core))];
+}
+
+int MeshTopology::home_mc_hops(CoreId core) const {
+  return tile_home_hops_[static_cast<std::size_t>(tile_of(core))];
 }
 
 int MeshTopology::hop_distance(TileCoord a, TileCoord b) const {

@@ -212,10 +212,10 @@ void RcceComm::resolve_loss(CoreId from, CoreId to, double bytes, int attempt,
   oss << "rcce " << from << "->" << to << " " << how << " after " << attempt
       << " attempt(s), " << (detect - first_attempt_at).to_ms()
       << " ms since rendezvous";
-  const Status failure{budget_left ? StatusCode::DeadlineExceeded
+  Status failure{budget_left ? StatusCode::DeadlineExceeded
                                    : StatusCode::RetriesExhausted,
                        oss.str()};
-  chip_.sim().schedule_at(detect, [this, failure,
+  chip_.sim().schedule_at(detect, [this, failure = std::move(failure),
                                    sd = std::move(sender_done),
                                    rd = std::move(receiver_done)]() mutable {
     ++transfers_failed_;

@@ -1,33 +1,11 @@
-#include "sccpipe/render/rasterizer.hpp"
+#include "sccpipe/render/reference.hpp"
 
 #include <algorithm>
 #include <cmath>
 
 #include "sccpipe/support/check.hpp"
 
-namespace sccpipe {
-
-Framebuffer::Framebuffer(int width, int height)
-    : color_(width, height),
-      depth_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
-             1.0f) {}
-
-void Framebuffer::clear(Color c, float depth) {
-  color_ = Image(color_.width(), color_.height(), c);
-  std::fill(depth_.begin(), depth_.end(), depth);
-}
-
-float Framebuffer::depth(int x, int y) const {
-  return depth_[static_cast<std::size_t>(y) *
-                    static_cast<std::size_t>(color_.width()) +
-                static_cast<std::size_t>(x)];
-}
-
-void Framebuffer::set_pixel(int x, int y, float z, Color c) {
-  depth_[static_cast<std::size_t>(y) * static_cast<std::size_t>(color_.width()) +
-         static_cast<std::size_t>(x)] = z;
-  color_.set(x, y, c);
-}
+namespace sccpipe::reference {
 
 namespace {
 
@@ -43,8 +21,6 @@ float edge(const ScreenVertex& a, const ScreenVertex& b,
 void raster_screen_triangle(Framebuffer& fb, const Viewport& vp,
                             ScreenVertex v0, ScreenVertex v1, ScreenVertex v2,
                             Color col, RasterStats* stats) {
-  // Ensure counter-clockwise orientation for a positive area (no face
-  // culling: CAD models are not consistently wound).
   float area = edge(v0, v1, v2);
   if (area == 0.0f) return;
   if (area < 0.0f) {
@@ -52,8 +28,6 @@ void raster_screen_triangle(Framebuffer& fb, const Viewport& vp,
     area = -area;
   }
 
-  // Pixel coordinates run over the *virtual* viewport; only rows
-  // [y_offset, y_offset + fb.height()) are materialised.
   const int w = fb.width();
   const int min_x = std::max(0, static_cast<int>(std::floor(
                                     std::min({v0.x, v1.x, v2.x}))));
@@ -68,48 +42,22 @@ void raster_screen_triangle(Framebuffer& fb, const Viewport& vp,
   if (min_x > max_x || min_y > max_y) return;
 
   const float inv_area = 1.0f / area;
-  // Incremental edge evaluation: each edge function
-  //   edge(a, b, p) = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x)
-  // splits into a row-invariant first product (hoisted out of the x loop)
-  // minus a per-pixel second product; the factors and the final subtraction
-  // are the exact operations the per-pixel edge() calls performed, so every
-  // coverage/z decision is bit-identical. True forward-differencing
-  // (w += step) would drift and is deliberately avoided.
-  const float e0dx = v2.x - v1.x, e0dy = v2.y - v1.y;
-  const float e1dx = v0.x - v2.x, e1dy = v0.y - v2.y;
-  const float e2dx = v1.x - v0.x, e2dy = v1.y - v0.y;
-  std::uint64_t tested = 0, filled = 0;
-  Image& color = fb.color();
   for (int y = min_y; y <= max_y; ++y) {
-    const float py = static_cast<float>(y) + 0.5f;
-    const float t0 = e0dx * (py - v1.y);
-    const float t1 = e1dx * (py - v2.y);
-    const float t2 = e2dx * (py - v0.y);
-    const int row = y - vp.y_offset;
-    float* drow = fb.depth_row(row);
-    std::uint8_t* crow = color.row(row);
     for (int x = min_x; x <= max_x; ++x) {
-      const float px = static_cast<float>(x) + 0.5f;
-      const float w0 = t0 - e0dy * (px - v1.x);
-      const float w1 = t1 - e1dy * (px - v2.x);
-      const float w2 = t2 - e2dy * (px - v0.x);
-      ++tested;
+      const ScreenVertex p{static_cast<float>(x) + 0.5f,
+                           static_cast<float>(y) + 0.5f, 0.0f};
+      const float w0 = edge(v1, v2, p);
+      const float w1 = edge(v2, v0, p);
+      const float w2 = edge(v0, v1, p);
+      if (stats) ++stats->pixels_tested;
       if (w0 < 0.0f || w1 < 0.0f || w2 < 0.0f) continue;
       const float z = (w0 * v0.z + w1 * v1.z + w2 * v2.z) * inv_area;
       if (z < -1.0f || z > 1.0f) continue;
-      if (z >= drow[x]) continue;
-      drow[x] = z;
-      std::uint8_t* p = crow + static_cast<std::size_t>(x) * 4;
-      p[0] = col.r;
-      p[1] = col.g;
-      p[2] = col.b;
-      p[3] = col.a;
-      ++filled;
+      const int row = y - vp.y_offset;
+      if (z >= fb.depth(x, row)) continue;
+      fb.set_pixel(x, row, z, col);
+      if (stats) ++stats->pixels_filled;
     }
-  }
-  if (stats) {
-    stats->pixels_tested += tested;
-    stats->pixels_filled += filled;
   }
 }
 
@@ -120,22 +68,15 @@ ScreenVertex to_screen(Vec4 clip, const Viewport& vp) {
   const float ndc_z = clip.z * inv_w;
   return ScreenVertex{
       (ndc_x * 0.5f + 0.5f) * static_cast<float>(vp.width),
-      // NDC +y is up; virtual row 0 is the top of the full frame.
       (0.5f - ndc_y * 0.5f) * static_cast<float>(vp.height), ndc_z};
 }
 
 }  // namespace
 
-Viewport Viewport::full(const Framebuffer& fb) {
-  return Viewport{fb.width(), fb.height(), 0};
-}
-
 void draw_triangle_clip(Framebuffer& fb, const Viewport& vp, Vec4 c0, Vec4 c1,
                         Vec4 c2, Color col, RasterStats* stats) {
   if (stats) ++stats->triangles_submitted;
 
-  // Clip against the near plane w > epsilon (points behind the eye cannot
-  // be projected). Sutherland–Hodgman on the single plane w = kNearW.
   constexpr float kNearW = 1e-4f;
   Vec4 in[3] = {c0, c1, c2};
   Vec4 out[4];
@@ -163,4 +104,4 @@ void draw_triangle_clip(Framebuffer& fb, const Viewport& vp, Vec4 c0, Vec4 c1,
   }
 }
 
-}  // namespace sccpipe
+}  // namespace sccpipe::reference

@@ -162,7 +162,7 @@ bool SccChip::core_dead(CoreId core) const {
 }
 
 void SccChip::compute(CoreId core, double ref_cycles,
-                      std::function<void()> on_done) {
+                      StageCallback on_done) {
   SCCPIPE_CHECK(ref_cycles >= 0.0);
   SCCPIPE_CHECK(on_done != nullptr);
   if (core_dead(core)) return;  // fail-stop: nothing starts, nothing returns
@@ -175,7 +175,7 @@ void SccChip::compute(CoreId core, double ref_cycles,
 }
 
 void SccChip::memory_walk(CoreId core, double line_accesses,
-                          std::function<void()> on_done) {
+                          StageCallback on_done) {
   SCCPIPE_CHECK(on_done != nullptr);
   if (core_dead(core)) return;
   mem_.register_latency_stream(core);
@@ -184,33 +184,25 @@ void SccChip::memory_walk(CoreId core, double line_accesses,
   // boundary: a long traversal sees the average congestion over its
   // lifetime, not whatever happened to be in flight the instant it began.
   constexpr int kSegments = 4;
-  struct WalkState {
-    SccChip* chip;
-    CoreId core;
-    double per_segment;
-    int remaining;
-    std::function<void()> on_done;
+  walk_step(WalkState{core, line_accesses / kSegments, kSegments,
+                      std::move(on_done)});
+}
 
-    void step(const std::shared_ptr<WalkState>& self) {
-      if (remaining == 0) {
-        chip->mem_.unregister_latency_stream(core);
-        chip->set_core_busy(core, false);
-        on_done();
-        return;
-      }
-      --remaining;
-      const SimTime dur = chip->mem_.latency_bound(core, per_segment);
-      chip->sim_.schedule_after(dur, [self] { self->step(self); });
-    }
-  };
-  auto state = std::make_shared<WalkState>(
-      WalkState{this, core, line_accesses / kSegments, kSegments,
-                std::move(on_done)});
-  state->step(state);
+void SccChip::walk_step(WalkState st) {
+  if (st.remaining == 0) {
+    mem_.unregister_latency_stream(st.core);
+    set_core_busy(st.core, false);
+    st.on_done();
+    return;
+  }
+  --st.remaining;
+  const SimTime dur = mem_.latency_bound(st.core, st.per_segment);
+  sim_.schedule_after(
+      dur, [this, st = std::move(st)]() mutable { walk_step(std::move(st)); });
 }
 
 void SccChip::dram_stream(CoreId core, double bytes,
-                          std::function<void()> on_done) {
+                          StageCallback on_done) {
   SCCPIPE_CHECK(on_done != nullptr);
   if (core_dead(core)) return;
   set_core_busy(core, true);

@@ -12,9 +12,16 @@ namespace {
 constexpr std::size_t kMinTombstonesForCompaction = 64;
 }  // namespace
 
-Simulator::Simulator() { heap_.reserve(1024); }
+Simulator::Simulator(std::size_t size_hint) { reserve_events(size_hint); }
 
-EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
+void Simulator::reserve_events(std::size_t expected_pending) {
+  heap_.reserve(expected_pending);
+  slot_seq_.reserve(expected_pending);
+  slot_fn_.reserve(expected_pending);
+  free_slots_.reserve(expected_pending);
+}
+
+EventHandle Simulator::schedule_impl(SimTime when, Callback&& fn) {
   SCCPIPE_CHECK_MSG(when >= now_, "schedule_at(" << when.to_string()
                                                  << ") is before now="
                                                  << now_.to_string());
@@ -26,19 +33,33 @@ EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
     free_slots_.pop_back();
   } else {
     slot = static_cast<std::uint32_t>(slot_seq_.size());
+    if (slot_seq_.size() == slot_seq_.capacity()) ++stats_.allocs;
+    if (slot_fn_.size() == slot_fn_.capacity()) ++stats_.allocs;
     slot_seq_.push_back(0);
+    slot_fn_.emplace_back();
+    // The free list must be able to hold every slot without growing on a
+    // release (release_slot runs on the dispatch path). Grow geometrically.
+    if (free_slots_.capacity() < slot_seq_.size()) {
+      ++stats_.allocs;
+      free_slots_.reserve(slot_seq_.size() * 2);
+    }
   }
   slot_seq_[slot] = seq;
-  heap_.push_back(Event{when, seq, slot, std::move(fn)});
+  slot_fn_[slot] = std::move(fn);
+  if (heap_.size() == heap_.capacity()) ++stats_.allocs;
+  heap_.push_back(HeapKey{when, seq, slot});
   std::push_heap(heap_.begin(), heap_.end());
   ++live_pending_;
+  stats_.peak_events =
+      std::max<std::uint64_t>(stats_.peak_events, live_pending_);
   return EventHandle{slot, seq};
 }
 
-EventHandle Simulator::schedule_after(SimTime delay, Callback fn) {
+
+SimTime Simulator::delay_to_when(SimTime delay) const {
   SCCPIPE_CHECK_MSG(!delay.is_negative(),
                     "negative delay " << delay.to_string());
-  return schedule_at(now_ + delay, std::move(fn));
+  return now_ + delay;
 }
 
 bool Simulator::cancel(EventHandle handle) {
@@ -48,6 +69,7 @@ bool Simulator::cancel(EventHandle handle) {
   // event was dispatched or cancelled already (the slot may even have been
   // reused by a newer event — seqs are unique, so the compare still works).
   if (slot_seq_[handle.slot_] != handle.seq_) return false;
+  slot_fn_[handle.slot_] = nullptr;  // captured state dies right now
   release_slot(handle.slot_);
   --live_pending_;
   ++tombstones_;
@@ -61,16 +83,17 @@ void Simulator::release_slot(std::uint32_t slot) {
 }
 
 void Simulator::compact_if_worthwhile() {
-  // Lazy compaction: tombstoned entries keep their (possibly capturing)
-  // callbacks alive and pad every sift. Once they are the majority, one
-  // O(n) filter + make_heap pass reclaims everything.
+  // Lazy compaction: tombstoned keys pad every sift. Once they are the
+  // majority, one O(n) filter + make_heap pass over the POD keys reclaims
+  // the heap (the callbacks were already destroyed at cancel time).
   if (tombstones_ < kMinTombstonesForCompaction ||
       tombstones_ * 2 < heap_.size()) {
     return;
   }
-  std::erase_if(heap_, [&](const Event& ev) { return is_tombstone(ev); });
+  std::erase_if(heap_, [&](const HeapKey& key) { return is_tombstone(key); });
   std::make_heap(heap_.begin(), heap_.end());
   tombstones_ = 0;
+  ++stats_.compactions;
 }
 
 void Simulator::drop_front_tombstones() {
@@ -85,13 +108,14 @@ bool Simulator::step() {
   drop_front_tombstones();
   if (heap_.empty()) return false;
   std::pop_heap(heap_.begin(), heap_.end());
-  Event ev = std::move(heap_.back());
+  const HeapKey key = heap_.back();
   heap_.pop_back();
-  release_slot(ev.slot);
-  now_ = ev.when;
+  Callback fn = std::move(slot_fn_[key.slot]);
+  release_slot(key.slot);
+  now_ = key.when;
   --live_pending_;
   ++dispatched_;
-  ev.fn();
+  fn();
   return true;
 }
 

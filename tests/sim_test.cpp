@@ -6,10 +6,12 @@
 #include <vector>
 
 #include "sccpipe/sim/fair_share.hpp"
+#include "sccpipe/sim/reference_scheduler.hpp"
 #include "sccpipe/sim/resource.hpp"
 #include "sccpipe/sim/simulator.hpp"
 #include "sccpipe/sim/trace.hpp"
 #include "sccpipe/support/check.hpp"
+#include "sccpipe/support/rng.hpp"
 
 namespace sccpipe {
 namespace {
@@ -358,6 +360,139 @@ TEST(StepTrace, RejectsTimeTravel) {
   StepTrace t;
   t.record(2_sec, 1.0);
   EXPECT_THROW(t.record(1_sec, 2.0), CheckError);
+}
+
+// ------------------------------------------------------- allocation-free
+
+TEST(SimulatorStats, SteadyStateChurnPerformsNoAllocations) {
+  // A retry-heavy workload: every dispatched event schedules a successor
+  // and arms a timeout that is almost always cancelled. After warm-up the
+  // slot pool and key heap are saturated, so further schedule/cancel/
+  // dispatch churn must not grow any container.
+  Simulator sim(64);
+  Rng rng{0xbeefcafe};
+  std::vector<EventHandle> timeouts;
+  std::uint64_t fired = 0;
+  std::function<void()> body = [&] {
+    ++fired;
+    // Arm a timeout, cancel a previously armed one (the common retry
+    // pattern: most timeouts never fire).
+    timeouts.push_back(sim.schedule_after(
+        SimTime::ms(5.0 + static_cast<double>(rng.below(10))), [] {}));
+    if (timeouts.size() > 4) {
+      sim.cancel(timeouts.front());
+      timeouts.erase(timeouts.begin());
+    }
+    if (fired < 50'000) {
+      sim.schedule_after(SimTime::us(static_cast<double>(rng.below(100))),
+                         [&] { body(); });
+    }
+  };
+  sim.schedule_after(1_us, [&] { body(); });
+
+  // Warm up: let the pools reach their steady-state footprint.
+  while (fired < 5'000 && sim.step()) {
+  }
+  const std::uint64_t allocs_after_warmup = sim.stats().allocs;
+  sim.run();
+  EXPECT_EQ(fired, 50'000u);
+  EXPECT_EQ(sim.stats().allocs, allocs_after_warmup)
+      << "steady-state schedule/cancel/dispatch must not allocate";
+  EXPECT_GE(sim.stats().peak_events, 4u);
+}
+
+TEST(SimulatorStats, ReserveUpFrontAvoidsAllGrowth) {
+  Simulator sim(1024);
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(SimTime::us(static_cast<double>(i)), [] {});
+  }
+  EXPECT_EQ(sim.stats().allocs, 0u);
+  EXPECT_EQ(sim.stats().peak_events, 1000u);
+  sim.run();
+  EXPECT_EQ(sim.stats().allocs, 0u);
+}
+
+// --------------------------------------------- old-vs-new dispatch order
+
+// One chaos workload, driven twice — once on the allocation-free SoA
+// engine, once on the reference AoS/std::function engine — recording every
+// dispatch as (time, event id). The traces must match exactly: the SoA
+// rewrite changed the heap layout, not the dispatch order.
+TEST(SimulatorDeterminism, MatchesReferenceSchedulerOnChaosWorkload) {
+  struct Dispatch {
+    std::int64_t at_ns;
+    int id;
+    bool operator==(const Dispatch&) const = default;
+  };
+
+  // Engine-agnostic driver: `schedule(delay_us, id)` and `cancel_oldest()`
+  // express the workload; each engine supplies its own implementations.
+  struct Driver {
+    std::function<void(int, int)> schedule;  // (delay_us, id)
+    std::function<void()> cancel_oldest;
+  };
+  constexpr int kSeedEvents = 40;
+  constexpr int kChainLen = 60;
+  auto run_workload = [](Driver d) {
+    Rng rng{0x5cc9e7e1};
+    for (int i = 0; i < kSeedEvents; ++i) {
+      d.schedule(static_cast<int>(rng.below(50)), i);
+    }
+    // Interleave cancellations: every third seed event's successor chain
+    // is cut short by cancelling the oldest pending timeout.
+    for (int i = 0; i < kSeedEvents / 3; ++i) d.cancel_oldest();
+  };
+
+  // --- optimised engine -------------------------------------------------
+  std::vector<Dispatch> trace_new;
+  {
+    Simulator sim;
+    std::vector<EventHandle> pending;
+    std::function<void(int, int)> sched = [&](int delay_us, int id) {
+      pending.push_back(sim.schedule_after(
+          SimTime::us(static_cast<double>(delay_us)), [&, id] {
+            trace_new.push_back(Dispatch{sim.now().to_ns(), id});
+            if (id < kSeedEvents * kChainLen) {
+              sched((id * 7 + 3) % 41, id + kSeedEvents);
+            }
+          }));
+    };
+    run_workload(Driver{[&](int delay, int id) { sched(delay, id); },
+                        [&] {
+                          if (!pending.empty()) {
+                            sim.cancel(pending.front());
+                            pending.erase(pending.begin());
+                          }
+                        }});
+    sim.run();
+  }
+
+  // --- reference engine -------------------------------------------------
+  std::vector<Dispatch> trace_ref;
+  {
+    reference::Scheduler sim;
+    std::vector<reference::Scheduler::Handle> pending;
+    std::function<void(int, int)> sched = [&](int delay_us, int id) {
+      pending.push_back(sim.schedule_after(
+          SimTime::us(static_cast<double>(delay_us)), [&, id] {
+            trace_ref.push_back(Dispatch{sim.now().to_ns(), id});
+            if (id < kSeedEvents * kChainLen) {
+              sched((id * 7 + 3) % 41, id + kSeedEvents);
+            }
+          }));
+    };
+    run_workload(Driver{[&](int delay, int id) { sched(delay, id); },
+                        [&] {
+                          if (!pending.empty()) {
+                            sim.cancel(pending.front());
+                            pending.erase(pending.begin());
+                          }
+                        }});
+    sim.run();
+  }
+
+  ASSERT_FALSE(trace_new.empty());
+  EXPECT_EQ(trace_new, trace_ref);
 }
 
 }  // namespace

@@ -74,6 +74,23 @@ int main(int argc, char** argv) {
                 "transport attempts per message under fault injection", "1");
   args.add_flag("rcce-timeout-ms",
                 "per-attempt loss-detection timeout [ms]", "50");
+  args.add_flag("offered-fps",
+                "open-loop offered load at the host feeder [frames/s] "
+                "(0 = paper's closed loop)", "0");
+  args.add_flag("window",
+                "ARQ send window on the host link (0 = stop-and-wait)", "0");
+  args.add_flag("queue-depth",
+                "bounded queue depth: feeder, ARQ receiver, credited "
+                "inter-stage channels (0 = rendezvous lockstep)", "0");
+  args.add_flag("frame-deadline-ms",
+                "shed frames older than this at feeder dequeue (0 = off)",
+                "0");
+  args.add_flag("breaker-threshold",
+                "consecutive host-transport failures that trip the circuit "
+                "breaker (0 = off)", "0");
+  args.add_flag("breaker-cooldown-ms",
+                "open-breaker cooldown before the half-open probe [ms]",
+                "250");
   args.add_flag("csv", "emit one CSV row instead of tables", "false");
   args.add_flag("timeline", "write a chrome://tracing JSON to this path", "");
   args.add_flag("stages", "print the per-stage report", "true");
@@ -150,6 +167,22 @@ int main(int argc, char** argv) {
   cfg.recovery.max_spares = args.get_int("max-spares");
   cfg.rcce.retry.max_attempts = args.get_int("rcce-retries");
   cfg.rcce.retry.timeout = SimTime::ms(args.get_double("rcce-timeout-ms"));
+  cfg.overload.offered_fps = args.get_double("offered-fps");
+  cfg.overload.window = args.get_int("window");
+  cfg.overload.queue_depth = args.get_int("queue-depth");
+  cfg.overload.frame_deadline =
+      SimTime::ms(args.get_double("frame-deadline-ms"));
+  cfg.overload.breaker_threshold = args.get_int("breaker-threshold");
+  cfg.overload.breaker_cooldown =
+      SimTime::ms(args.get_double("breaker-cooldown-ms"));
+  if ((cfg.fault.host_reorder_rate > 0.0 ||
+       cfg.fault.host_duplicate_rate > 0.0) &&
+      cfg.overload.window <= 0 && cfg.scenario == Scenario::HostRenderer) {
+    std::fprintf(stderr,
+                 "error: reorder=/duplicate= fates on the host feed need the "
+                 "sliding-window transport; pass --window > 0\n");
+    return 2;
+  }
 
   const int frames = args.get_int("frames");
   const int size = args.get_int("size");
@@ -171,9 +204,10 @@ int main(int argc, char** argv) {
     std::printf("scenario,arrangement,platform,pipelines,frames,walkthrough_s,"
                 "mean_watts,chip_energy_j,host_busy_s,host_extra_j,"
                 "failures_detected,failures_recovered,frames_replayed,"
-                "frames_lost,spares_used,max_detect_ms,post_failure_fps\n");
+                "frames_lost,spares_used,max_detect_ms,post_failure_fps,%s\n",
+                TransportReport::csv_header().c_str());
     std::printf("%s,%s,%s,%d,%d,%.3f,%.2f,%.1f,%.3f,%.1f,%d,%d,%d,%d,%d,"
-                "%.3f,%.3f\n",
+                "%.3f,%.3f,%s\n",
                 scenario_name(cfg.scenario), arrangement_name(cfg.arrangement),
                 cfg.platform == PlatformKind::Scc ? "scc" : "cluster",
                 cfg.pipelines, frames, r.walkthrough.to_sec(),
@@ -182,7 +216,7 @@ int main(int argc, char** argv) {
                 r.recovery.failures_recovered, r.recovery.frames_replayed,
                 r.recovery.frames_lost, r.recovery.spares_used,
                 r.recovery.max_detection_latency_ms,
-                r.recovery.post_failure_fps);
+                r.recovery.post_failure_fps, r.transport.csv().c_str());
     return r.fault.failed ? 1 : 0;
   }
 
@@ -225,6 +259,41 @@ int main(int argc, char** argv) {
       for (const std::string& e : r.fault.stage_errors) {
         std::printf("    %s\n", e.c_str());
       }
+    }
+  }
+  if (r.transport.enabled) {
+    const TransportReport& t = r.transport;
+    std::printf("transport:     %llu first sends, %llu retransmits, %llu "
+                "dups suppressed; srtt %.3f ms\n",
+                static_cast<unsigned long long>(t.first_sends),
+                static_cast<unsigned long long>(t.retransmissions),
+                static_cast<unsigned long long>(t.dup_suppressed),
+                t.smoothed_rtt_ms);
+    std::printf("  ledger: %llu offered = %llu admitted + %llu shed "
+                "(admission) + %llu shed (breaker)\n",
+                static_cast<unsigned long long>(t.frames_offered),
+                static_cast<unsigned long long>(t.frames_admitted),
+                static_cast<unsigned long long>(t.shed_admission),
+                static_cast<unsigned long long>(t.shed_breaker));
+    std::printf("          %llu admitted = %llu delivered + %llu shed "
+                "(deadline) + %llu shed (transport)\n",
+                static_cast<unsigned long long>(t.frames_admitted),
+                static_cast<unsigned long long>(t.frames_delivered),
+                static_cast<unsigned long long>(t.shed_deadline),
+                static_cast<unsigned long long>(t.shed_transport));
+    std::printf("  backpressure: %llu credit stalls (%.1f ms); queue peaks "
+                "feeder %d, link %d, stage %d\n",
+                static_cast<unsigned long long>(t.credit_stalls),
+                t.credit_stall_ms, t.max_feeder_queue, t.max_link_queue,
+                t.max_stage_queue);
+    std::printf("  outcome: goodput %.2f fps, latency p50 %.1f ms / p99 "
+                "%.1f ms; breaker %d trip(s), final %s\n",
+                t.goodput_fps, t.p50_latency_ms, t.p99_latency_ms,
+                t.breaker_trips, breaker_state_name(t.breaker_final));
+    for (const BreakerTransition& bt : t.breaker_transitions) {
+      std::printf("    breaker %s -> %s at %.3f s\n",
+                  breaker_state_name(bt.from), breaker_state_name(bt.to),
+                  bt.at.to_sec());
     }
   }
   if (r.recovery.enabled) {

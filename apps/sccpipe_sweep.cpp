@@ -139,6 +139,27 @@ int main(int argc, char** argv) {
                 "25");
   args.add_flag("max-spares",
                 "spare cores the supervisor may promote (-1 = all)", "-1");
+  args.add_flag("offered-fps",
+                "open-loop offered load at the host feeder [frames/s] "
+                "(0 = closed loop; mcpc runs only)", "0");
+  args.add_flag("window",
+                "ARQ send window on the host link (0 = stop-and-wait)", "0");
+  args.add_flag("queue-depth",
+                "bounded queue depth for feeder/link/stage queues (0 = "
+                "rendezvous lockstep)", "0");
+  args.add_flag("frame-deadline-ms",
+                "shed frames older than this at feeder dequeue (0 = off)",
+                "0");
+  args.add_flag("breaker-threshold",
+                "consecutive host-transport failures that trip the breaker "
+                "(0 = off)", "0");
+  args.add_flag("breaker-cooldown-ms",
+                "open-breaker cooldown before the half-open probe [ms]",
+                "250");
+  args.add_flag("rcce-retries",
+                "transport attempts per message under fault injection", "1");
+  args.add_flag("rcce-timeout-ms",
+                "per-attempt loss-detection timeout [ms]", "50");
   args.add_flag("help", "show this help", "false");
   if (!args.parse(argc, argv) || args.get_bool("help")) {
     std::fprintf(stderr, "%s%s", args.error().empty() ? "" :
@@ -170,6 +191,24 @@ int main(int argc, char** argv) {
   recovery.heartbeat_period = SimTime::ms(args.get_double("heartbeat-ms"));
   recovery.detection_deadline = SimTime::ms(args.get_double("detect-ms"));
   recovery.max_spares = args.get_int("max-spares");
+
+  OverloadConfig overload;
+  overload.offered_fps = args.get_double("offered-fps");
+  overload.window = args.get_int("window");
+  overload.queue_depth = args.get_int("queue-depth");
+  overload.frame_deadline = SimTime::ms(args.get_double("frame-deadline-ms"));
+  overload.breaker_threshold = args.get_int("breaker-threshold");
+  overload.breaker_cooldown =
+      SimTime::ms(args.get_double("breaker-cooldown-ms"));
+  if (overload.enabled() && args.get("scenarios") != "mcpc") {
+    std::fprintf(stderr,
+                 "[sweep] overload flags apply to the host feed path; pass "
+                 "--scenarios mcpc\n");
+    return 2;
+  }
+  RetryPolicy retry;
+  retry.max_attempts = args.get_int("rcce-retries");
+  retry.timeout = SimTime::ms(args.get_double("rcce-timeout-ms"));
 
   const std::vector<int> pipeline_list = parse_range(args.get("pipelines"));
   int max_k = 1;
@@ -225,6 +264,8 @@ int main(int argc, char** argv) {
           gr.cfg.pipelines = k;
           gr.cfg.fault = fault;
           gr.cfg.recovery = recovery;
+          gr.cfg.overload = overload;
+          gr.cfg.rcce.retry = retry;
           gr.platform_label = pf;
           runs.push_back(std::move(gr));
         }
@@ -245,12 +286,13 @@ int main(int argc, char** argv) {
               "mean_watts,chip_energy_j,host_busy_s,host_extra_j,"
               "blur_wait_med_ms,failures_detected,failures_recovered,"
               "frames_replayed,frames_lost,spares_used,max_detect_ms,"
-              "post_failure_fps\n");
+              "post_failure_fps,%s\n",
+              TransportReport::csv_header().c_str());
   for (const GridRun& gr : runs) {
     const RunResult& r = gr.result;
     const StageReport* blur = r.stage(StageKind::Blur, 0);
     std::printf("%s,%s,%s,%d,%.3f,%.2f,%.1f,%.3f,%.1f,%.2f,"
-                "%llu,%llu,%llu,%llu,%d,%.3f,%.2f\n",
+                "%llu,%llu,%llu,%llu,%d,%.3f,%.2f,%s\n",
                 scenario_name(gr.cfg.scenario),
                 arrangement_name(gr.cfg.arrangement),
                 gr.platform_label.c_str(), gr.cfg.pipelines,
@@ -263,7 +305,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.recovery.frames_replayed),
                 static_cast<unsigned long long>(r.recovery.frames_lost),
                 r.recovery.spares_used, r.recovery.max_detection_latency_ms,
-                r.recovery.post_failure_fps);
+                r.recovery.post_failure_fps, r.transport.csv().c_str());
   }
   std::fflush(stdout);
   std::fprintf(stderr, "[sweep] %zu runs in %.2f s wall (%d jobs)\n",

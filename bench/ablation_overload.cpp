@@ -1,0 +1,175 @@
+// Ablation (beyond the paper) — overload behaviour of the macro pipeline
+// behind the reliable host transport. The paper feeds the chip from a
+// closed loop (next frame starts when the previous one returns), so it
+// never sees overload; this harness switches the host feeder to an open
+// loop at 0.5x/1x/2x/4x the measured render capacity, with and without a
+// lossy host link, and reports what the backpressure + shedding stack
+// does: goodput should clamp to capacity, the frame ledger must balance,
+// queues stay bounded, and latency saturates at the queue depth instead
+// of growing without bound. Rows land in BENCH_overload.json for
+// cross-PR comparison.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace sccpipe;
+using namespace sccpipe::bench;
+
+namespace {
+
+struct Cell {
+  double mult = 0.0;
+  std::string plan;   // fault grammar, "" = clean link
+  std::string label;  // table label for the plan
+};
+
+void write_overload_json(const std::vector<Cell>& cells,
+                         const std::vector<RunConfig>& cfgs,
+                         const std::vector<RunResult>& results,
+                         double capacity_fps) {
+  const char* path = "BENCH_overload.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"sccpipe-bench-overload-v1\",\n");
+  std::fprintf(f, "  \"tool\": \"ablation_overload\",\n");
+  std::fprintf(f, "  \"capacity_fps\": %.3f,\n", capacity_fps);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TransportReport& t = results[i].transport;
+    const double shed_fraction =
+        t.frames_offered == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(t.frames_delivered) /
+                        static_cast<double>(t.frames_offered);
+    std::fprintf(
+        f,
+        "    {\"load_mult\": %.2f, \"link\": \"%s\", "
+        "\"offered_fps\": %.2f, \"goodput_fps\": %.2f, "
+        "\"p50_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
+        "\"shed_fraction\": %.4f, \"offered\": %llu, \"delivered\": %llu, "
+        "\"shed_admission\": %llu, \"shed_deadline\": %llu, "
+        "\"shed_transport\": %llu, \"shed_breaker\": %llu, "
+        "\"retransmissions\": %llu, \"max_feeder_queue\": %d, "
+        "\"max_link_queue\": %d, \"max_stage_queue\": %d, "
+        "\"completed\": %s}%s\n",
+        cells[i].mult, cells[i].label.c_str(),
+        cfgs[i].overload.offered_fps, t.goodput_fps, t.p50_latency_ms,
+        t.p99_latency_ms, shed_fraction,
+        static_cast<unsigned long long>(t.frames_offered),
+        static_cast<unsigned long long>(t.frames_delivered),
+        static_cast<unsigned long long>(t.shed_admission),
+        static_cast<unsigned long long>(t.shed_deadline),
+        static_cast<unsigned long long>(t.shed_transport),
+        static_cast<unsigned long long>(t.shed_breaker),
+        static_cast<unsigned long long>(t.retransmissions),
+        t.max_feeder_queue, t.max_link_queue, t.max_stage_queue,
+        results[i].fault.failed ? "false" : "true",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] overload record written: %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  print_banner(
+      "Ablation — overload (open-loop offered load vs goodput/latency/shed)",
+      "reliable host ARQ + credit backpressure + deadline shedding");
+
+  // Measure the closed-loop render capacity first: the walkthrough with
+  // the reliable transport enabled but no open-loop feeder runs exactly
+  // as fast as the chip can drain frames.
+  RunConfig base;
+  base.scenario = Scenario::HostRenderer;
+  base.pipelines = 4;
+  base.fault.seed = 7;
+  base.rcce.retry.max_attempts = 8;
+  // The initial RTO must sit above one frame's serialisation time on the
+  // host wire or every first send spuriously retransmits (and Karn's
+  // algorithm then keeps the estimator from ever converging).
+  base.rcce.retry.timeout = SimTime::ms(50);
+  base.rcce.retry.backoff = SimTime::ms(1);
+  base.overload.window = 8;
+  base.overload.queue_depth = 4;
+
+  const int frames = World::instance().frames();
+  const RunResult closed = run(base);
+  const double capacity_fps =
+      static_cast<double>(frames) / closed.walkthrough.to_sec();
+  std::printf("closed-loop capacity: %.2f simulated fps (%d frames)\n\n",
+              capacity_fps, frames);
+
+  // A frame that has waited longer than the whole feeder queue would take
+  // to drain at capacity is already doomed; shed it instead of rendering.
+  const SimTime deadline =
+      SimTime::sec(2.0 * (base.overload.queue_depth + 1) / capacity_fps);
+
+  const std::vector<double> mults = {0.5, 1.0, 2.0, 4.0};
+  const char* chaos =
+      "host-drop=0.10;reorder=0.05:2ms;duplicate=0.05:1ms";
+  std::vector<Cell> cells;
+  std::vector<RunConfig> cfgs;
+  for (const double mult : mults) {
+    for (int lossy = 0; lossy < 2; ++lossy) {
+      Cell cell;
+      cell.mult = mult;
+      cell.plan = lossy ? chaos : "";
+      cell.label = lossy ? "lossy" : "clean";
+      RunConfig cfg = base;
+      cfg.overload.offered_fps = mult * capacity_fps;
+      cfg.overload.frame_deadline = deadline;
+      if (lossy) {
+        const Status st = cfg.fault.parse(cell.plan);
+        if (!st.ok()) {
+          std::fprintf(stderr, "bad plan: %s\n", st.to_string().c_str());
+          return 1;
+        }
+        cfg.fault.seed = 7;
+      }
+      cells.push_back(cell);
+      cfgs.push_back(cfg);
+    }
+  }
+  const std::vector<RunResult> results = run_batch(cfgs);
+
+  TextTable table({"offered [x cap]", "link", "goodput [fps]", "p50 [ms]",
+                   "p99 [ms]", "shed [%]", "retx", "outcome"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TransportReport& t = results[i].transport;
+    const double shed_pct =
+        t.frames_offered == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(t.frames_delivered) /
+                                 static_cast<double>(t.frames_offered));
+    table.row()
+        .add(cells[i].mult, 1)
+        .add(cells[i].label)
+        .add(t.goodput_fps, 2)
+        .add(t.p50_latency_ms, 2)
+        .add(t.p99_latency_ms, 2)
+        .add(shed_pct, 1)
+        .add(static_cast<double>(t.retransmissions), 0)
+        .add(results[i].fault.failed ? "FAILED: " + results[i].fault.failure
+                                     : "completed");
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "below capacity the feeder queue stays empty and latency is one\n"
+      "pipeline traversal; past 1x the bounded queues fill, admission\n"
+      "control sheds the stalest frames, and goodput clamps at the render\n"
+      "capacity while p99 saturates near the deadline instead of growing\n"
+      "with the overload. The lossy column pays retransmissions out of the\n"
+      "same capacity, so its goodput cap sits a little lower.\n");
+
+  write_overload_json(cells, cfgs, results, capacity_fps);
+  return 0;
+}

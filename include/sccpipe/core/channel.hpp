@@ -10,11 +10,14 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 
 #include "sccpipe/filters/image.hpp"
 #include "sccpipe/host/host_cpu.hpp"
 #include "sccpipe/host/host_link.hpp"
+#include "sccpipe/host/reliable_link.hpp"
 #include "sccpipe/rcce/rcce.hpp"
 
 namespace sccpipe {
@@ -108,6 +111,88 @@ class HostToChipChannel final : public Channel {
   CoreId consumer_;
   HostChannel wire_;
   std::deque<FrameToken> tokens_;
+};
+
+/// Host -> SCC path over the reliable sliding-window (ARQ) transport.
+/// Exactly-once, in-order delivery restores the FIFO token pairing even
+/// under reorder/duplicate/burst-loss fates; a message the transport
+/// abandons (retries exhausted) surfaces its token to the abandon handler
+/// so the overload layer can shed and ledger the frame instead of
+/// stalling — without a handler an abandon fails the run, like the
+/// stop-and-wait transport's retry exhaustion.
+class ReliableHostToChipChannel final : public Channel {
+ public:
+  using AbandonHandler =
+      std::function<void(const FrameToken&, const Status&)>;
+
+  ReliableHostToChipChannel(HostCpu& host, SccChip& chip,
+                            CoreId consumer_core, ReliableLinkConfig cfg);
+
+  void send(FrameToken token, SendDone on_sent) override;  // host side
+  void recv(RecvDone on_token) override;                   // chip side
+
+  /// Attach the fault oracle consulted per data datagram.
+  void set_fault(FaultInjector* fault) { wire_.set_fault(fault); }
+  void set_abandon_handler(AbandonHandler handler) {
+    on_abandon_ = std::move(handler);
+  }
+
+  /// The underlying ARQ link, for the RunResult transport report.
+  const ReliableHostChannel& transport() const { return wire_; }
+
+ private:
+  HostCpu& host_;
+  SccChip& chip_;
+  CoreId consumer_;
+  ReliableHostChannel wire_;
+  std::map<std::uint64_t, FrameToken> tokens_;  ///< seq -> undelivered
+  std::uint64_t push_seq_ = 0;
+  AbandonHandler on_abandon_;
+};
+
+/// RCCE channel with a bounded run-ahead queue and credit-based flow
+/// control (the BDDT-SCC bounded-queue model): send() completes as soon as
+/// a credit is held, decoupling the producer from the consumer by at most
+/// `depth` in-flight tokens, and every delivered token returns its credit
+/// to the producer as a real RCCE message on the mesh — backpressure is
+/// traffic, not a free global variable, exactly the discipline the SCC's
+/// no-coherence constraint forces.
+class CreditedSccChannel final : public Channel {
+ public:
+  CreditedSccChannel(RcceComm& comm, CoreId from, CoreId to, int depth,
+                     double credit_bytes = 64.0);
+
+  void send(FrameToken token, SendDone on_sent) override;
+  void recv(RecvDone on_token) override;
+
+  CoreId from() const { return from_; }
+  CoreId to() const { return to_; }
+
+  std::uint64_t credit_stalls() const { return credit_stalls_; }
+  SimTime credit_stall_time() const { return credit_stall_time_; }
+  /// Peak sent-but-undelivered tokens; never exceeds depth.
+  int max_occupancy() const { return max_occupancy_; }
+  std::uint64_t credit_messages() const { return credit_messages_; }
+
+ private:
+  void admit(FrameToken token, SendDone on_sent);
+  void on_credit();
+
+  RcceComm& comm_;
+  CoreId from_;
+  CoreId to_;
+  int depth_;
+  double credit_bytes_;
+  SccChannel data_;
+  int credits_;
+  int outstanding_ = 0;  ///< sent - delivered
+  std::deque<std::pair<FrameToken, SendDone>> waiting_;
+  bool stalled_ = false;
+  SimTime stall_since_{};
+  std::uint64_t credit_stalls_ = 0;
+  SimTime credit_stall_time_{};
+  int max_occupancy_ = 0;
+  std::uint64_t credit_messages_ = 0;
 };
 
 /// SCC -> visualisation client. The producer core pays the UDP send cost;

@@ -12,6 +12,7 @@
 
 #include "sccpipe/core/calibration.hpp"
 #include "sccpipe/core/channel.hpp"
+#include "sccpipe/core/overload.hpp"
 #include "sccpipe/core/placement.hpp"
 #include "sccpipe/core/recovery.hpp"
 #include "sccpipe/core/stage.hpp"
@@ -86,6 +87,14 @@ struct RunConfig {
   /// fault plan schedules at least one core failure; otherwise no
   /// Supervisor is built and the run stays bit-identical to PR-1 behaviour.
   RecoveryConfig recovery{};
+
+  /// Overload-robust data plane (see core/overload.hpp): reliable ARQ host
+  /// transport, credit-based backpressure, admission control / shedding /
+  /// circuit breaker. Default-off: a disabled config keeps the legacy
+  /// closed-loop run bit-identical. Only meaningful for HostRenderer runs;
+  /// cannot be combined with planned core failures (the supervisor rebuild
+  /// assumes rendezvous channels).
+  OverloadConfig overload{};
 
   /// Optional: record per-stage wait/process spans here (chrome://tracing
   /// export; see timeline.hpp). Must outlive the run.
@@ -168,6 +177,11 @@ struct RunResult {
   /// Self-healing outcome (enabled == false unless the plan scheduled a
   /// core failure): detections, remaps, replay traffic, degradations.
   RecoveryReport recovery;
+
+  /// Transport + overload outcome (enabled == false unless cfg.overload
+  /// activated any feature): ARQ counters, frame ledger, credit stalls,
+  /// breaker transitions, goodput and latency quantiles.
+  TransportReport transport;
 
   /// Convenience: wait summary of the first stage of the given kind.
   const StageReport* stage(StageKind kind, int pipeline = 0) const;

@@ -84,8 +84,12 @@ class HostChannel {
   void set_fault(FaultInjector* fault, RetryPolicy retry,
                  ErrorHandler on_error);
 
-  /// Retransmissions performed after injected message losses.
+  /// Retransmissions performed after injected message losses. A message
+  /// corrupted and retried N times counts one first send and N
+  /// retransmissions — never N+1 fresh sends.
   std::uint64_t retransmissions() const { return retransmissions_; }
+  /// First transmissions (one per admitted message, regardless of retries).
+  std::uint64_t first_sends() const { return first_sends_; }
 
   /// Producer: enqueue a message. \p on_accepted fires once a credit is
   /// available and the message has finished crossing the wire (the producer
@@ -126,6 +130,7 @@ class HostChannel {
   RetryPolicy retry_{};
   ErrorHandler on_error_;
   std::uint64_t retransmissions_ = 0;
+  std::uint64_t first_sends_ = 0;
 };
 
 }  // namespace sccpipe

@@ -77,6 +77,10 @@ enum class FaultKind : std::uint8_t {
   HostDrop,       ///< decision record: a host-link message was lost
   HostDelay,      ///< decision record: a host-link message was delayed
   HostCorrupt,    ///< decision record: a host-link message failed its CRC
+  HostReorder,    ///< decision record: a host datagram was delayed past its
+                  ///< successors (delivered out of order)
+  HostDuplicate,  ///< decision record: a host datagram was delivered twice
+  HostBurstDrop,  ///< decision record: lost in a burst-loss (bad) state
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -118,6 +122,22 @@ struct FaultPlan {
   double host_delay_rate = 0.0;
   SimTime host_delay = SimTime::ms(5);
   double host_corrupt_rate = 0.0;
+  /// Host datagram reordering: a hit is held back by an extra transit delay
+  /// so later datagrams overtake it. Only the reliable (ARQ) host transport
+  /// restores order; the legacy stop-and-wait path reads it as pure delay.
+  double host_reorder_rate = 0.0;
+  SimTime host_reorder_delay = SimTime::ms(10);  ///< max displacement
+  /// Host datagram duplication: a hit is delivered twice, the copy lagging
+  /// by up to host_duplicate_lag. Suppressed by the ARQ receiver.
+  double host_duplicate_rate = 0.0;
+  SimTime host_duplicate_lag = SimTime::ms(2);
+  /// Gilbert–Elliott two-state burst loss on the host link. The channel
+  /// steps once per datagram: good -> bad with burst_enter_rate, bad ->
+  /// good with burst_exit_rate; while bad, each datagram is lost with
+  /// burst_loss_rate (default: every one, the classic Gilbert model).
+  double burst_enter_rate = 0.0;
+  double burst_exit_rate = 0.1;
+  double burst_loss_rate = 1.0;
 
   // Scheduled window faults: how many of each to scatter over the horizon.
   int link_degrade_count = 0;
@@ -143,8 +163,10 @@ struct FaultPlan {
   /// horizon=2s;window=20ms;core-fail=13@1.5s"). Returns a typed error on
   /// malformed input: InvalidArgument for unknown keys or bad values. Keys:
   /// rcce-drop, rcce-delay=<rate>:<time>, rcce-corrupt, host-drop,
-  /// host-delay=<rate>:<time>, host-corrupt, link-degrade=<n>:<factor>,
-  /// link-down=<n>, router-degrade=<n>:<factor>, mc-degrade=<n>:<factor>,
+  /// host-delay=<rate>:<time>, host-corrupt, reorder=<rate>[:<time>],
+  /// duplicate=<rate>[:<time>], burst-loss=<enter>:<exit>[:<loss>],
+  /// link-degrade=<n>:<factor>, link-down=<n>,
+  /// router-degrade=<n>:<factor>, mc-degrade=<n>:<factor>,
   /// mc-stall=<n>, core-fail=<core>@<time>, horizon=<time>, window=<time>,
   /// seed=<n>.
   Status parse(const std::string& text);
@@ -155,6 +177,16 @@ enum class MessageFate : std::uint8_t {
   Deliver,  ///< arrives (possibly late — check *extra_delay)
   Drop,     ///< lost in flight; the sender's timeout machinery fires
   Corrupt,  ///< arrives, fails the receiver's CRC check, and is NACKed
+};
+
+/// Full fate of one host datagram for the reliable (ARQ) transport: the
+/// basic fate plus the injected transit delay (delay + reorder displacement
+/// combined) and an optional duplicate copy lagging behind the original.
+struct DatagramFate {
+  MessageFate fate = MessageFate::Deliver;
+  SimTime extra_delay = SimTime::zero();
+  bool duplicate = false;  ///< a second copy arrives duplicate_lag later
+  SimTime duplicate_lag = SimTime::zero();
 };
 
 /// The run-time oracle the component models consult. Const queries serve
@@ -203,8 +235,15 @@ class FaultInjector {
   /// *extra_delay receives the injected transit delay (zero when unharmed).
   MessageFate rcce_message_fate(SimTime at, int from, int to,
                                 SimTime* extra_delay);
-  /// Same for one host-link message.
+  /// Same for one host-link message. Legacy stop-and-wait view: reorder
+  /// displacement folds into the returned extra_delay and duplicates are
+  /// ignored (the stop-and-wait pairing cannot represent them).
   MessageFate host_message_fate(SimTime at, SimTime* extra_delay);
+  /// Full fate of one host datagram for the reliable (ARQ) transport:
+  /// burst-loss state step, drop/corrupt/delay, reorder displacement and
+  /// duplication. Consumes the same host RNG stream as host_message_fate —
+  /// a run uses one transport or the other, never both on the same link.
+  DatagramFate host_datagram_fate(SimTime at);
 
   // --- observability -----------------------------------------------------
   /// Message-fate decisions in the order they were taken.
@@ -219,6 +258,9 @@ class FaultInjector {
   std::uint64_t host_drops() const { return host_drops_; }
   std::uint64_t host_delays() const { return host_delays_; }
   std::uint64_t host_corrupts() const { return host_corrupts_; }
+  std::uint64_t host_reorders() const { return host_reorders_; }
+  std::uint64_t host_duplicates() const { return host_duplicates_; }
+  std::uint64_t host_burst_drops() const { return host_burst_drops_; }
 
  private:
   SimTime available_after(FaultKind kind, int target, SimTime at) const;
@@ -236,6 +278,10 @@ class FaultInjector {
   std::uint64_t host_drops_ = 0;
   std::uint64_t host_delays_ = 0;
   std::uint64_t host_corrupts_ = 0;
+  std::uint64_t host_reorders_ = 0;
+  std::uint64_t host_duplicates_ = 0;
+  std::uint64_t host_burst_drops_ = 0;
+  bool burst_bad_ = false;  ///< Gilbert–Elliott channel state (bad = bursty)
 };
 
 }  // namespace sccpipe

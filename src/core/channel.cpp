@@ -129,6 +129,146 @@ void HostToChipChannel::recv(RecvDone on_token) {
   });
 }
 
+// ------------------------------------------------- ReliableHostToChipChannel
+
+ReliableHostToChipChannel::ReliableHostToChipChannel(HostCpu& host,
+                                                     SccChip& chip,
+                                                     CoreId consumer_core,
+                                                     ReliableLinkConfig cfg)
+    : host_(host),
+      chip_(chip),
+      consumer_(consumer_core),
+      wire_(chip.sim(), cfg) {
+  SCCPIPE_CHECK(chip.topology().valid_core(consumer_core));
+  wire_.set_error_handler([this](const Status& s, std::uint64_t seq) {
+    auto it = tokens_.find(seq);
+    SCCPIPE_CHECK_MSG(it != tokens_.end(),
+                      "transport abandoned unknown message #" << seq);
+    FrameToken token = std::move(it->second);
+    tokens_.erase(it);
+    if (on_abandon_ != nullptr) {
+      on_abandon_(token, s);
+    } else {
+      fail(s);
+    }
+  });
+}
+
+void ReliableHostToChipChannel::send(FrameToken token, SendDone on_sent) {
+  SCCPIPE_CHECK(on_sent != nullptr);
+  const double bytes = token.bytes;
+  token.crc = frame_token_crc(token);
+  // Host-side pushes admit FIFO, so the Nth push is ARQ sequence N.
+  tokens_.emplace(push_seq_++, std::move(token));
+  host_.compute(wire_.host_side_cycles(bytes),
+                [this, bytes, cb = std::move(on_sent)]() mutable {
+                  wire_.push(bytes, std::move(cb));
+                });
+}
+
+void ReliableHostToChipChannel::recv(RecvDone on_token) {
+  SCCPIPE_CHECK(on_token != nullptr);
+  wire_.pop([this, cb = std::move(on_token)](double bytes) mutable {
+    const SimTime matched = chip_.sim().now();
+    chip_.compute(consumer_, wire_.scc_recv_cycles(bytes),
+                  [this, matched, cb = std::move(cb)]() mutable {
+                    // In-order delivery with abandoned holes already
+                    // erased: the lowest outstanding sequence is this one.
+                    SCCPIPE_CHECK(!tokens_.empty());
+                    auto it = tokens_.begin();
+                    FrameToken token = std::move(it->second);
+                    tokens_.erase(it);
+                    verify_token(token, "reliable host-to-chip delivery");
+                    cb(std::move(token), matched);
+                  });
+  });
+}
+
+// --------------------------------------------------------- CreditedSccChannel
+
+CreditedSccChannel::CreditedSccChannel(RcceComm& comm, CoreId from,
+                                       CoreId to, int depth,
+                                       double credit_bytes)
+    : comm_(comm),
+      from_(from),
+      to_(to),
+      depth_(depth),
+      credit_bytes_(credit_bytes),
+      data_(comm, from, to),
+      credits_(depth) {
+  SCCPIPE_CHECK(depth >= 1);
+  SCCPIPE_CHECK(credit_bytes > 0.0);
+  data_.set_error_handler([this](const Status& s) { fail(s); });
+}
+
+void CreditedSccChannel::send(FrameToken token, SendDone on_sent) {
+  SCCPIPE_CHECK(on_sent != nullptr);
+  if (credits_ > 0) {
+    if (stalled_) {
+      stalled_ = false;
+      credit_stall_time_ =
+          credit_stall_time_ + (comm_.chip().sim().now() - stall_since_);
+    }
+    admit(std::move(token), std::move(on_sent));
+    return;
+  }
+  if (!stalled_) {
+    stalled_ = true;
+    stall_since_ = comm_.chip().sim().now();
+    ++credit_stalls_;
+  }
+  waiting_.emplace_back(std::move(token), std::move(on_sent));
+}
+
+void CreditedSccChannel::admit(FrameToken token, SendDone on_sent) {
+  --credits_;
+  ++outstanding_;
+  SCCPIPE_CHECK_MSG(outstanding_ <= depth_,
+                    "credited channel exceeded its depth bound: "
+                        << outstanding_ << " > " << depth_);
+  if (outstanding_ > max_occupancy_) max_occupancy_ = outstanding_;
+  // One credit-return rendezvous per admitted token, posted up front so
+  // the consumer's grant always finds its matching receive.
+  comm_.recv(from_, to_, [this](const Status& s) {
+    if (!s.ok()) {
+      fail(s);
+      return;
+    }
+    on_credit();
+  });
+  // The producer is decoupled now; the data transfer rides behind.
+  on_sent();
+  data_.send(std::move(token), [] {});
+}
+
+void CreditedSccChannel::on_credit() {
+  ++credits_;
+  if (!waiting_.empty()) {
+    if (stalled_) {
+      stalled_ = false;
+      credit_stall_time_ =
+          credit_stall_time_ + (comm_.chip().sim().now() - stall_since_);
+    }
+    auto next = std::move(waiting_.front());
+    waiting_.pop_front();
+    admit(std::move(next.first), std::move(next.second));
+  }
+}
+
+void CreditedSccChannel::recv(RecvDone on_token) {
+  SCCPIPE_CHECK(on_token != nullptr);
+  data_.recv([this, cb = std::move(on_token)](FrameToken token,
+                                              SimTime matched) mutable {
+    --outstanding_;
+    ++credit_messages_;
+    // Return the freed slot as real mesh traffic: consumer -> producer.
+    comm_.send(to_, from_, credit_bytes_, [this](const Status& s) {
+      if (!s.ok()) fail(s);
+    });
+    cb(std::move(token), matched);
+  });
+}
+
 // ------------------------------------------------------- ChipToViewerChannel
 
 ChipToViewerChannel::ChipToViewerChannel(SccChip& chip, CoreId producer_core,

@@ -92,6 +92,20 @@ class WalkthroughSim {
                       "workload trace built for max_k=" << trace.max_k());
     SCCPIPE_CHECK_MSG(trace.frame_count() >= scene.frame_count(),
                       "trace shorter than the walkthrough");
+    if (cfg.overload.enabled()) {
+      SCCPIPE_CHECK_MSG(cfg.scenario == Scenario::HostRenderer,
+                        "overload controls govern the host feed path; only "
+                        "the host-renderer scenario has one");
+      SCCPIPE_CHECK_MSG(cfg.fault.core_failures.empty(),
+                        "overload mode cannot be combined with planned core "
+                        "failures (the supervisor rebuild assumes rendezvous "
+                        "channels)");
+      overload_mode_ = true;
+      breaker_ = std::make_unique<CircuitBreaker>(
+          cfg.overload.breaker_threshold, cfg.overload.breaker_cooldown);
+      arrival_at_.assign(static_cast<std::size_t>(frames_total()),
+                         SimTime::zero());
+    }
     build_platform();
     build_placement();
     apply_dvfs();
@@ -270,7 +284,14 @@ class WalkthroughSim {
   }
 
   Channel* make_scc_channel(CoreId from, CoreId to, std::string where) {
-    channels_.push_back(std::make_unique<SccChannel>(*rcce_, from, to));
+    if (overload_mode_ && cfg_.overload.queue_depth > 0) {
+      auto ch = std::make_unique<CreditedSccChannel>(
+          *rcce_, from, to, cfg_.overload.queue_depth);
+      credited_.push_back(ch.get());
+      channels_.push_back(std::move(ch));
+    } else {
+      channels_.push_back(std::make_unique<SccChannel>(*rcce_, from, to));
+    }
     return watch(channels_.back().get(), std::move(where));
   }
 
@@ -282,6 +303,11 @@ class WalkthroughSim {
         *chip_, placement_.transfer, viewer_link_,
         [this](const FrameToken& tok, SimTime at) {
           frame_done_ms_.push_back(at.to_ms());
+          if (overload_mode_) {
+            latency_ms_.push_back(
+                (at - arrival_at_[static_cast<std::size_t>(tok.frame)])
+                    .to_ms());
+          }
           if (cfg_.functional && tok.image) {
             out_frames_.push_back(*tok.image);
           }
@@ -291,14 +317,42 @@ class WalkthroughSim {
     channels_.push_back(std::move(viewer_ch));
     viewer_ = watch(channels_.back().get(), "transfer->viewer link");
 
-    // Producer feed into the chip (host scenarios only).
+    // Producer feed into the chip (host scenarios only). With an ARQ
+    // window configured the sliding-window transport replaces stop-and-wait
+    // and abandoned frames are shed + ledgered instead of failing the run.
     if (cfg_.scenario == Scenario::HostRenderer) {
-      auto host_ch = std::make_unique<HostToChipChannel>(
-          *host_, *chip_, placement_.producer, producer_link_);
-      if (fault_) host_ch->set_fault(fault_.get(), cfg_.rcce.retry);
-      host_wire_ = host_ch.get();
-      channels_.push_back(std::move(host_ch));
-      host_in_ = watch(channels_.back().get(), "host->connect link");
+      if (overload_mode_ && cfg_.overload.window > 0) {
+        ReliableLinkConfig rl;
+        rl.link = producer_link_;
+        rl.window = cfg_.overload.window;
+        if (cfg_.overload.queue_depth > 0) {
+          rl.queue_depth = cfg_.overload.queue_depth;
+        }
+        rl.retry = cfg_.rcce.retry;
+        auto arq = std::make_unique<ReliableHostToChipChannel>(
+            *host_, *chip_, placement_.producer, rl);
+        if (fault_) arq->set_fault(fault_.get());
+        arq->set_abandon_handler(
+            [this](const FrameToken& tok, const Status& s) {
+              // The frame was admitted and lost to the transport: ledger
+              // it, count the failure toward the breaker, keep pumping.
+              ++transport_tally_.shed_transport;
+              fault_errors_.push_back("host->connect link: shed frame " +
+                                      std::to_string(tok.frame) + ": " +
+                                      s.to_string());
+              breaker_->on_failure(sim_.now());
+            });
+        host_arq_ = arq.get();
+        channels_.push_back(std::move(arq));
+        host_in_ = watch(channels_.back().get(), "host->connect link");
+      } else {
+        auto host_ch = std::make_unique<HostToChipChannel>(
+            *host_, *chip_, placement_.producer, producer_link_);
+        if (fault_) host_ch->set_fault(fault_.get(), cfg_.rcce.retry);
+        host_wire_ = host_ch.get();
+        channels_.push_back(std::move(host_ch));
+        host_in_ = watch(channels_.back().get(), "host->connect link");
+      }
     }
 
     // Per-pipeline stages and channels.
@@ -386,7 +440,11 @@ class WalkthroughSim {
         }
         break;
       case Scenario::HostRenderer:
-        host_render_frame(0);
+        if (overload_mode_ && cfg_.overload.offered_fps > 0.0) {
+          schedule_arrival(0);
+        } else {
+          host_render_frame(0);
+        }
         connect_loop();
         break;
       case Scenario::SingleCore:
@@ -609,6 +667,13 @@ class WalkthroughSim {
   /// down the UDP path as fast as its credits allow.
   void host_render_frame(int frame) {
     if (failed_ || frame >= frames_total()) return;
+    if (overload_mode_) {
+      // Closed-loop overload run (ARQ/credits without an offered rate):
+      // every frame is offered and admitted; only the transport can shed.
+      ++transport_tally_.frames_offered;
+      ++transport_tally_.frames_admitted;
+      arrival_at_[static_cast<std::size_t>(frame)] = sim_.now();
+    }
     const RenderLoad& load = trace_.load(frame, 1, 0);
     host_->compute(host_render_cycles(cfg_.cal, load), [this, frame] {
       FrameToken tok;
@@ -624,6 +689,88 @@ class WalkthroughSim {
     });
   }
 
+  // ---------------------------------------- overload-mode open-loop feeder
+  //
+  // Instead of the paper's closed loop (render the next frame only once the
+  // link took the previous one), frames *arrive* on a fixed simulated-time
+  // schedule at the offered rate, and the overload policy decides each
+  // frame's fate: rejected while the breaker is open, evicted from the
+  // bounded admission queue (stalest first), shed at dequeue once its
+  // deadline has already passed, or rendered and pushed into the link.
+
+  int feeder_depth() const {
+    return cfg_.overload.queue_depth > 0 ? cfg_.overload.queue_depth : 8;
+  }
+
+  void schedule_arrival(int frame) {
+    if (frame >= frames_total()) return;
+    const SimTime at = SimTime::sec(frame / cfg_.overload.offered_fps);
+    sim_.schedule_at(at, [this, frame] {
+      frame_arrival(frame);
+      schedule_arrival(frame + 1);
+    });
+  }
+
+  void frame_arrival(int frame) {
+    if (failed_) return;
+    ++transport_tally_.frames_offered;
+    arrival_at_[static_cast<std::size_t>(frame)] = sim_.now();
+    if (!breaker_->allow(sim_.now())) {
+      ++transport_tally_.shed_breaker;
+      return;
+    }
+    if (static_cast<int>(feeder_q_.size()) >= feeder_depth()) {
+      // Stalest-first: under a latency deadline the oldest queued frame is
+      // the least likely to still be useful; evict it, admit the newcomer.
+      ++transport_tally_.shed_admission;
+      feeder_q_.pop_front();
+    }
+    feeder_q_.push_back(frame);
+    max_feeder_q_ = std::max(max_feeder_q_,
+                             static_cast<int>(feeder_q_.size()));
+    if (!feeder_busy_) feeder_pump();
+  }
+
+  void feeder_pump() {
+    if (failed_) {
+      feeder_busy_ = false;
+      return;
+    }
+    // Deadline-aware shedding at dequeue: don't spend host render cycles on
+    // a frame that can no longer meet its deadline.
+    const SimTime deadline = cfg_.overload.frame_deadline;
+    while (!feeder_q_.empty() && !deadline.is_zero() &&
+           sim_.now() -
+                   arrival_at_[static_cast<std::size_t>(feeder_q_.front())] >
+               deadline) {
+      ++transport_tally_.frames_admitted;
+      ++transport_tally_.shed_deadline;
+      feeder_q_.pop_front();
+    }
+    if (feeder_q_.empty()) {
+      feeder_busy_ = false;
+      return;
+    }
+    feeder_busy_ = true;
+    const int frame = feeder_q_.front();
+    feeder_q_.pop_front();
+    ++transport_tally_.frames_admitted;
+    const RenderLoad& load = trace_.load(frame, 1, 0);
+    host_->compute(host_render_cycles(cfg_.cal, load), [this, frame] {
+      FrameToken tok;
+      tok.frame = frame;
+      tok.strip = StripRange{0, side()};
+      tok.bytes = static_cast<double>(side()) * side() * 4.0;
+      if (cfg_.functional) {
+        tok.image = std::make_shared<Image>(
+            scene_.renderer().render(scene_.path().view(frame)));
+      }
+      // The link's accept callback (window slot + credit held) paces the
+      // feeder; the admission queue above absorbs the offered-rate burst.
+      host_in_->send(std::move(tok), [this] { feeder_pump(); });
+    });
+  }
+
   /// Scenario 3 connect stage: receive a whole frame from the host, split
   /// it into strips (one read+write pass through its partition), feed the
   /// pipelines, repeat.
@@ -634,8 +781,20 @@ class WalkthroughSim {
     host_in_->recv([this, core](FrameToken tok, SimTime matched) {
       connect_wait_.add((matched - connect_wait_posted_).to_ms());
       producer_span_start_ = matched;
-      const int frame = connect_frames_++;
-      SCCPIPE_CHECK(tok.frame == frame);
+      ++connect_frames_;
+      const int frame = tok.frame;
+      if (overload_mode_) {
+        // The ARQ delivers in order; shed frames leave holes in the frame
+        // numbering but never reorder it.
+        SCCPIPE_CHECK_MSG(frame >= connect_expected_,
+                          "out-of-order delivery leaked past the reliable "
+                          "link: frame " << frame << " after "
+                                         << connect_expected_ - 1);
+        connect_expected_ = frame + 1;
+        breaker_->on_success(sim_.now());
+      } else {
+        SCCPIPE_CHECK(frame == connect_frames_ - 1);
+      }
       chip_->dram_stream(core, 2.0 * tok.bytes,
                          [this, frame, img = tok.image] {
                            begin_distribution(frame, img);
@@ -1227,13 +1386,14 @@ class WalkthroughSim {
   RunResult collect() {
     RunResult r;
     // A fault-free run must always complete; a faulted run may legitimately
-    // end early (graceful failure, reported below), and a degraded
-    // self-healing run delivers everything except the explicitly-lost
-    // frames.
-    SCCPIPE_CHECK_MSG(failed_ || static_cast<int>(frame_done_ms_.size()) +
-                                         static_cast<int>(
-                                             lost_frames_.size()) ==
-                                     frames_total(),
+    // end early (graceful failure, reported below), a degraded self-healing
+    // run delivers everything except the explicitly-lost frames, and an
+    // overload run sheds by design — its completeness invariant is the
+    // frame ledger checked in collect_transport_report.
+    SCCPIPE_CHECK_MSG(failed_ || overload_mode_ ||
+                          static_cast<int>(frame_done_ms_.size()) +
+                                  static_cast<int>(lost_frames_.size()) ==
+                              frames_total(),
                       "walkthrough did not complete: " << frame_done_ms_.size()
                           << '/' << frames_total() << " frames");
     r.frame_done_ms = frame_done_ms_;
@@ -1322,6 +1482,7 @@ class WalkthroughSim {
     }
     collect_fault_report(r);
     collect_recovery_report(r);
+    collect_transport_report(r);
     r.frames = std::move(out_frames_);
     r.events_dispatched = sim_.dispatched();
     return r;
@@ -1343,6 +1504,61 @@ class WalkthroughSim {
         r.recovery.post_failure_fps = after / span_s;
       }
     }
+  }
+
+  void collect_transport_report(RunResult& r) {
+    TransportReport& t = r.transport;
+    t = transport_tally_;
+    t.enabled = overload_mode_;
+    if (!overload_mode_) return;
+    t.frames_delivered = static_cast<std::uint64_t>(frame_done_ms_.size());
+    if (!failed_) {
+      SCCPIPE_CHECK_MSG(
+          t.frames_offered ==
+              t.frames_admitted + t.shed_admission + t.shed_breaker,
+          "overload ledger leak: offered " << t.frames_offered
+              << " != admitted " << t.frames_admitted << " + shed_admission "
+              << t.shed_admission << " + shed_breaker " << t.shed_breaker);
+      SCCPIPE_CHECK_MSG(
+          t.frames_admitted ==
+              t.frames_delivered + t.shed_deadline + t.shed_transport,
+          "overload ledger leak: admitted " << t.frames_admitted
+              << " != delivered " << t.frames_delivered << " + shed_deadline "
+              << t.shed_deadline << " + shed_transport " << t.shed_transport);
+    }
+    if (host_arq_ != nullptr) {
+      const ReliableHostChannel& w = host_arq_->transport();
+      t.first_sends = w.first_sends();
+      t.retransmissions = w.retransmissions();
+      t.dup_suppressed = w.dup_suppressed();
+      t.acks = w.acks_sent();
+      t.credit_grants = w.credit_grants();
+      t.credit_stalls += w.credit_stalls();
+      t.credit_stall_ms += w.credit_stall_time().to_ms();
+      t.max_link_queue = w.max_receiver_occupancy();
+      t.smoothed_rtt_ms = w.smoothed_rtt().to_ms();
+    }
+    for (const CreditedSccChannel* ch : credited_) {
+      t.credit_stalls += ch->credit_stalls();
+      t.credit_stall_ms += ch->credit_stall_time().to_ms();
+      t.credit_grants += ch->credit_messages();
+      t.max_stage_queue = std::max(t.max_stage_queue, ch->max_occupancy());
+    }
+    t.max_feeder_queue = max_feeder_q_;
+    if (!frame_done_ms_.empty()) {
+      const double span_sec = frame_done_ms_.back() / 1e3;
+      if (span_sec > 0.0) {
+        t.goodput_fps =
+            static_cast<double>(frame_done_ms_.size()) / span_sec;
+      }
+      std::vector<double> lat = latency_ms_;
+      std::sort(lat.begin(), lat.end());
+      t.p50_latency_ms = quantile_sorted(lat, 0.5);
+      t.p99_latency_ms = quantile_sorted(lat, 0.99);
+    }
+    t.breaker_trips = breaker_->trips();
+    t.breaker_final = breaker_->state();
+    t.breaker_transitions = breaker_->transitions();
   }
 
   void collect_fault_report(RunResult& r) {
@@ -1436,6 +1652,19 @@ class WalkthroughSim {
   std::string first_failure_where_;
   SimTime failed_at_ = SimTime::zero();
   std::vector<std::string> fault_errors_;
+
+  // ---- overload-mode state (inert unless cfg_.overload.enabled()) ----
+  bool overload_mode_ = false;
+  std::unique_ptr<CircuitBreaker> breaker_;
+  ReliableHostToChipChannel* host_arq_ = nullptr;
+  std::vector<CreditedSccChannel*> credited_;
+  std::deque<int> feeder_q_;        // admitted-but-unrendered frames
+  bool feeder_busy_ = false;
+  std::vector<SimTime> arrival_at_;  // per frame: offered instant
+  std::vector<double> latency_ms_;   // per delivered frame: offer -> viewer
+  int max_feeder_q_ = 0;
+  int connect_expected_ = 0;  // next frame id the connect stage may see
+  TransportReport transport_tally_;  // frame ledger counters, live
 
   // ---- self-healing state (all empty/unused when supervisor_ is null) ----
   std::unique_ptr<Supervisor> supervisor_;

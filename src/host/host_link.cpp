@@ -66,6 +66,7 @@ void HostChannel::try_admit() {
 /// message).
 void HostChannel::transmit(double bytes, PushCallback on_accepted,
                            int attempt, SimTime first_attempt_at) {
+  if (attempt == 1) ++first_sends_;
   const SimTime wire_time =
       SimTime::sec(bytes / cfg_.wire_bandwidth_bytes_per_sec);
   const SimTime done = wire_.acquire(sim_.now(), wire_time);

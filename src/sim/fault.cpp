@@ -36,6 +36,9 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::HostDrop: return "host-drop";
     case FaultKind::HostDelay: return "host-delay";
     case FaultKind::HostCorrupt: return "host-corrupt";
+    case FaultKind::HostReorder: return "reorder";
+    case FaultKind::HostDuplicate: return "duplicate";
+    case FaultKind::HostBurstDrop: return "burst-drop";
   }
   return "?";
 }
@@ -97,6 +100,20 @@ bool parse_rate_time(const std::string& v, double* rate, SimTime* t) {
   if (colon == std::string::npos) return parse_rate(v, rate);
   if (!parse_rate(v.substr(0, colon), rate)) return false;
   return parse_time(v.substr(colon + 1), t);
+}
+
+/// "<enter>:<exit>[:<loss>]" for the Gilbert–Elliott burst-loss channel.
+bool parse_burst(const std::string& v, double* enter, double* exit_rate,
+                 double* loss) {
+  const auto c1 = v.find(':');
+  if (c1 == std::string::npos) return false;
+  if (!parse_rate(v.substr(0, c1), enter)) return false;
+  const auto c2 = v.find(':', c1 + 1);
+  if (c2 == std::string::npos) {
+    return parse_rate(v.substr(c1 + 1), exit_rate);
+  }
+  if (!parse_rate(v.substr(c1 + 1, c2 - c1 - 1), exit_rate)) return false;
+  return parse_rate(v.substr(c2 + 1), loss);
 }
 
 /// "<core>@<time>" for one planned fail-stop death; appends to the list.
@@ -169,6 +186,24 @@ constexpr PlanField kPlanFields[] = {
        return parse_rate(v, &p.host_corrupt_rate);
      },
      [](const FaultPlan& p) { return p.host_corrupt_rate > 0.0; }},
+    {"reorder",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_rate_time(v, &p.host_reorder_rate,
+                              &p.host_reorder_delay);
+     },
+     [](const FaultPlan& p) { return p.host_reorder_rate > 0.0; }},
+    {"duplicate",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_rate_time(v, &p.host_duplicate_rate,
+                              &p.host_duplicate_lag);
+     },
+     [](const FaultPlan& p) { return p.host_duplicate_rate > 0.0; }},
+    {"burst-loss",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_burst(v, &p.burst_enter_rate, &p.burst_exit_rate,
+                          &p.burst_loss_rate);
+     },
+     [](const FaultPlan& p) { return p.burst_enter_rate > 0.0; }},
     {"link-degrade",
      [](FaultPlan& p, const std::string& v) {
        return parse_count_factor(v, &p.link_degrade_count,
@@ -420,8 +455,38 @@ MessageFate FaultInjector::rcce_message_fate(SimTime at, int from, int to,
 
 MessageFate FaultInjector::host_message_fate(SimTime at,
                                              SimTime* extra_delay) {
-  *extra_delay = SimTime::zero();
-  if (!enabled_) return MessageFate::Deliver;
+  // The stop-and-wait transport sees reorder displacement as plain extra
+  // delay (one message in flight at a time, so nothing overtakes) and
+  // cannot represent duplicates; the full decision is still drawn and
+  // traced so the same plan yields the same fault stream either way.
+  const DatagramFate df = host_datagram_fate(at);
+  *extra_delay = df.extra_delay;
+  return df.fate;
+}
+
+DatagramFate FaultInjector::host_datagram_fate(SimTime at) {
+  DatagramFate df;
+  if (!enabled_) return df;
+  // Draw order (burst step, drop, corrupt, delay, reorder, duplicate) is
+  // part of the determinism contract: every draw is rate-gated, so a plan
+  // that leaves a fate class at zero consumes no randomness for it and
+  // pre-existing plans keep their exact streams.
+  if (plan_.burst_enter_rate > 0.0) {
+    // Gilbert–Elliott channel: one state-transition draw per datagram,
+    // plus a loss draw while in the bad state.
+    const double flip =
+        burst_bad_ ? plan_.burst_exit_rate : plan_.burst_enter_rate;
+    if (host_rng_.uniform() < flip) burst_bad_ = !burst_bad_;
+    if (burst_bad_ && host_rng_.uniform() < plan_.burst_loss_rate) {
+      ++host_burst_drops_;
+      FaultEvent ev;
+      ev.kind = FaultKind::HostBurstDrop;
+      ev.start = ev.end = at;
+      trace_.push_back(ev);
+      df.fate = MessageFate::Drop;
+      return df;
+    }
+  }
   if (plan_.host_drop_rate > 0.0 &&
       host_rng_.uniform() < plan_.host_drop_rate) {
     ++host_drops_;
@@ -429,9 +494,9 @@ MessageFate FaultInjector::host_message_fate(SimTime at,
     ev.kind = FaultKind::HostDrop;
     ev.start = ev.end = at;
     trace_.push_back(ev);
-    return MessageFate::Drop;
+    df.fate = MessageFate::Drop;
+    return df;
   }
-  MessageFate fate = MessageFate::Deliver;
   if (plan_.host_corrupt_rate > 0.0 &&
       host_rng_.uniform() < plan_.host_corrupt_rate) {
     ++host_corrupts_;
@@ -439,7 +504,7 @@ MessageFate FaultInjector::host_message_fate(SimTime at,
     ev.kind = FaultKind::HostCorrupt;
     ev.start = ev.end = at;
     trace_.push_back(ev);
-    fate = MessageFate::Corrupt;
+    df.fate = MessageFate::Corrupt;
   }
   if (plan_.host_delay_rate > 0.0 &&
       host_rng_.uniform() < plan_.host_delay_rate) {
@@ -449,9 +514,32 @@ MessageFate FaultInjector::host_message_fate(SimTime at,
     ev.start = ev.end = at;
     ev.extra = SimTime::sec(host_rng_.uniform() * plan_.host_delay.to_sec());
     trace_.push_back(ev);
-    *extra_delay = ev.extra;
+    df.extra_delay = df.extra_delay + ev.extra;
   }
-  return fate;
+  if (plan_.host_reorder_rate > 0.0 &&
+      host_rng_.uniform() < plan_.host_reorder_rate) {
+    ++host_reorders_;
+    FaultEvent ev;
+    ev.kind = FaultKind::HostReorder;
+    ev.start = ev.end = at;
+    ev.extra = SimTime::sec(host_rng_.uniform() *
+                            plan_.host_reorder_delay.to_sec());
+    trace_.push_back(ev);
+    df.extra_delay = df.extra_delay + ev.extra;
+  }
+  if (plan_.host_duplicate_rate > 0.0 &&
+      host_rng_.uniform() < plan_.host_duplicate_rate) {
+    ++host_duplicates_;
+    FaultEvent ev;
+    ev.kind = FaultKind::HostDuplicate;
+    ev.start = ev.end = at;
+    ev.extra = SimTime::sec(host_rng_.uniform() *
+                            plan_.host_duplicate_lag.to_sec());
+    trace_.push_back(ev);
+    df.duplicate = true;
+    df.duplicate_lag = ev.extra;
+  }
+  return df;
 }
 
 std::uint64_t FaultInjector::fingerprint() const {

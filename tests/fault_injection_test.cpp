@@ -60,7 +60,9 @@ TEST(FaultPlan, ParsesTheFullGrammar) {
   const Status st = plan.parse(
       "seed=9;horizon=2s;window=20ms;rcce-drop=0.05;rcce-delay=0.1:3ms;"
       "rcce-corrupt=0.02;host-corrupt=0.03;"
-      "host-drop=0.01;host-delay=0.2:500us;link-degrade=3:0.5;link-down=2;"
+      "host-drop=0.01;host-delay=0.2:500us;reorder=0.05:2ms;"
+      "duplicate=0.04:1ms;burst-loss=0.01:0.2:0.9;"
+      "link-degrade=3:0.5;link-down=2;"
       "router-degrade=1:0.25;mc-degrade=2:0.75;mc-stall=1;core-fail=7@150ms");
   ASSERT_TRUE(st.ok()) << st.to_string();
   EXPECT_EQ(plan.seed, 9u);
@@ -74,6 +76,13 @@ TEST(FaultPlan, ParsesTheFullGrammar) {
   EXPECT_EQ(plan.host_delay, SimTime::us(500));
   EXPECT_DOUBLE_EQ(plan.rcce_corrupt_rate, 0.02);
   EXPECT_DOUBLE_EQ(plan.host_corrupt_rate, 0.03);
+  EXPECT_DOUBLE_EQ(plan.host_reorder_rate, 0.05);
+  EXPECT_EQ(plan.host_reorder_delay, SimTime::ms(2));
+  EXPECT_DOUBLE_EQ(plan.host_duplicate_rate, 0.04);
+  EXPECT_EQ(plan.host_duplicate_lag, SimTime::ms(1));
+  EXPECT_DOUBLE_EQ(plan.burst_enter_rate, 0.01);
+  EXPECT_DOUBLE_EQ(plan.burst_exit_rate, 0.2);
+  EXPECT_DOUBLE_EQ(plan.burst_loss_rate, 0.9);
   ASSERT_EQ(plan.core_failures.size(), 1u);
   EXPECT_EQ(plan.core_failures[0].core, 7);
   EXPECT_EQ(plan.core_failures[0].at, SimTime::ms(150));
@@ -100,6 +109,12 @@ TEST(FaultPlan, RejectsMalformedInput) {
   EXPECT_FALSE(plan.parse("rcce-drop").ok());         // missing =
   EXPECT_FALSE(plan.parse("core-fail=5").ok());       // missing @time
   EXPECT_FALSE(plan.parse("core-fail=-1@10ms").ok()); // negative core
+  EXPECT_FALSE(plan.parse("reorder=1.5").ok());       // rate out of [0, 1]
+  EXPECT_FALSE(plan.parse("reorder=0.1:xyz").ok());   // bad delay
+  EXPECT_FALSE(plan.parse("duplicate=-0.1").ok());    // negative rate
+  EXPECT_FALSE(plan.parse("burst-loss=0.1").ok());    // missing exit rate
+  EXPECT_FALSE(plan.parse("burst-loss=0.1:2").ok());  // exit rate > 1
+  EXPECT_FALSE(plan.parse("burst-loss=0.1:0.2:9").ok());  // loss > 1
 }
 
 // ------------------------------------------------------ schedule determinism

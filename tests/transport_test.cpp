@@ -1,0 +1,293 @@
+// Reliable host transport (host/reliable_link.hpp) and the overload layer
+// (core/overload.hpp + walkthrough integration): seeded drop/reorder/
+// duplicate/burst mixes must yield exactly-once in-order delivery (or a
+// typed abandon), queues must respect their bounds, the frame ledger must
+// balance, and every report must be bit-identical run-to-run.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sccpipe/core/overload.hpp"
+#include "sccpipe/core/walkthrough.hpp"
+#include "sccpipe/host/reliable_link.hpp"
+#include "sccpipe/sim/fault.hpp"
+#include "sccpipe/sim/simulator.hpp"
+
+namespace sccpipe {
+namespace {
+
+// --------------------------------------------------- direct ARQ harness
+
+/// Drives one ReliableHostChannel under a fault plan: pushes `count`
+/// messages whose sizes encode their identity, pops them all, and records
+/// everything observable.
+struct ArqRun {
+  std::vector<double> delivered;           // pop order, by encoded size
+  std::vector<std::uint64_t> abandoned;    // seqs surfaced to the handler
+  std::vector<StatusCode> abandon_codes;
+  std::uint64_t first_sends = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t credit_stalls = 0;
+  int max_receiver_occupancy = 0;
+  double srtt_ms = 0.0;
+};
+
+double encode(int i) { return 1000.0 + i; }
+
+ArqRun run_arq(const std::string& plan_text, std::uint64_t seed, int count,
+               int window, int depth, int max_attempts,
+               SimTime consumer_delay = SimTime::zero()) {
+  Simulator sim;
+  FaultPlan plan;
+  if (!plan_text.empty()) {
+    const Status st = plan.parse(plan_text);
+    EXPECT_TRUE(st.ok()) << st.to_string();
+  }
+  plan.seed = seed;
+  FaultInjector fault(plan, 96, 24, 4);
+
+  ReliableLinkConfig cfg;
+  cfg.link = HostLinkConfig::mcpc();
+  cfg.window = window;
+  cfg.queue_depth = depth;
+  cfg.retry.max_attempts = max_attempts;
+  cfg.retry.timeout = SimTime::ms(5);
+  ReliableHostChannel ch(sim, cfg);
+  if (plan.enabled()) ch.set_fault(&fault);
+
+  ArqRun out;
+  ch.set_error_handler([&](const Status& s, std::uint64_t seq) {
+    out.abandoned.push_back(seq);
+    out.abandon_codes.push_back(s.code());
+  });
+  for (int i = 0; i < count; ++i) {
+    ch.push(encode(i), [] {});
+  }
+  // The consumer pops everything, optionally pausing between pops (a slow
+  // stage) so credit has to throttle the producer.
+  std::function<void()> pop_next = [&] {
+    ch.pop([&](double bytes) {
+      out.delivered.push_back(bytes);
+      if (consumer_delay.is_zero()) {
+        pop_next();
+      } else {
+        sim.schedule_after(consumer_delay, [&] { pop_next(); });
+      }
+    });
+  };
+  pop_next();
+  sim.run();
+
+  out.first_sends = ch.first_sends();
+  out.retransmissions = ch.retransmissions();
+  out.dup_suppressed = ch.dup_suppressed();
+  out.credit_stalls = ch.credit_stalls();
+  out.max_receiver_occupancy = ch.max_receiver_occupancy();
+  out.srtt_ms = ch.smoothed_rtt().to_ms();
+  return out;
+}
+
+// ------------------------------------------------------------ properties
+
+TEST(ReliableLink, CleanRunDeliversInOrderWithoutRetransmits) {
+  const ArqRun r = run_arq("", 1, 40, 8, 8, 1);
+  ASSERT_EQ(r.delivered.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(r.delivered[i], encode(i));
+  EXPECT_EQ(r.first_sends, 40u);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.dup_suppressed, 0u);
+  EXPECT_TRUE(r.abandoned.empty());
+  EXPECT_GT(r.srtt_ms, 0.0);
+}
+
+TEST(ReliableLink, ExactlyOnceInOrderUnderSeededChaos) {
+  const char* plans[] = {
+      "host-drop=0.1",
+      "reorder=0.15:3ms",
+      "duplicate=0.15:1ms",
+      "burst-loss=0.05:0.4:0.9",
+      "host-drop=0.1;reorder=0.05:2ms;duplicate=0.05:1ms;"
+      "burst-loss=0.02:0.5",
+  };
+  for (const char* plan : plans) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const ArqRun r = run_arq(plan, seed, 60, 8, 8, 12);
+      ASSERT_EQ(r.delivered.size(), 60u)
+          << "plan '" << plan << "' seed " << seed;
+      for (int i = 0; i < 60; ++i) {
+        ASSERT_EQ(r.delivered[i], encode(i))
+            << "plan '" << plan << "' seed " << seed << " position " << i;
+      }
+      EXPECT_TRUE(r.abandoned.empty()) << "plan '" << plan << "'";
+      EXPECT_LE(r.max_receiver_occupancy, 8);
+    }
+  }
+}
+
+TEST(ReliableLink, DuplicatesAreSuppressedNotDelivered) {
+  const ArqRun r = run_arq("duplicate=1.0:1ms", 7, 30, 4, 4, 4);
+  ASSERT_EQ(r.delivered.size(), 30u);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(r.delivered[i], encode(i));
+  EXPECT_GE(r.dup_suppressed, 20u);  // nearly every datagram was doubled
+}
+
+TEST(ReliableLink, TotalLossAbandonsEveryMessageTyped) {
+  const ArqRun r = run_arq("host-drop=1.0", 3, 20, 4, 4, 3);
+  EXPECT_TRUE(r.delivered.empty());
+  ASSERT_EQ(r.abandoned.size(), 20u);  // credit freed by skips kept pumping
+  for (const StatusCode c : r.abandon_codes) {
+    EXPECT_EQ(c, StatusCode::RetriesExhausted);
+  }
+  EXPECT_EQ(r.first_sends, 20u);
+  EXPECT_EQ(r.retransmissions, 40u);  // 3 attempts per message
+}
+
+TEST(ReliableLink, SlowConsumerIsBoundedByCredit) {
+  const ArqRun r = run_arq("", 1, 40, 16, 4, 1, SimTime::ms(2));
+  ASSERT_EQ(r.delivered.size(), 40u);
+  EXPECT_LE(r.max_receiver_occupancy, 4);  // never exceeds queue_depth
+  EXPECT_GT(r.credit_stalls, 0u);          // the producer visibly throttled
+}
+
+TEST(ReliableLink, SameSeedIsBitIdentical) {
+  const char* plan =
+      "host-drop=0.1;reorder=0.05:2ms;duplicate=0.05:1ms;burst-loss=0.02:0.5";
+  const ArqRun a = run_arq(plan, 11, 50, 8, 6, 10);
+  const ArqRun b = run_arq(plan, 11, 50, 8, 6, 10);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.first_sends, b.first_sends);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.dup_suppressed, b.dup_suppressed);
+  EXPECT_EQ(a.srtt_ms, b.srtt_ms);
+}
+
+// -------------------------------------------------------- circuit breaker
+
+TEST(CircuitBreaker, StateMachineTripsHalfOpensAndRecloses) {
+  CircuitBreaker b(3, SimTime::ms(100));
+  SimTime t = SimTime::ms(1);
+  EXPECT_TRUE(b.allow(t));
+  b.on_failure(t);
+  b.on_failure(t);
+  EXPECT_EQ(b.state(), BreakerState::Closed);  // under threshold
+  b.on_failure(t);
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_EQ(b.trips(), 1);
+  EXPECT_FALSE(b.allow(t + SimTime::ms(50)));  // still cooling down
+  EXPECT_TRUE(b.allow(t + SimTime::ms(101)));  // the probe passes
+  EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+  EXPECT_FALSE(b.allow(t + SimTime::ms(102)));  // one probe at a time
+  b.on_failure(t + SimTime::ms(110));           // probe failed
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_EQ(b.trips(), 2);
+  EXPECT_TRUE(b.allow(t + SimTime::ms(211)));  // half-open again
+  b.on_success(t + SimTime::ms(215));          // probe succeeded
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_TRUE(b.allow(t + SimTime::ms(216)));
+  EXPECT_EQ(b.transitions().size(), 5u);
+}
+
+TEST(CircuitBreaker, ZeroThresholdIsDisabled) {
+  CircuitBreaker b(0, SimTime::ms(100));
+  for (int i = 0; i < 10; ++i) b.on_failure(SimTime::ms(i));
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_TRUE(b.allow(SimTime::ms(20)));
+  EXPECT_EQ(b.trips(), 0);
+}
+
+// ------------------------------------------------- walkthrough integration
+
+const SceneBundle& shared_scene() {
+  static SceneBundle* scene = [] {
+    CityParams city;
+    city.blocks_x = 4;
+    city.blocks_z = 4;
+    return new SceneBundle(city, CameraConfig{}, 80, 10);
+  }();
+  return *scene;
+}
+
+const WorkloadTrace& shared_trace() {
+  static WorkloadTrace* trace =
+      new WorkloadTrace(WorkloadTrace::build(shared_scene(), 4));
+  return *trace;
+}
+
+RunConfig overload_config() {
+  RunConfig cfg;
+  cfg.scenario = Scenario::HostRenderer;
+  cfg.pipelines = 3;
+  cfg.overload.window = 4;
+  cfg.overload.queue_depth = 2;
+  cfg.rcce.retry.max_attempts = 8;
+  return cfg;
+}
+
+TEST(OverloadRun, ChaosMixDeliversEveryAdmittedFrameExactlyOnce) {
+  RunConfig cfg = overload_config();
+  ASSERT_TRUE(
+      cfg.fault
+          .parse("host-drop=0.1;reorder=0.05:1ms;duplicate=0.05:500us")
+          .ok());
+  const RunResult r = run_walkthrough(shared_scene(), shared_trace(), cfg);
+  EXPECT_FALSE(r.fault.failed);
+  EXPECT_TRUE(r.transport.enabled);
+  EXPECT_EQ(r.transport.frames_offered, 10u);
+  EXPECT_EQ(r.transport.frames_delivered, 10u);  // closed loop: no shedding
+  EXPECT_EQ(r.frame_done_ms.size(), 10u);
+  EXPECT_EQ(r.transport.shed_transport, 0u);
+  EXPECT_LE(r.transport.max_link_queue, 2);
+  EXPECT_LE(r.transport.max_stage_queue, 2);
+}
+
+TEST(OverloadRun, OpenLoopOverloadShedsAndBalancesTheLedger) {
+  RunConfig cfg = overload_config();
+  cfg.overload.offered_fps = 1e5;  // far beyond the render capacity
+  cfg.overload.frame_deadline = SimTime::ms(50);
+  const RunResult r = run_walkthrough(shared_scene(), shared_trace(), cfg);
+  const TransportReport& t = r.transport;
+  EXPECT_TRUE(t.enabled);
+  EXPECT_EQ(t.frames_offered, 10u);
+  EXPECT_EQ(t.frames_offered,
+            t.frames_admitted + t.shed_admission + t.shed_breaker);
+  EXPECT_EQ(t.frames_admitted,
+            t.frames_delivered + t.shed_deadline + t.shed_transport);
+  EXPECT_GT(t.shed_admission + t.shed_deadline, 0u);  // it really shed
+  EXPECT_LE(t.max_feeder_queue, 2);
+  EXPECT_LE(t.max_link_queue, 2);
+  EXPECT_LE(t.max_stage_queue, 2);
+  EXPECT_GT(t.frames_delivered, 0u);
+  EXPECT_GT(t.goodput_fps, 0.0);
+  EXPECT_GT(t.p99_latency_ms, 0.0);
+  EXPECT_GE(t.p99_latency_ms, t.p50_latency_ms);
+}
+
+TEST(OverloadRun, ReportIsBitIdenticalAcrossRepeats) {
+  RunConfig cfg = overload_config();
+  cfg.overload.offered_fps = 400.0;
+  cfg.overload.frame_deadline = SimTime::ms(40);
+  ASSERT_TRUE(cfg.fault.parse("host-drop=0.05;duplicate=0.05:500us").ok());
+  const RunResult a = run_walkthrough(shared_scene(), shared_trace(), cfg);
+  const RunResult b = run_walkthrough(shared_scene(), shared_trace(), cfg);
+  EXPECT_EQ(a.walkthrough, b.walkthrough);
+  EXPECT_EQ(a.transport.csv(), b.transport.csv());
+  EXPECT_EQ(a.frame_done_ms, b.frame_done_ms);
+}
+
+TEST(OverloadRun, DisabledConfigReportsNothing) {
+  RunConfig cfg;
+  cfg.scenario = Scenario::HostRenderer;
+  cfg.pipelines = 3;
+  const RunResult r = run_walkthrough(shared_scene(), shared_trace(), cfg);
+  EXPECT_FALSE(r.transport.enabled);
+  EXPECT_EQ(r.transport.frames_offered, 0u);
+  EXPECT_EQ(r.frame_done_ms.size(), 10u);
+}
+
+}  // namespace
+}  // namespace sccpipe

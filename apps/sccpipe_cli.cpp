@@ -11,6 +11,7 @@
 #include <string>
 
 #include "sccpipe/core/walkthrough.hpp"
+#include "sccpipe/exec/executor.hpp"
 #include "sccpipe/support/args.hpp"
 #include "sccpipe/support/table.hpp"
 
@@ -91,6 +92,10 @@ int main(int argc, char** argv) {
   args.add_flag("breaker-cooldown-ms",
                 "open-breaker cooldown before the half-open probe [ms]",
                 "250");
+  args.add_flag("sim-jobs",
+                "worker threads inside the simulation (partitioned engine; "
+                "results are bit-identical at any value; 0 = "
+                "SCCPIPE_SIM_JOBS or 1)", "0");
   args.add_flag("csv", "emit one CSV row instead of tables", "false");
   args.add_flag("timeline", "write a chrome://tracing JSON to this path", "");
   args.add_flag("stages", "print the per-stage report", "true");
@@ -131,6 +136,8 @@ int main(int argc, char** argv) {
   cfg.tail_mhz = args.get_int("tail-mhz");
   cfg.isolate_blur_tile = args.get_bool("isolate-blur");
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  cfg.sim_jobs = args.get_int("sim-jobs");
+  if (cfg.sim_jobs <= 0) cfg.sim_jobs = exec::default_sim_jobs();
 
   const std::string fault_plan = args.get("fault-plan");
   if (!fault_plan.empty()) {
@@ -228,6 +235,16 @@ int main(int argc, char** argv) {
               r.walkthrough.to_sec(), frames);
   std::printf("chip power:    %.1f W mean, %.0f J\n", r.mean_chip_watts,
               r.chip_energy_joules);
+  if (r.parallel_sim.enabled) {
+    const ParallelSimReport& p = r.parallel_sim;
+    std::printf("sim engine:    %d worker(s) over %d region(s), lookahead "
+                "%lld ns; %llu window(s), %llu cross-region event(s), %llu "
+                "idle region-window(s)\n",
+                p.sim_jobs, p.regions, static_cast<long long>(p.lookahead_ns),
+                static_cast<unsigned long long>(p.windows),
+                static_cast<unsigned long long>(p.cross_region_events),
+                static_cast<unsigned long long>(p.idle_region_windows));
+  }
   if (r.host_busy_sec > 0.0) {
     std::printf("host:          busy %.2f s, extra %.0f J\n", r.host_busy_sec,
                 r.host_extra_energy_joules);

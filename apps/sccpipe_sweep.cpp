@@ -125,6 +125,11 @@ int main(int argc, char** argv) {
                 "parallel runs (0 = all cores; env SCCPIPE_JOBS overrides "
                 "the default)",
                 "0");
+  args.add_flag("sim-jobs",
+                "worker threads inside each simulation (partitioned engine; "
+                "CSV is bit-identical at any value; 0 = SCCPIPE_SIM_JOBS "
+                "or 1)",
+                "0");
   args.add_flag("bench-json",
                 "perf record path, or 'none' to disable",
                 "BENCH_sweep.json");
@@ -215,6 +220,8 @@ int main(int argc, char** argv) {
   for (const int k : pipeline_list) max_k = std::max(max_k, k);
   int jobs = args.get_int("jobs");
   if (jobs <= 0) jobs = exec::default_jobs();
+  int sim_jobs = args.get_int("sim-jobs");
+  if (sim_jobs <= 0) sim_jobs = exec::default_sim_jobs();
 
   const int frames = args.get_int("frames");
   const int size = args.get_int("size");
@@ -266,6 +273,7 @@ int main(int argc, char** argv) {
           gr.cfg.recovery = recovery;
           gr.cfg.overload = overload;
           gr.cfg.rcce.retry = retry;
+          gr.cfg.sim_jobs = sim_jobs;
           gr.platform_label = pf;
           runs.push_back(std::move(gr));
         }

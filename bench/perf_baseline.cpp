@@ -36,6 +36,7 @@
 #include "sccpipe/filters/reference.hpp"
 #include "sccpipe/render/rasterizer.hpp"
 #include "sccpipe/render/reference.hpp"
+#include "sccpipe/sim/parallel_sim.hpp"
 #include "sccpipe/sim/reference_scheduler.hpp"
 #include "sccpipe/sim/simulator.hpp"
 #include "sccpipe/support/args.hpp"
@@ -246,6 +247,151 @@ Metric bench_raster(int side, int triangles, int repeats) {
                 mpix / median(opt_s)};
 }
 
+// ----------------------------------------------------- sim_jobs scaling sweep
+//
+// Intra-run parallelism (PR 6): the same workload executed at --sim-jobs
+// 1/2/4/8 on the partitioned engine. Two workloads:
+//
+//   * churn — the event-churn driver sharded over 8 independent regions
+//     with a huge lookahead, so the whole run fits in one barrier window.
+//     This is the engine's best case and measures raw multi-queue dispatch
+//     scaling with zero synchronisation cost.
+//   * e2e — the reduced walkthrough at each sim_jobs value. The
+//     walkthrough model is confined to the host region (the fabric is not
+//     yet partition-aware), so this row documents the honest current
+//     state: byte-identical results, one window, no intra-run speedup.
+//
+// Every row is CHECK-verified against the jobs=1 run of the same workload
+// (identical event counts / results), so the sweep doubles as a release-
+// build determinism probe. The rows are context like the e2e section —
+// the CI ratio gate never reads them.
+
+struct SimJobsRow {
+  std::string workload;
+  int jobs = 0;
+  int regions = 0;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double speedup_vs_jobs1 = 0.0;
+  std::uint64_t windows = 0;
+  std::uint64_t cross_region_events = 0;
+};
+
+/// Per-region churn chain for the partitioned engine: same
+/// schedule/cancel/dispatch shape as ChurnDriver, confined to one region's
+/// Simulator so regions stay independent (lookahead never binds).
+struct RegionChurn {
+  Simulator* sim = nullptr;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t target = 0;
+
+  void fire(std::uint32_t id) {
+    ++fired;
+    if (fired >= target) return;
+    const EventHandle timeout =
+        sim->schedule_after(SimTime::us(50), [this, id] { fire(id ^ 1u); });
+    sim->schedule_after(SimTime::ns((id * 7 + 3) % 41 + 1),
+                        [this, timeout, id] {
+                          if (sim->cancel(timeout)) ++cancelled;
+                          fire(id + 1);
+                        });
+  }
+};
+
+std::vector<SimJobsRow> bench_sim_jobs_churn(std::uint64_t fires_per_region,
+                                             int chains_per_region,
+                                             int repeats) {
+  const int kRegions = 8;
+  std::vector<SimJobsRow> rows;
+  std::uint64_t events_at_1 = 0;
+  double wall_at_1 = 0.0;
+  for (const int jobs : {1, 2, 4, 8}) {
+    std::vector<double> secs;
+    std::uint64_t events = 0;
+    ParallelSimStats stats;
+    for (int r = 0; r < repeats; ++r) {
+      // Huge lookahead: the snapshot bound of every region is its peers'
+      // first event plus ~an hour, so the run completes in one window.
+      ParallelSimulator eng(kRegions, jobs, SimTime::ms(3'600'000.0));
+      std::vector<RegionChurn> drivers(kRegions);
+      for (int g = 0; g < kRegions; ++g) {
+        drivers[static_cast<std::size_t>(g)].sim = &eng.region(g);
+        drivers[static_cast<std::size_t>(g)].target = fires_per_region;
+      }
+      const auto t0 = Clock::now();
+      for (int g = 0; g < kRegions; ++g) {
+        RegionChurn& d = drivers[static_cast<std::size_t>(g)];
+        for (int c = 0; c < chains_per_region; ++c) {
+          d.sim->schedule_after(SimTime::ns(c + 1), [&d, c] {
+            d.fire(static_cast<std::uint32_t>(c));
+          });
+        }
+      }
+      eng.run();
+      secs.push_back(seconds_since(t0));
+      for (const RegionChurn& d : drivers) SCCPIPE_CHECK(d.fired >= fires_per_region);
+      events = eng.dispatched();
+      stats = eng.stats();
+    }
+    const double med = median(secs);
+    SimJobsRow row{"churn", jobs, kRegions, med * 1e3, events,
+                   static_cast<double>(events) / med, 1.0, stats.windows,
+                   stats.cross_region_events};
+    if (jobs == 1) {
+      events_at_1 = events;
+      wall_at_1 = med;
+    } else {
+      // Determinism probe: the sharded workload must dispatch the exact
+      // same event population at every worker count.
+      SCCPIPE_CHECK(events == events_at_1);
+      row.speedup_vs_jobs1 = wall_at_1 / med;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<SimJobsRow> bench_sim_jobs_e2e(int frames, int size, int pipelines,
+                                           int repeats) {
+  const SceneBundle scene(CityParams{}, CameraConfig{}, size, frames);
+  const WorkloadTrace trace = WorkloadTrace::build(scene, pipelines);
+  std::vector<SimJobsRow> rows;
+  std::uint64_t events_at_1 = 0;
+  double wall_at_1 = 0.0;
+  for (const int jobs : {1, 2, 4, 8}) {
+    RunConfig cfg;
+    cfg.scenario = Scenario::HostRenderer;
+    cfg.pipelines = pipelines;
+    cfg.sim_jobs = jobs;
+    std::vector<double> secs;
+    RunResult res;
+    for (int r = 0; r < repeats; ++r) {
+      const auto t0 = Clock::now();
+      res = run_walkthrough(scene, trace, cfg);
+      secs.push_back(seconds_since(t0));
+      SCCPIPE_CHECK(!res.fault.failed);
+    }
+    const double med = median(secs);
+    SimJobsRow row{"e2e", jobs, res.parallel_sim.regions, med * 1e3,
+                   res.events_dispatched,
+                   static_cast<double>(res.events_dispatched) / med, 1.0,
+                   res.parallel_sim.windows,
+                   res.parallel_sim.cross_region_events};
+    if (jobs == 1) {
+      events_at_1 = res.events_dispatched;
+      wall_at_1 = med;
+    } else {
+      // The byte-identity contract, release-build flavour.
+      SCCPIPE_CHECK(res.events_dispatched == events_at_1);
+      row.speedup_vs_jobs1 = wall_at_1 / med;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 // ------------------------------------------------------- end-to-end context
 
 struct E2e {
@@ -292,7 +438,8 @@ std::vector<E2e> bench_e2e(int frames, int size, int pipelines, int repeats) {
 // ---------------------------------------------------------------- JSON I/O
 
 void write_json(const std::string& path, const std::vector<Metric>& metrics,
-                const std::vector<E2e>& e2e, bool smoke) {
+                const std::vector<E2e>& e2e,
+                const std::vector<SimJobsRow>& sim_jobs, bool smoke) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
@@ -332,6 +479,22 @@ void write_json(const std::string& path, const std::vector<Metric>& metrics,
                  e.functional ? "true" : "false", e.wall_ms,
                  static_cast<unsigned long long>(e.events), e.events_per_sec,
                  i + 1 < e2e.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"sim_jobs\": [\n");
+  for (std::size_t i = 0; i < sim_jobs.size(); ++i) {
+    const SimJobsRow& s = sim_jobs[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"jobs\": %d, \"regions\": %d, "
+                 "\"wall_ms\": %.1f, \"events_dispatched\": %llu, "
+                 "\"events_per_sec\": %.4g, \"speedup_vs_jobs1\": %.2f, "
+                 "\"windows\": %llu, \"cross_region_events\": %llu}%s\n",
+                 s.workload.c_str(), s.jobs, s.regions, s.wall_ms,
+                 static_cast<unsigned long long>(s.events), s.events_per_sec,
+                 s.speedup_vs_jobs1,
+                 static_cast<unsigned long long>(s.windows),
+                 static_cast<unsigned long long>(s.cross_region_events),
+                 i + 1 < sim_jobs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
@@ -449,8 +612,26 @@ int main(int argc, char** argv) {
                 e.events_per_sec);
   }
 
+  std::vector<SimJobsRow> sim_jobs =
+      bench_sim_jobs_churn(smoke ? 30'000 : 200'000, 32, smoke ? 2 : 5);
+  {
+    const std::vector<SimJobsRow> e2e_rows =
+        bench_sim_jobs_e2e(smoke ? 10 : 60, 240, 4, smoke ? 2 : 5);
+    sim_jobs.insert(sim_jobs.end(), e2e_rows.begin(), e2e_rows.end());
+  }
+  std::printf("\nsim_jobs sweep (partitioned engine, results checked"
+              " identical to jobs=1):\n");
+  for (const SimJobsRow& s : sim_jobs) {
+    std::printf("  %-6s jobs %d over %d regions: %8.1f ms, %.3g events/s, "
+                "%.2fx vs jobs=1, %llu window(s), %llu cross-region\n",
+                s.workload.c_str(), s.jobs, s.regions, s.wall_ms,
+                s.events_per_sec, s.speedup_vs_jobs1,
+                static_cast<unsigned long long>(s.windows),
+                static_cast<unsigned long long>(s.cross_region_events));
+  }
+
   const std::string out = args.get("out");
-  if (out != "none") write_json(out, metrics, e2e, smoke);
+  if (out != "none") write_json(out, metrics, e2e, sim_jobs, smoke);
 
   if (args.has("check") && !args.get("check").empty()) {
     const int failures = check_against(args.get("check"), metrics);

@@ -72,6 +72,14 @@ struct RunConfig {
   /// examples and the functional-equivalence tests).
   bool functional = false;
 
+  /// Worker threads *inside* this one simulation (the partitioned engine,
+  /// sim/parallel_sim.hpp). Results are bit-identical at every value; 1
+  /// drains inline and spawns no threads. The walkthrough's fabric model
+  /// advances shared link state synchronously, so its events stay confined
+  /// to one region regardless (see docs/PERF.md §1) — the knob exercises
+  /// the engine plumbing and keeps the CSV contract CI-diffable.
+  int sim_jobs = 1;
+
   std::uint64_t seed = 42;  ///< scratch/flicker randomness
   Calibration cal = Calibration::defaults();
   RcceConfig rcce{};
@@ -149,6 +157,20 @@ struct FaultReport {
   std::uint64_t fingerprint = 0;
 };
 
+/// Parallel-engine counters of one run. Every field is deterministic
+/// (derived from queue states, never wall-clock), so the report may appear
+/// in CSV output without breaking the byte-identity contract across
+/// --sim-jobs values.
+struct ParallelSimReport {
+  bool enabled = false;  ///< cfg.sim_jobs > 1 requested the engine
+  int sim_jobs = 1;
+  int regions = 1;
+  std::int64_t lookahead_ns = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t cross_region_events = 0;
+  std::uint64_t idle_region_windows = 0;
+};
+
 struct RunResult {
   SimTime walkthrough = SimTime::zero();  ///< last frame shown at the viewer
   std::vector<StageReport> stages;
@@ -182,6 +204,9 @@ struct RunResult {
   /// activated any feature): ARQ counters, frame ledger, credit stalls,
   /// breaker transitions, goodput and latency quantiles.
   TransportReport transport;
+
+  /// Parallel-engine counters (sim_jobs = 1 when the serial path ran).
+  ParallelSimReport parallel_sim;
 
   /// Convenience: wait summary of the first stage of the given kind.
   const StageReport* stage(StageKind kind, int pipeline = 0) const;

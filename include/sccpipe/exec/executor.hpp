@@ -31,6 +31,12 @@ namespace sccpipe::exec {
 /// std::thread::hardware_concurrency() (at least 1).
 int default_jobs();
 
+/// Worker count for the partitioned engine *inside* one simulation
+/// (RunConfig::sim_jobs = 0): the SCCPIPE_SIM_JOBS environment variable if
+/// set to a positive integer, otherwise 1 — intra-run parallelism is
+/// opt-in, unlike the between-runs default above.
+int default_sim_jobs();
+
 /// Fixed-size thread pool. Threads start in the constructor and join in
 /// the destructor; submit() never blocks (unbounded queue).
 class ThreadPool {

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file partition.hpp
+/// Spatial partition of the tile mesh into regions for the parallel engine
+/// (sim/parallel_sim.hpp). Regions are vertical column bands: dimension-
+/// ordered (X-then-Y) routes cross a band boundary at most once per column
+/// step, and bands keep every tile's north/south neighbours — the busiest
+/// links of a macro-pipelined strip flow — inside one region.
+///
+/// The partition also defines the engine's lookahead: no message between
+/// tiles of different bands can arrive in less simulated time than
+/// `min_boundary_hops()` router hops, so
+///   lookahead = min_boundary_hops() * per_hop_latency
+/// is a safe conservative bound.
+
+#include <vector>
+
+#include "sccpipe/noc/topology.hpp"
+#include "sccpipe/support/time.hpp"
+
+namespace sccpipe {
+
+/// Column-band partition map: tiles / cores / memory controllers -> region.
+class MeshPartition {
+ public:
+  /// Split \p layout into \p regions vertical bands (clamped to
+  /// [1, layout.width]); band widths differ by at most one column.
+  MeshPartition(MeshLayout layout, int regions);
+
+  int regions() const { return regions_; }
+  const MeshLayout& layout() const { return layout_; }
+
+  int region_of_column(int x) const;
+  int region_of_tile(TileId tile) const;
+  int region_of_coord(TileCoord c) const { return region_of_column(c.x); }
+  int region_of_core(CoreId core) const;
+  int region_of_mc(McId mc) const;
+
+  /// Region owning the host link. The PCIe bridge attaches at the
+  /// south-west corner router (see host/transport), i.e. column 0.
+  int host_region() const { return region_of_column(0); }
+
+  /// Number of tiles mapped to \p region.
+  int tiles_in_region(int region) const;
+
+  /// Minimum router-hop distance between tiles of two different regions
+  /// (1 for adjacent bands). With one region there is no boundary; returns
+  /// 1 so lookahead() stays positive.
+  int min_boundary_hops() const;
+
+  /// Conservative engine lookahead for a fabric whose slowest-crossing
+  /// message costs at least \p per_hop_latency per router hop.
+  SimTime lookahead(SimTime per_hop_latency) const {
+    return per_hop_latency * static_cast<double>(min_boundary_hops());
+  }
+
+ private:
+  MeshLayout layout_;
+  MeshTopology topo_;
+  int regions_ = 1;
+  std::vector<int> column_region_;  // column x -> region
+};
+
+}  // namespace sccpipe

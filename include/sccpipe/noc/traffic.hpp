@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file traffic.hpp
+/// Synthetic macro-pipeline mesh traffic: the determinism-equivalence and
+/// scaling workload for the partitioned parallel engine.
+///
+/// Every tile runs a tick chain (local "stage compute") and periodically
+/// injects a strip-sized message toward a payload-derived peer tile; each
+/// reception may forward the message onward until its TTL expires, so the
+/// load spreads over the whole mesh like the paper's macro-pipelined strip
+/// flows. Delivery takes `hop_latency` per router hop — the strip
+/// serialisation latency — which is exactly the engine lookahead of the
+/// column-band partition (noc/partition.hpp), so every cross-band message
+/// legally lands in a later window.
+///
+/// Determinism across engines and worker counts is by construction:
+///   * per-tile state is a single commutative accumulator (wrapping adds),
+///     so same-timestamp arrival order cannot change it;
+///   * forwarding decisions derive only from the message payload, never
+///     from mutable tile state;
+///   * the digest folds the per-tile accumulators in tile order after the
+///     run completes.
+/// The serial reference (one plain Simulator) and the parallel engine at
+/// any jobs/regions therefore produce the same TrafficResult, which
+/// tests/parallel_sim_test.cpp and the fuzzer assert.
+
+#include <cstdint>
+
+#include "sccpipe/noc/topology.hpp"
+#include "sccpipe/sim/parallel_sim.hpp"
+#include "sccpipe/support/time.hpp"
+
+namespace sccpipe {
+
+struct TrafficConfig {
+  MeshLayout layout{};                      ///< mesh size (can exceed 6x4)
+  int regions = 4;                          ///< parallel engine partitions
+  int jobs = 1;                             ///< parallel engine workers
+  int ticks = 64;                           ///< tick-chain length per tile
+  SimTime tick_spacing = SimTime::us(2);    ///< stage compute interval
+  int send_every = 2;                       ///< inject every N ticks
+  SimTime hop_latency = SimTime::us(10);    ///< strip latency per hop
+  int ttl = 3;                              ///< forwarding chain length
+  std::uint64_t seed = 42;
+};
+
+/// Engine-independent outcome of one traffic run. Two runs are equivalent
+/// iff digest, events, messages and end_time_ns all match; `engine` holds
+/// the parallel engine's counters (zeros for the serial reference).
+struct TrafficResult {
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;       ///< total events dispatched
+  std::uint64_t messages = 0;     ///< injections + forwards
+  std::int64_t end_time_ns = 0;   ///< timestamp of the last event
+  ParallelSimStats engine{};
+};
+
+/// Reference run on one plain Simulator.
+TrafficResult run_traffic_serial(const TrafficConfig& cfg);
+
+/// Same workload on the partitioned engine (cfg.regions regions in a
+/// column-band partition, cfg.jobs worker threads).
+TrafficResult run_traffic_parallel(const TrafficConfig& cfg);
+
+}  // namespace sccpipe

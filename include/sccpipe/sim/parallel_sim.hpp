@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file parallel_sim.hpp
+/// Mesh-partitioned parallel discrete-event engine: parallelism *inside*
+/// one simulation, not just between runs.
+///
+/// The simulated system is split into R regions. Each region owns a full
+/// `Simulator` (the PR 4 allocation-free SoA event queue), its own clock
+/// and its own sequence counter; a window coordinator advances all regions
+/// in conservative super-steps ("barrier windows"):
+///
+///   1. snapshot every region's next event time,
+///   2. give each region the bound
+///        bound_r = min_{s != r, s non-empty} next_s + lookahead
+///      (no peer can influence region r earlier than that, because any
+///      cross-region interaction takes at least `lookahead` of simulated
+///      time — the per-hop link latency of the partitioned mesh),
+///   3. drain every region to its bound in parallel on the worker threads;
+///      a region that posts cross-region mail mid-window shrinks its own
+///      remaining bound to delivery + lookahead (the round-trip guard: the
+///      receiver may react at delivery time and post back, and that
+///      reaction must not land in the sender's simulated past),
+///   4. barrier; merge the cross-region mailboxes; repeat.
+///
+/// This is the null-message-free variant of Chandy-Misra-Bryant
+/// synchronisation: bounds come from a barrier snapshot instead of null
+/// messages, and a region whose peers are all empty runs to completion in
+/// a single window (so a fully serial model pays one window, not one per
+/// lookahead quantum).
+///
+/// Determinism (the property every test in tests/parallel_sim_test.cpp
+/// leans on): results are bit-identical at every worker count, including
+/// jobs = 1, because
+///   * window bounds derive only from queue states, which are themselves
+///     deterministic by induction;
+///   * a region's events are executed by exactly one thread per window, in
+///     the engine's (time, seq) order;
+///   * cross-region events are posted into per-(source, destination)
+///     mailbox lanes and merged at the barrier in a fixed order — sorted
+///     by delivery time, ties broken by (source region, post order) —
+///     never in thread-completion order.
+///
+/// Thread-safety contract for model code: state owned by a region may only
+/// be touched by callbacks scheduled on that region's Simulator. Cross-
+/// region interaction must go through post(), with a delivery time at
+/// least `lookahead` in the future. The barrier provides the
+/// happens-before edges, so a conforming model is TSan-clean.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sccpipe/sim/simulator.hpp"
+#include "sccpipe/support/time.hpp"
+
+namespace sccpipe {
+
+/// Deterministic engine counters: identical at every worker count, so they
+/// may appear in RunResult/CSV output without breaking byte-identity.
+struct ParallelSimStats {
+  std::uint64_t windows = 0;             ///< super-steps executed
+  std::uint64_t cross_region_events = 0; ///< mailbox events merged
+  /// (region, window) pairs where the region had nothing to execute before
+  /// its bound — the idle-stall count of a lopsided partition.
+  std::uint64_t idle_region_windows = 0;
+  std::uint64_t peak_mailbox = 0;        ///< largest single-barrier merge
+};
+
+class ParallelSimulator {
+ public:
+  using Callback = Simulator::Callback;
+
+  /// \p regions partitions of the simulated system; \p jobs worker threads
+  /// (clamped to [1, regions]; jobs == 1 drains every region inline on the
+  /// calling thread and spawns nothing). \p lookahead is the minimum
+  /// simulated latency of any cross-region interaction and must be > 0.
+  ParallelSimulator(int regions, int jobs, SimTime lookahead,
+                    std::size_t size_hint_per_region =
+                        Simulator::kDefaultSizeHint);
+  ~ParallelSimulator();
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  int regions() const { return static_cast<int>(regions_.size()); }
+  int jobs() const { return jobs_; }
+  SimTime lookahead() const { return lookahead_; }
+
+  /// A region's event queue. Model code confined to region r schedules on
+  /// region(r) exactly as it would on a serial Simulator. Outside run(),
+  /// callers may use this single-threaded for setup; during run(), only
+  /// callbacks executing on region r may touch it.
+  Simulator& region(int r);
+
+  /// Schedule \p fn on region \p dst_region at absolute time \p when.
+  /// From inside a callback running on a different region, \p when must be
+  /// at least the sender's now() + lookahead(); the event is routed
+  /// through the sender's mailbox lane and merged at the next barrier.
+  /// From inside a callback on the same region this is a plain
+  /// schedule_at. From outside run() it lands in the environment lane and
+  /// is merged before the first window.
+  void post(int dst_region, SimTime when, Callback fn);
+
+  /// Region currently executing on this thread, or -1 when the calling
+  /// thread is not inside a region callback of any engine.
+  static int current_region();
+
+  /// Window index (== stats().windows) of the super-step currently
+  /// executing; readable from inside callbacks (the coordinator only
+  /// advances it while the workers sit at the barrier).
+  std::uint64_t current_window() const { return stats_.windows; }
+
+  /// Run until every region queue and every mailbox lane drains. Returns
+  /// the largest region clock.
+  SimTime run();
+
+  /// As run(), but stop once no region has an event at or before
+  /// \p deadline (events at exactly \p deadline still run).
+  SimTime run_until(SimTime deadline);
+
+  /// Total events dispatched across all regions.
+  std::uint64_t dispatched() const;
+
+  /// Live pending events across all regions plus undelivered mailbox
+  /// entries.
+  std::size_t pending() const;
+
+  const ParallelSimStats& stats() const { return stats_; }
+
+ private:
+  struct Mail {
+    SimTime when;
+    Callback fn;
+  };
+
+  void merge_mailboxes();
+  /// Snapshot next event times; returns the global minimum (max() = all
+  /// empty). Fills bounds_ for a step clamped to \p deadline.
+  SimTime compute_bounds(SimTime deadline);
+  void drain_assigned(int worker);
+  void drain_region(int r);
+  void run_step_parallel();
+  void worker_loop(int worker);
+
+  std::vector<std::unique_ptr<Simulator>> regions_;
+  /// lanes_[src][dst]: src in [0, R] where lane R is the environment
+  /// (posts from outside run()); dst in [0, R).
+  std::vector<std::vector<std::vector<Mail>>> lanes_;
+  std::vector<SimTime> next_;    // per-region snapshot
+  std::vector<SimTime> bounds_;  // per-region window bound (exclusive)
+  /// Effective per-region bound while draining: starts at bounds_[r] and
+  /// shrinks to (delivery + lookahead) at the region's first cross-region
+  /// post of the window — the earliest a reaction round trip can return.
+  /// Written only by the thread draining region r.
+  std::vector<SimTime> caps_;
+  std::vector<Mail> merge_scratch_;
+  std::vector<std::uint32_t> merge_order_;
+  SimTime lookahead_;
+  int jobs_;
+  ParallelSimStats stats_;
+
+  // Barrier state for the persistent workers (jobs_ > 1 only).
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_go_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  int running_ = 0;
+  bool quit_ = false;
+};
+
+}  // namespace sccpipe

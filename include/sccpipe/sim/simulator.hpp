@@ -105,6 +105,16 @@ class Simulator {
   /// Events at exactly \p deadline still run.
   SimTime run_until(SimTime deadline);
 
+  /// Run every event strictly before \p bound (events at exactly \p bound
+  /// stay pending). The drain primitive of the partitioned parallel engine
+  /// (sim/parallel_sim.hpp): a region executes its window [now, bound).
+  SimTime run_before(SimTime bound);
+
+  /// Timestamp of the next live event, or SimTime::max() when the queue is
+  /// empty. Discards surfaced tombstones as a side effect (which is why it
+  /// is not const); O(tombstones at the front).
+  SimTime next_event_time();
+
   /// Number of events dispatched so far (for tests and sanity limits).
   std::uint64_t dispatched() const { return dispatched_; }
 

@@ -7,6 +7,9 @@
 #include <utility>
 
 #include "sccpipe/filters/filters.hpp"
+#include "sccpipe/noc/mesh.hpp"
+#include "sccpipe/noc/partition.hpp"
+#include "sccpipe/sim/parallel_sim.hpp"
 #include "sccpipe/support/check.hpp"
 
 namespace sccpipe {
@@ -84,7 +87,13 @@ class WalkthroughSim {
  public:
   WalkthroughSim(const SceneBundle& scene, const WorkloadTrace& trace,
                  const RunConfig& cfg)
-      : scene_(scene), trace_(trace), cfg_(cfg) {
+      : scene_(scene),
+        trace_(trace),
+        cfg_(cfg),
+        partition_(MeshLayout{}, std::max(1, cfg.sim_jobs)),
+        engine_(partition_.regions(), std::max(1, cfg.sim_jobs),
+                partition_.lookahead(MeshTimingConfig{}.router_latency)),
+        sim_(engine_.region(partition_.host_region())) {
     SCCPIPE_CHECK_MSG(cfg.scenario != Scenario::SingleCore,
                       "use run_single_core() for the one-core baseline");
     SCCPIPE_CHECK(cfg.pipelines >= 1);
@@ -123,7 +132,7 @@ class WalkthroughSim {
     start_producer();
     start_filter_stages();
     start_transfer();
-    sim_.run();
+    engine_.run();
     return collect();
   }
 
@@ -1484,7 +1493,14 @@ class WalkthroughSim {
     collect_recovery_report(r);
     collect_transport_report(r);
     r.frames = std::move(out_frames_);
-    r.events_dispatched = sim_.dispatched();
+    r.events_dispatched = engine_.dispatched();
+    r.parallel_sim.enabled = cfg_.sim_jobs > 1;
+    r.parallel_sim.sim_jobs = engine_.jobs();
+    r.parallel_sim.regions = engine_.regions();
+    r.parallel_sim.lookahead_ns = engine_.lookahead().to_ns();
+    r.parallel_sim.windows = engine_.stats().windows;
+    r.parallel_sim.cross_region_events = engine_.stats().cross_region_events;
+    r.parallel_sim.idle_region_windows = engine_.stats().idle_region_windows;
     return r;
   }
 
@@ -1614,7 +1630,13 @@ class WalkthroughSim {
   const WorkloadTrace& trace_;
   RunConfig cfg_;
 
-  Simulator sim_;
+  // The partitioned engine owns the region queues; the fabric-entangled
+  // walkthrough model runs entirely in the host region (docs/PERF.md §1),
+  // so `sim_` aliases that region's Simulator and every downstream actor
+  // keeps its plain Simulator& dependency.
+  MeshPartition partition_;
+  ParallelSimulator engine_;
+  Simulator& sim_;
   std::unique_ptr<SccChip> chip_;
   std::unique_ptr<RcceComm> rcce_;
   std::unique_ptr<FaultInjector> fault_;

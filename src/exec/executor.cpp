@@ -21,6 +21,14 @@ int default_jobs() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+int default_sim_jobs() {
+  if (const char* env = std::getenv("SCCPIPE_SIM_JOBS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
 // ----------------------------------------------------------------- ThreadPool
 
 struct ThreadPool::Impl {

@@ -1,0 +1,54 @@
+#include "sccpipe/noc/partition.hpp"
+
+#include <algorithm>
+
+namespace sccpipe {
+
+MeshPartition::MeshPartition(MeshLayout layout, int regions)
+    : layout_(layout), topo_(layout) {
+  SCCPIPE_CHECK_MSG(regions >= 1, "partition needs >= 1 region");
+  regions_ = std::min(regions, layout_.width);
+  column_region_.resize(static_cast<std::size_t>(layout_.width));
+  // Balanced bands, wider ones first: column x belongs to the band
+  // floor(x * R / W) — contiguous, monotone, widths differ by at most one.
+  for (int x = 0; x < layout_.width; ++x) {
+    column_region_[static_cast<std::size_t>(x)] =
+        static_cast<int>(static_cast<long long>(x) * regions_ /
+                         layout_.width);
+  }
+}
+
+int MeshPartition::region_of_column(int x) const {
+  SCCPIPE_CHECK_MSG(x >= 0 && x < layout_.width,
+                    "column " << x << " of " << layout_.width);
+  return column_region_[static_cast<std::size_t>(x)];
+}
+
+int MeshPartition::region_of_tile(TileId tile) const {
+  return region_of_coord(topo_.coord_of(tile));
+}
+
+int MeshPartition::region_of_core(CoreId core) const {
+  return region_of_tile(topo_.tile_of(core));
+}
+
+int MeshPartition::region_of_mc(McId mc) const {
+  return region_of_coord(topo_.mc_position(mc));
+}
+
+int MeshPartition::tiles_in_region(int region) const {
+  SCCPIPE_CHECK_MSG(region >= 0 && region < regions_,
+                    "region " << region << " of " << regions_);
+  int columns = 0;
+  for (const int r : column_region_) columns += r == region ? 1 : 0;
+  return columns * layout_.height;
+}
+
+int MeshPartition::min_boundary_hops() const {
+  if (regions_ == 1) return 1;
+  // Bands are contiguous columns, so the closest inter-region pair is a
+  // pair of horizontally adjacent tiles across a band boundary: 1 hop.
+  return 1;
+}
+
+}  // namespace sccpipe

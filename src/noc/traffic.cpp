@@ -1,0 +1,182 @@
+#include "sccpipe/noc/traffic.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "sccpipe/noc/partition.hpp"
+#include "sccpipe/support/rng.hpp"
+
+namespace sccpipe {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 sm{a ^ (b * 0x9e3779b97f4a7c15ULL)};
+  return sm.next();
+}
+
+/// Where a tile schedules its own work and delivers messages. The model is
+/// written once against this seam; the two engines differ only here.
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+  /// Schedule \p fn at absolute \p when on the region owning \p tile.
+  virtual void at(TileId tile, SimTime when, SimCallback fn) = 0;
+};
+
+class SerialFabric final : public Fabric {
+ public:
+  explicit SerialFabric(std::size_t size_hint) : sim_(size_hint) {}
+  void at(TileId, SimTime when, SimCallback fn) override {
+    sim_.schedule_at(when, std::move(fn));
+  }
+  Simulator& sim() { return sim_; }
+
+ private:
+  Simulator sim_;
+};
+
+class PartitionedFabric final : public Fabric {
+ public:
+  PartitionedFabric(const MeshPartition& part, int jobs, SimTime lookahead,
+                    std::size_t size_hint)
+      : part_(part),
+        engine_(part.regions(), jobs, lookahead, size_hint) {}
+  void at(TileId tile, SimTime when, SimCallback fn) override {
+    engine_.post(part_.region_of_tile(tile), when, std::move(fn));
+  }
+  ParallelSimulator& engine() { return engine_; }
+
+ private:
+  const MeshPartition& part_;
+  ParallelSimulator engine_;
+};
+
+/// Per-tile actor state. Only callbacks running on the tile's region touch
+/// it; the accumulator is commutative (wrapping add) so same-timestamp
+/// arrival order is irrelevant. Padded to a cache line to keep neighbouring
+/// tiles' updates from false-sharing across worker threads.
+struct alignas(64) TileState {
+  std::uint64_t accum = 0;
+  std::uint64_t messages = 0;
+};
+
+class TrafficModel {
+ public:
+  TrafficModel(const TrafficConfig& cfg, Fabric& fabric)
+      : cfg_(cfg), topo_(cfg.layout), fabric_(fabric) {
+    SCCPIPE_CHECK_MSG(topo_.tile_count() >= 2,
+                      "traffic needs >= 2 tiles, got " << topo_.tile_count());
+    SCCPIPE_CHECK(cfg_.ticks >= 1 && cfg_.send_every >= 1);
+    SCCPIPE_CHECK(cfg_.tick_spacing > SimTime::zero());
+    SCCPIPE_CHECK(cfg_.hop_latency > SimTime::zero());
+    tiles_.resize(static_cast<std::size_t>(topo_.tile_count()));
+  }
+
+  void start() {
+    for (TileId t = 0; t < topo_.tile_count(); ++t) {
+      schedule_tick(t, 0);
+    }
+  }
+
+  TrafficResult collect(std::uint64_t events, std::int64_t end_ns) const {
+    TrafficResult r;
+    r.events = events;
+    r.end_time_ns = end_ns;
+    r.digest = 0xcbf29ce484222325ULL;
+    for (const TileState& ts : tiles_) {
+      r.digest = mix(r.digest, ts.accum);
+      r.messages += ts.messages;
+    }
+    r.digest = mix(r.digest, r.messages);
+    return r;
+  }
+
+ private:
+  void schedule_tick(TileId tile, int k) {
+    const SimTime when =
+        SimTime::ns(cfg_.tick_spacing.to_ns() * (static_cast<std::int64_t>(k) + 1));
+    fabric_.at(tile, when, [this, tile, k, when] { tick(tile, k, when); });
+  }
+
+  void tick(TileId tile, int k, SimTime now) {
+    TileState& ts = tiles_[static_cast<std::size_t>(tile)];
+    ts.accum += mix(cfg_.seed ^ static_cast<std::uint64_t>(tile),
+                    static_cast<std::uint64_t>(k));
+    if (k % cfg_.send_every == 0) {
+      const std::uint64_t payload =
+          mix(mix(cfg_.seed, static_cast<std::uint64_t>(tile)),
+              static_cast<std::uint64_t>(k));
+      ++ts.messages;
+      send(tile, payload, cfg_.ttl, now);
+    }
+    if (k + 1 < cfg_.ticks) schedule_tick(tile, k + 1);
+  }
+
+  /// Route a message from \p src to the payload-derived peer. Delivery
+  /// costs hop_latency per router hop; dst != src so the delay is at least
+  /// one hop — i.e. at least the engine lookahead.
+  void send(TileId src, std::uint64_t payload, int ttl, SimTime now) {
+    const TileId dst = peer_of(src, payload);
+    const int hops =
+        topo_.hop_distance(topo_.coord_of(src), topo_.coord_of(dst));
+    const SimTime when =
+        now + SimTime::ns(cfg_.hop_latency.to_ns() * hops);
+    fabric_.at(dst, when,
+               [this, dst, payload, ttl, when] {
+                 receive(dst, payload, ttl, when);
+               });
+  }
+
+  void receive(TileId tile, std::uint64_t payload, int ttl, SimTime now) {
+    TileState& ts = tiles_[static_cast<std::size_t>(tile)];
+    ts.accum += mix(payload, static_cast<std::uint64_t>(now.to_ns()));
+    if (ttl <= 0) return;
+    const std::uint64_t next = mix(payload, 0x2545f4914f6cdd1dULL);
+    ++ts.messages;
+    send(tile, next, ttl - 1, now);
+  }
+
+  TileId peer_of(TileId tile, std::uint64_t h) const {
+    const auto n = static_cast<std::uint64_t>(topo_.tile_count());
+    return static_cast<TileId>(
+        (static_cast<std::uint64_t>(tile) + 1 + h % (n - 1)) % n);
+  }
+
+  const TrafficConfig cfg_;
+  MeshTopology topo_;
+  Fabric& fabric_;
+  std::vector<TileState> tiles_;
+};
+
+std::size_t size_hint_for(const TrafficConfig& cfg) {
+  // Every tile keeps ~1 tick + a handful of in-flight messages pending.
+  return static_cast<std::size_t>(cfg.layout.width) *
+             static_cast<std::size_t>(cfg.layout.height) * 8 +
+         Simulator::kDefaultSizeHint;
+}
+
+}  // namespace
+
+TrafficResult run_traffic_serial(const TrafficConfig& cfg) {
+  SerialFabric fabric{size_hint_for(cfg)};
+  TrafficModel model{cfg, fabric};
+  model.start();
+  const SimTime end = fabric.sim().run();
+  return model.collect(fabric.sim().dispatched(), end.to_ns());
+}
+
+TrafficResult run_traffic_parallel(const TrafficConfig& cfg) {
+  const MeshPartition part{cfg.layout, cfg.regions};
+  PartitionedFabric fabric{part, cfg.jobs, part.lookahead(cfg.hop_latency),
+                           size_hint_for(cfg)};
+  TrafficModel model{cfg, fabric};
+  model.start();
+  const SimTime end = fabric.engine().run();
+  TrafficResult r =
+      model.collect(fabric.engine().dispatched(), end.to_ns());
+  r.engine = fabric.engine().stats();
+  return r;
+}
+
+}  // namespace sccpipe

@@ -1,0 +1,251 @@
+#include "sccpipe/sim/parallel_sim.hpp"
+
+#include <algorithm>
+
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+
+namespace {
+
+/// Thread-local execution context: which engine/region the current thread
+/// is draining. Lets post() route same-region schedules directly and pick
+/// the right mailbox lane for cross-region ones.
+struct ExecContext {
+  ParallelSimulator* engine = nullptr;
+  int region = -1;
+};
+thread_local ExecContext t_ctx;
+
+SimTime saturating_add(SimTime a, SimTime b) {
+  if (a == SimTime::max() || b == SimTime::max()) return SimTime::max();
+  if (a > SimTime::max() - b) return SimTime::max();
+  return a + b;
+}
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(int regions, int jobs, SimTime lookahead,
+                                     std::size_t size_hint_per_region)
+    : lookahead_(lookahead) {
+  SCCPIPE_CHECK_MSG(regions >= 1, "ParallelSimulator needs >= 1 region");
+  SCCPIPE_CHECK_MSG(regions <= 4096, "region count " << regions
+                                                     << " is not sane");
+  SCCPIPE_CHECK_MSG(lookahead > SimTime::zero(),
+                    "conservative sync needs a positive lookahead");
+  jobs_ = std::clamp(jobs, 1, regions);
+  regions_.reserve(static_cast<std::size_t>(regions));
+  for (int r = 0; r < regions; ++r) {
+    regions_.push_back(std::make_unique<Simulator>(size_hint_per_region));
+  }
+  lanes_.resize(static_cast<std::size_t>(regions) + 1);
+  for (auto& row : lanes_) row.resize(static_cast<std::size_t>(regions));
+  next_.resize(static_cast<std::size_t>(regions), SimTime::max());
+  bounds_.resize(static_cast<std::size_t>(regions), SimTime::max());
+  caps_.resize(static_cast<std::size_t>(regions), SimTime::max());
+  if (jobs_ > 1) {
+    threads_.reserve(static_cast<std::size_t>(jobs_) - 1);
+    for (int w = 1; w < jobs_; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      quit_ = true;
+    }
+    cv_go_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+}
+
+Simulator& ParallelSimulator::region(int r) {
+  SCCPIPE_CHECK_MSG(r >= 0 && r < regions(), "region " << r << " of "
+                                                       << regions());
+  return *regions_[static_cast<std::size_t>(r)];
+}
+
+int ParallelSimulator::current_region() {
+  return t_ctx.engine != nullptr ? t_ctx.region : -1;
+}
+
+void ParallelSimulator::post(int dst_region, SimTime when, Callback fn) {
+  SCCPIPE_CHECK_MSG(dst_region >= 0 && dst_region < regions(),
+                    "post to region " << dst_region << " of " << regions());
+  const std::size_t dst = static_cast<std::size_t>(dst_region);
+  if (t_ctx.engine == this) {
+    const int src = t_ctx.region;
+    if (src == dst_region) {
+      regions_[dst]->schedule_at(when, std::move(fn));
+      return;
+    }
+    Simulator& sender = *regions_[static_cast<std::size_t>(src)];
+    SCCPIPE_CHECK_MSG(
+        when >= sender.now() + lookahead_,
+        "cross-region post at " << when.to_string() << " violates lookahead "
+                                << lookahead_.to_string() << " from now="
+                                << sender.now().to_string());
+    // Round-trip guard: the receiver can react to this mail at `when` and
+    // post back, so nothing may arrive here before when + lookahead — the
+    // sender must not simulate past that point within this window. The
+    // shrink never undercuts the sender's clock (when + lookahead >
+    // when >= now), and a region that never posts keeps its full bound.
+    caps_[static_cast<std::size_t>(src)] =
+        min(caps_[static_cast<std::size_t>(src)],
+            saturating_add(when, lookahead_));
+    lanes_[static_cast<std::size_t>(src)][dst].push_back(
+        Mail{when, std::move(fn)});
+    return;
+  }
+  // Environment lane: setup posts from outside run(). Single-threaded by
+  // contract (the engine is not running), merged before the first window.
+  lanes_[regions_.size()][dst].push_back(Mail{when, std::move(fn)});
+}
+
+void ParallelSimulator::merge_mailboxes() {
+  const std::size_t R = regions_.size();
+  for (std::size_t dst = 0; dst < R; ++dst) {
+    merge_scratch_.clear();
+    for (std::size_t src = 0; src <= R; ++src) {
+      auto& lane = lanes_[src][dst];
+      for (Mail& m : lane) merge_scratch_.push_back(std::move(m));
+      lane.clear();
+    }
+    if (merge_scratch_.empty()) continue;
+    // Deterministic delivery order: by time, ties broken by (source
+    // region, post order) — which is exactly the concatenation order, so a
+    // stable sort on the index vector by time alone suffices.
+    merge_order_.resize(merge_scratch_.size());
+    for (std::uint32_t i = 0; i < merge_order_.size(); ++i) {
+      merge_order_[i] = i;
+    }
+    std::stable_sort(merge_order_.begin(), merge_order_.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return merge_scratch_[a].when < merge_scratch_[b].when;
+                     });
+    for (const std::uint32_t i : merge_order_) {
+      Mail& m = merge_scratch_[i];
+      regions_[dst]->schedule_at(m.when, std::move(m.fn));
+    }
+    stats_.cross_region_events += merge_scratch_.size();
+    stats_.peak_mailbox =
+        std::max<std::uint64_t>(stats_.peak_mailbox, merge_scratch_.size());
+    merge_scratch_.clear();
+  }
+}
+
+SimTime ParallelSimulator::compute_bounds(SimTime deadline) {
+  const std::size_t R = regions_.size();
+  // Two smallest next-event times and the owner of the smallest: region
+  // r's conservative horizon is the earliest event of any *other* region
+  // plus the lookahead.
+  SimTime min1 = SimTime::max();
+  SimTime min2 = SimTime::max();
+  std::size_t min1_owner = R;
+  for (std::size_t r = 0; r < R; ++r) {
+    next_[r] = regions_[r]->next_event_time();
+    if (next_[r] < min1) {
+      min2 = min1;
+      min1 = next_[r];
+      min1_owner = r;
+    } else if (next_[r] < min2) {
+      min2 = next_[r];
+    }
+  }
+  // Events at exactly `deadline` still run (run_until semantics), so the
+  // exclusive drain bound is deadline + 1 ns.
+  const SimTime deadline_bound = saturating_add(deadline, SimTime::ns(1));
+  for (std::size_t r = 0; r < R; ++r) {
+    const SimTime peers_min = r == min1_owner ? min2 : min1;
+    bounds_[r] =
+        min(saturating_add(peers_min, lookahead_), deadline_bound);
+  }
+  return min1;
+}
+
+void ParallelSimulator::drain_region(int r) {
+  const std::size_t i = static_cast<std::size_t>(r);
+  t_ctx = ExecContext{this, r};
+  caps_[i] = bounds_[i];
+  Simulator& sim = *regions_[i];
+  // Step-wise drain re-reading the cap: a cross-region post made by the
+  // event just executed shrinks it mid-window (round-trip guard above).
+  while (sim.next_event_time() < caps_[i]) sim.step();
+  t_ctx = ExecContext{};
+}
+
+void ParallelSimulator::drain_assigned(int worker) {
+  for (int r = worker; r < regions(); r += jobs_) drain_region(r);
+}
+
+void ParallelSimulator::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_go_.wait(lock, [&] { return quit_ || generation_ != seen; });
+      if (quit_) return;
+      seen = generation_;
+    }
+    drain_assigned(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ParallelSimulator::run_step_parallel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++generation_;
+    running_ = jobs_ - 1;
+  }
+  cv_go_.notify_all();
+  drain_assigned(0);  // the coordinator is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return running_ == 0; });
+}
+
+SimTime ParallelSimulator::run() { return run_until(SimTime::max()); }
+
+SimTime ParallelSimulator::run_until(SimTime deadline) {
+  merge_mailboxes();  // environment posts, or leftovers past a deadline
+  for (;;) {
+    const SimTime global_min = compute_bounds(deadline);
+    if (global_min == SimTime::max() || global_min > deadline) break;
+    ++stats_.windows;
+    for (std::size_t r = 0; r < regions_.size(); ++r) {
+      if (next_[r] >= bounds_[r]) ++stats_.idle_region_windows;
+    }
+    if (jobs_ == 1) {
+      drain_assigned(0);
+    } else {
+      run_step_parallel();
+    }
+    merge_mailboxes();
+  }
+  SimTime latest = SimTime::zero();
+  for (const auto& r : regions_) latest = max(latest, r->now());
+  return latest;
+}
+
+std::uint64_t ParallelSimulator::dispatched() const {
+  std::uint64_t total = 0;
+  for (const auto& r : regions_) total += r->dispatched();
+  return total;
+}
+
+std::size_t ParallelSimulator::pending() const {
+  std::size_t total = 0;
+  for (const auto& r : regions_) total += r->pending();
+  for (const auto& row : lanes_) {
+    for (const auto& lane : row) total += lane.size();
+  }
+  return total;
+}
+
+}  // namespace sccpipe

@@ -134,6 +134,20 @@ SimTime Simulator::run_until(SimTime deadline) {
   return now_;
 }
 
+SimTime Simulator::run_before(SimTime bound) {
+  for (;;) {
+    drop_front_tombstones();
+    if (heap_.empty() || heap_.front().when >= bound) break;
+    step();
+  }
+  return now_;
+}
+
+SimTime Simulator::next_event_time() {
+  drop_front_tombstones();
+  return heap_.empty() ? SimTime::max() : heap_.front().when;
+}
+
 std::size_t Simulator::pending() const { return live_pending_; }
 
 }  // namespace sccpipe

@@ -1,0 +1,383 @@
+// Determinism-equivalence suite for the mesh-partitioned parallel engine
+// (sim/parallel_sim.hpp). The contract under test: every observable result
+// — engine dispatch order, traffic digests, full walkthrough RunResults —
+// is bit-identical at every worker count, including under fault injection,
+// recovery remapping, and the ARQ/overload transport.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sccpipe/core/walkthrough.hpp"
+#include "sccpipe/noc/partition.hpp"
+#include "sccpipe/noc/traffic.hpp"
+#include "sccpipe/sim/parallel_sim.hpp"
+#include "sccpipe/support/check.hpp"
+
+namespace sccpipe {
+namespace {
+
+using sccpipe::literals::operator""_us;
+
+// ------------------------------------------------------------ engine core
+
+TEST(ParallelEngine, SingleRegionMatchesPlainSimulator) {
+  // The same little event program on both engines, logging dispatch order.
+  auto program = [](auto schedule) {
+    schedule(SimTime::us(3), 3);
+    schedule(SimTime::us(1), 1);
+    schedule(SimTime::us(2), 2);
+    schedule(SimTime::us(1), 10);  // equal time: scheduling order wins
+  };
+  std::vector<int> serial_log;
+  Simulator sim;
+  program([&](SimTime when, int id) {
+    sim.schedule_at(when, [&serial_log, id] { serial_log.push_back(id); });
+  });
+  sim.run();
+
+  std::vector<int> engine_log;
+  ParallelSimulator eng{1, 1, SimTime::us(1)};
+  program([&](SimTime when, int id) {
+    eng.region(0).schedule_at(
+        when, [&engine_log, id] { engine_log.push_back(id); });
+  });
+  const SimTime end = eng.run();
+  EXPECT_EQ(serial_log, engine_log);
+  EXPECT_EQ(end, sim.now());
+  EXPECT_EQ(eng.dispatched(), sim.dispatched());
+  EXPECT_EQ(eng.stats().windows, 1u);  // no peers => one full-drain window
+}
+
+TEST(ParallelEngine, JobsAreClampedToRegions) {
+  ParallelSimulator eng{2, 16, SimTime::us(1)};
+  EXPECT_EQ(eng.regions(), 2);
+  EXPECT_EQ(eng.jobs(), 2);
+}
+
+TEST(ParallelEngine, RejectsNonPositiveLookahead) {
+  EXPECT_THROW(ParallelSimulator(2, 2, SimTime::zero()), CheckError);
+}
+
+TEST(ParallelEngine, CrossRegionPostBelowLookaheadThrows) {
+  ParallelSimulator eng{2, 1, SimTime::us(5)};
+  eng.region(0).schedule_at(SimTime::us(1), [&] {
+    // now = 1us on region 0; region 1 is closer than the lookahead allows.
+    eng.post(1, SimTime::us(3), [] {});
+  });
+  EXPECT_THROW(eng.run(), CheckError);
+}
+
+TEST(ParallelEngine, EnvironmentPostsMergeBeforeTheFirstWindow) {
+  ParallelSimulator eng{3, 1, SimTime::us(1)};
+  std::vector<int> log;
+  eng.post(2, SimTime::us(2), [&] { log.push_back(2); });
+  eng.post(0, SimTime::us(1), [&] { log.push_back(0); });
+  EXPECT_EQ(eng.pending(), 2u);  // still in the environment lane
+  eng.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 2}));
+  EXPECT_EQ(eng.pending(), 0u);
+}
+
+// Mailbox merge order must be (delivery time, source region, post order) —
+// never thread completion order. Three source regions fire same-time
+// events into region 0; the observed order must match at every job count.
+std::vector<int> mailbox_order_at(int jobs) {
+  ParallelSimulator eng{4, jobs, SimTime::us(1)};
+  std::vector<int> log;
+  for (int src = 1; src <= 3; ++src) {
+    eng.region(src).schedule_at(SimTime::us(1), [&eng, &log, src] {
+      // All three deliveries collide at t = 11us in region 0.
+      eng.post(0, SimTime::us(11), [&log, src] { log.push_back(src); });
+      eng.post(0, SimTime::us(11), [&log, src] { log.push_back(src + 10); });
+    });
+  }
+  eng.run();
+  return log;
+}
+
+TEST(ParallelEngine, MailboxMergeOrderIsDeterministicAcrossJobs) {
+  const std::vector<int> expect{1, 11, 2, 12, 3, 13};
+  EXPECT_EQ(mailbox_order_at(1), expect);
+  EXPECT_EQ(mailbox_order_at(2), expect);
+  EXPECT_EQ(mailbox_order_at(4), expect);
+}
+
+// Window-boundary metamorphic test: an event posted at *exactly*
+// now + lookahead (the earliest legal cross-region delivery, right on the
+// window edge) must land in the same window, at the same time, at every
+// worker count.
+struct EdgeObservation {
+  std::uint64_t window = 0;
+  std::int64_t at_ns = 0;
+  friend bool operator==(const EdgeObservation&, const EdgeObservation&) =
+      default;
+};
+
+EdgeObservation edge_observation_at(int jobs) {
+  ParallelSimulator eng{2, jobs, SimTime::us(10)};
+  EdgeObservation obs;
+  // Region 1 keeps a tick chain alive so windows stay bounded (its queue
+  // is never empty while the probe is in flight).
+  for (int k = 1; k <= 6; ++k) {
+    eng.region(1).schedule_at(SimTime::us(4 * k), [] {});
+  }
+  eng.region(0).schedule_at(SimTime::us(4), [&] {
+    eng.post(1, SimTime::us(14), [&eng, &obs] {  // exactly now + lookahead
+      obs.window = eng.current_window();
+      obs.at_ns = eng.region(1).now().to_ns();
+    });
+  });
+  eng.run();
+  return obs;
+}
+
+TEST(ParallelEngine, WindowEdgeEventIsStableAcrossJobs) {
+  const EdgeObservation serial = edge_observation_at(1);
+  EXPECT_EQ(serial.at_ns, SimTime::us(14).to_ns());
+  EXPECT_GT(serial.window, 0u);
+  EXPECT_EQ(edge_observation_at(2), serial);
+}
+
+TEST(ParallelEngine, RunUntilStopsAtDeadlineAndResumes) {
+  ParallelSimulator eng{2, 2, SimTime::us(1)};
+  std::vector<int> log;
+  eng.region(0).schedule_at(SimTime::us(1), [&] {
+    log.push_back(1);
+    eng.post(1, SimTime::us(30), [&log] { log.push_back(3); });
+  });
+  eng.region(1).schedule_at(SimTime::us(20), [&] { log.push_back(2); });
+
+  eng.run_until(SimTime::us(20));  // events at exactly the deadline run
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eng.pending(), 1u);  // the cross-region probe is still due
+
+  eng.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.pending(), 0u);
+}
+
+TEST(ParallelEngine, StatsAreDeterministicAcrossJobsAndReruns) {
+  TrafficConfig cfg;
+  cfg.layout.width = 8;
+  cfg.layout.height = 4;
+  cfg.regions = 4;
+  cfg.ticks = 24;
+  const TrafficResult base = run_traffic_parallel(cfg);
+  EXPECT_GT(base.engine.windows, 0u);
+  EXPECT_GT(base.engine.cross_region_events, 0u);
+  for (const int jobs : {1, 2, 4}) {
+    TrafficConfig c = cfg;
+    c.jobs = jobs;
+    const TrafficResult r = run_traffic_parallel(c);
+    EXPECT_EQ(r.engine.windows, base.engine.windows) << "jobs=" << jobs;
+    EXPECT_EQ(r.engine.cross_region_events, base.engine.cross_region_events);
+    EXPECT_EQ(r.engine.idle_region_windows, base.engine.idle_region_windows);
+    EXPECT_EQ(r.engine.peak_mailbox, base.engine.peak_mailbox);
+  }
+}
+
+// -------------------------------------------------------- partition map
+
+TEST(MeshPartition, ColumnBandsCoverTheMeshContiguously) {
+  const MeshPartition part{MeshLayout{}, 4};
+  EXPECT_EQ(part.regions(), 4);
+  int last = 0;
+  int total = 0;
+  for (int x = 0; x < part.layout().width; ++x) {
+    const int r = part.region_of_column(x);
+    EXPECT_GE(r, last);          // monotone
+    EXPECT_LE(r - last, 1);      // contiguous
+    last = r;
+  }
+  for (int r = 0; r < part.regions(); ++r) total += part.tiles_in_region(r);
+  EXPECT_EQ(total, 24);
+  EXPECT_EQ(part.host_region(), 0);
+  EXPECT_EQ(part.min_boundary_hops(), 1);
+  EXPECT_EQ(part.lookahead(SimTime::ns(5)), SimTime::ns(5));
+}
+
+TEST(MeshPartition, RegionCountIsClampedToColumns) {
+  const MeshPartition part{MeshLayout{}, 64};
+  EXPECT_EQ(part.regions(), 6);  // one band per column at most
+  const MeshPartition one{MeshLayout{}, 1};
+  EXPECT_EQ(one.region_of_core(47), 0);
+}
+
+// ---------------------------------------------------- traffic equivalence
+
+void expect_traffic_equal(const TrafficResult& a, const TrafficResult& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.digest, b.digest) << label;
+  EXPECT_EQ(a.events, b.events) << label;
+  EXPECT_EQ(a.messages, b.messages) << label;
+  EXPECT_EQ(a.end_time_ns, b.end_time_ns) << label;
+}
+
+TEST(TrafficEquivalence, SccMeshSerialVsParallelJobs1248) {
+  TrafficConfig cfg;  // the 6x4 SCC mesh
+  cfg.regions = 4;
+  const TrafficResult serial = run_traffic_serial(cfg);
+  EXPECT_GT(serial.events, 0u);
+  for (const int jobs : {1, 2, 4, 8}) {
+    TrafficConfig c = cfg;
+    c.jobs = jobs;
+    expect_traffic_equal(serial, run_traffic_parallel(c),
+                         "jobs=" + std::to_string(jobs));
+  }
+}
+
+TEST(TrafficEquivalence, BigMeshSerialVsParallel) {
+  TrafficConfig cfg;
+  cfg.layout.width = 24;
+  cfg.layout.height = 16;
+  cfg.regions = 6;
+  cfg.jobs = 4;
+  cfg.ticks = 32;
+  expect_traffic_equal(run_traffic_serial(cfg), run_traffic_parallel(cfg),
+                       "24x16");
+}
+
+TEST(TrafficEquivalence, RegionCountDoesNotChangeTheResult) {
+  TrafficConfig cfg;
+  cfg.layout.width = 12;
+  cfg.layout.height = 6;
+  cfg.ticks = 24;
+  cfg.jobs = 4;
+  const TrafficResult serial = run_traffic_serial(cfg);
+  for (const int regions : {1, 2, 3, 6}) {
+    TrafficConfig c = cfg;
+    c.regions = regions;
+    expect_traffic_equal(serial, run_traffic_parallel(c),
+                         "regions=" + std::to_string(regions));
+  }
+}
+
+// ------------------------------------------------ walkthrough equivalence
+
+const SceneBundle& shared_scene() {
+  static SceneBundle* scene = [] {
+    CityParams city;
+    city.blocks_x = 4;
+    city.blocks_z = 4;
+    return new SceneBundle(city, CameraConfig{}, 80, 8);
+  }();
+  return *scene;
+}
+
+const WorkloadTrace& shared_trace() {
+  static WorkloadTrace* trace =
+      new WorkloadTrace(WorkloadTrace::build(shared_scene(), 4));
+  return *trace;
+}
+
+// Field-by-field byte-identity of everything a run reports (the
+// parallel_sim block is engine metadata and legitimately differs).
+void expect_run_identical(const RunResult& a, const RunResult& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.walkthrough, b.walkthrough) << label;
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched) << label;
+  ASSERT_EQ(a.frame_done_ms.size(), b.frame_done_ms.size()) << label;
+  for (std::size_t i = 0; i < a.frame_done_ms.size(); ++i) {
+    EXPECT_EQ(a.frame_done_ms[i], b.frame_done_ms[i]) << label << " #" << i;
+  }
+  ASSERT_EQ(a.stages.size(), b.stages.size()) << label;
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(a.stages[i].kind, b.stages[i].kind) << label;
+    EXPECT_EQ(a.stages[i].core, b.stages[i].core) << label;
+    EXPECT_EQ(a.stages[i].busy_ms, b.stages[i].busy_ms) << label;
+    EXPECT_EQ(a.stages[i].wait_ms.median, b.stages[i].wait_ms.median)
+        << label;
+    EXPECT_EQ(a.stages[i].frames, b.stages[i].frames) << label;
+  }
+  EXPECT_EQ(a.fabric.mesh_total_bytes, b.fabric.mesh_total_bytes) << label;
+  EXPECT_EQ(a.fabric.mesh_max_link_bytes, b.fabric.mesh_max_link_bytes)
+      << label;
+  EXPECT_EQ(a.chip_energy_joules, b.chip_energy_joules) << label;
+  EXPECT_EQ(a.mean_chip_watts, b.mean_chip_watts) << label;
+  EXPECT_EQ(a.host_busy_sec, b.host_busy_sec) << label;
+  // Fault layer: schedule + decision trace fingerprint covers everything.
+  EXPECT_EQ(a.fault.enabled, b.fault.enabled) << label;
+  EXPECT_EQ(a.fault.fingerprint, b.fault.fingerprint) << label;
+  EXPECT_EQ(a.fault.failed, b.fault.failed) << label;
+  EXPECT_EQ(a.fault.frames_completed, b.fault.frames_completed) << label;
+  // Recovery and transport outcomes.
+  EXPECT_EQ(a.recovery.failures_detected, b.recovery.failures_detected)
+      << label;
+  EXPECT_EQ(a.recovery.frames_replayed, b.recovery.frames_replayed) << label;
+  EXPECT_EQ(a.recovery.frames_lost, b.recovery.frames_lost) << label;
+  EXPECT_EQ(a.recovery.max_detection_latency_ms,
+            b.recovery.max_detection_latency_ms)
+      << label;
+  EXPECT_EQ(a.transport.enabled, b.transport.enabled) << label;
+  EXPECT_EQ(a.transport.first_sends, b.transport.first_sends) << label;
+  EXPECT_EQ(a.transport.retransmissions, b.transport.retransmissions)
+      << label;
+  EXPECT_EQ(a.transport.frames_delivered, b.transport.frames_delivered)
+      << label;
+  EXPECT_EQ(a.transport.goodput_fps, b.transport.goodput_fps) << label;
+  EXPECT_EQ(a.transport.p99_latency_ms, b.transport.p99_latency_ms) << label;
+}
+
+void expect_sim_jobs_invariant(RunConfig cfg) {
+  cfg.sim_jobs = 1;
+  const RunResult serial = run_walkthrough(shared_scene(), shared_trace(), cfg);
+  EXPECT_FALSE(serial.parallel_sim.enabled);
+  for (const int jobs : {2, 4, 8}) {
+    RunConfig c = cfg;
+    c.sim_jobs = jobs;
+    const RunResult r = run_walkthrough(shared_scene(), shared_trace(), c);
+    expect_run_identical(serial, r, "sim_jobs=" + std::to_string(jobs));
+    EXPECT_TRUE(r.parallel_sim.enabled);
+    EXPECT_EQ(r.parallel_sim.sim_jobs, std::min(jobs, r.parallel_sim.regions));
+    // The walkthrough model is fabric-confined to the host region, so the
+    // whole run drains in a single window with no cross-region traffic.
+    EXPECT_EQ(r.parallel_sim.windows, 1u);
+    EXPECT_EQ(r.parallel_sim.cross_region_events, 0u);
+  }
+}
+
+TEST(WalkthroughEquivalence, HostRendererByteIdenticalAcrossSimJobs) {
+  RunConfig cfg;
+  cfg.scenario = Scenario::HostRenderer;
+  cfg.pipelines = 3;
+  expect_sim_jobs_invariant(cfg);
+}
+
+TEST(WalkthroughEquivalence, Fig10NRenderersByteIdenticalAcrossSimJobs) {
+  RunConfig cfg;
+  cfg.scenario = Scenario::RendererPerPipeline;
+  cfg.arrangement = Arrangement::Flipped;
+  cfg.pipelines = 4;
+  expect_sim_jobs_invariant(cfg);
+}
+
+TEST(WalkthroughEquivalence, ChaosFaultPlanAndCoreFailByteIdentical) {
+  RunConfig cfg;
+  cfg.scenario = Scenario::HostRenderer;
+  cfg.pipelines = 3;
+  ASSERT_TRUE(cfg.fault.parse("rcce-drop=0.03;rcce-delay=0.03;seed=7").ok());
+  ASSERT_TRUE(cfg.fault.parse("core-fail=5@40").ok());
+  cfg.rcce.retry.max_attempts = 16;
+  cfg.rcce.retry.timeout = SimTime::ms(2);
+  expect_sim_jobs_invariant(cfg);
+}
+
+TEST(WalkthroughEquivalence, ChaosBurstLossOverloadByteIdentical) {
+  RunConfig cfg;
+  cfg.scenario = Scenario::HostRenderer;
+  cfg.pipelines = 3;
+  ASSERT_TRUE(
+      cfg.fault.parse("host-drop=0.02;burst-loss=0.05:0.3;seed=11").ok());
+  cfg.rcce.retry.max_attempts = 16;
+  cfg.rcce.retry.timeout = SimTime::ms(2);
+  cfg.overload.offered_fps = 400.0;
+  cfg.overload.window = 4;
+  cfg.overload.queue_depth = 4;
+  expect_sim_jobs_invariant(cfg);
+}
+
+}  // namespace
+}  // namespace sccpipe

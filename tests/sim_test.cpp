@@ -120,6 +120,79 @@ TEST(Simulator, RunUntilSkipsCancelledFrontWithoutOverrunning) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(Simulator, RunUntilMidHeapWithTombstonesAndSameCycleCancel) {
+  // The tombstone-peek path: run_until must stop mid-heap while cancelled
+  // entries are still buried in it — including one cancelled *during the
+  // deadline cycle itself*, after dispatch of that cycle has begun — and
+  // the resume primitives (next_event_time / run_before / run) must skip
+  // every corpse without dispatching it.
+  Simulator sim;
+  std::vector<int> fired;
+  auto arm = [&](int id, SimTime at) {
+    return sim.schedule_at(at, [&fired, id] { fired.push_back(id); });
+  };
+  EventHandle at3_second;  // shares the deadline cycle, cancelled mid-cycle
+  EventHandle at5;
+  arm(1, 1_ms);
+  arm(2, 2_ms);
+  sim.schedule_at(3_ms, [&] {
+    fired.push_back(3);
+    // Same-cycle cancel: this event has the deadline timestamp and sits in
+    // the cycle currently dispatching, but has not run yet.
+    EXPECT_TRUE(sim.cancel(at3_second));
+    // And one beyond the deadline, leaving a tombstone mid-heap.
+    EXPECT_TRUE(sim.cancel(at5));
+  });
+  at3_second = arm(30, 3_ms);
+  auto at4a = arm(40, 4_ms);
+  auto at4b = arm(41, 4_ms);
+  at5 = arm(5, 5_ms);
+  arm(7, 7_ms);
+  arm(8, 8_ms);
+  arm(9, 9_ms);
+  // Pre-run tombstones sitting between the deadline and the survivors.
+  EXPECT_TRUE(sim.cancel(at4a));
+  EXPECT_TRUE(sim.cancel(at4b));
+
+  sim.run_until(3_ms);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3_ms);
+  // Live survivors: 7, 8, 9; the 4 ms / 5 ms tombstones are still heaped.
+  EXPECT_EQ(sim.pending(), 3u);
+  // next_event_time discards the surfaced corpses to find the first live
+  // event, without dispatching anything.
+  EXPECT_EQ(sim.next_event_time(), 7_ms);
+  EXPECT_EQ(fired.size(), 3u);
+  // Every cancelled handle is spent.
+  EXPECT_FALSE(sim.cancel(at4a));
+  EXPECT_FALSE(sim.cancel(at5));
+  EXPECT_FALSE(sim.cancel(at3_second));
+
+  // run_before is exclusive: the event at exactly the bound stays pending.
+  sim.run_before(9_ms);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 7, 8}));
+  EXPECT_EQ(sim.next_event_time(), 9_ms);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 7, 8, 9}));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, NextEventTimeAndRunBeforeAreWindowPrimitives) {
+  // The two primitives the partitioned engine is built on: peek the next
+  // live timestamp, drain the half-open window [now, bound).
+  Simulator sim;
+  EXPECT_EQ(sim.next_event_time(), SimTime::max());
+  int count = 0;
+  sim.schedule_at(2_ms, [&] { ++count; });
+  EXPECT_EQ(sim.next_event_time(), 2_ms);
+  sim.run_before(2_ms);  // exclusive: nothing runs at exactly the bound
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_before(2_ms + SimTime::ns(1));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.next_event_time(), SimTime::max());
+}
+
 TEST(Simulator, StressScheduleCancelCycles) {
   // >10k schedule/cancel cycles modelled on the RCCE retry pattern: every
   // transfer arms a timeout that is almost always cancelled when the reply

@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
                 "250");
   args.add_flag("sim-jobs",
                 "worker threads inside the simulation (partitioned engine; "
-                "results are bit-identical at any value; 0 = "
+                "results are bit-identical at any value >= 1; default "
                 "SCCPIPE_SIM_JOBS or 1)", "0");
   args.add_flag("csv", "emit one CSV row instead of tables", "false");
   args.add_flag("timeline", "write a chrome://tracing JSON to this path", "");
@@ -136,8 +136,16 @@ int main(int argc, char** argv) {
   cfg.tail_mhz = args.get_int("tail-mhz");
   cfg.isolate_blur_tile = args.get_bool("isolate-blur");
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-  cfg.sim_jobs = args.get_int("sim-jobs");
-  if (cfg.sim_jobs <= 0) cfg.sim_jobs = exec::default_sim_jobs();
+  if (args.has("sim-jobs")) {
+    cfg.sim_jobs = args.get_int("sim-jobs");
+    const Status st = exec::validate_sim_jobs(cfg.sim_jobs);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+      return 2;
+    }
+  } else {
+    cfg.sim_jobs = exec::default_sim_jobs();
+  }
 
   const std::string fault_plan = args.get("fault-plan");
   if (!fault_plan.empty()) {

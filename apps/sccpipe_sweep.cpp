@@ -127,8 +127,8 @@ int main(int argc, char** argv) {
                 "0");
   args.add_flag("sim-jobs",
                 "worker threads inside each simulation (partitioned engine; "
-                "CSV is bit-identical at any value; 0 = SCCPIPE_SIM_JOBS "
-                "or 1)",
+                "CSV is bit-identical at any value >= 1; default "
+                "SCCPIPE_SIM_JOBS or 1)",
                 "0");
   args.add_flag("bench-json",
                 "perf record path, or 'none' to disable",
@@ -220,8 +220,15 @@ int main(int argc, char** argv) {
   for (const int k : pipeline_list) max_k = std::max(max_k, k);
   int jobs = args.get_int("jobs");
   if (jobs <= 0) jobs = exec::default_jobs();
-  int sim_jobs = args.get_int("sim-jobs");
-  if (sim_jobs <= 0) sim_jobs = exec::default_sim_jobs();
+  int sim_jobs = exec::default_sim_jobs();
+  if (args.has("sim-jobs")) {
+    sim_jobs = args.get_int("sim-jobs");
+    const Status st = exec::validate_sim_jobs(sim_jobs);
+    if (!st.ok()) {
+      std::fprintf(stderr, "[sweep] error: %s\n", st.to_string().c_str());
+      return 2;
+    }
+  }
 
   const int frames = args.get_int("frames");
   const int size = args.get_int("size");

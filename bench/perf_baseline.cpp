@@ -22,20 +22,24 @@
 //   --check PATH   compare against a committed record; exit 1 on regression
 
 #include <algorithm>
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sccpipe/core/walkthrough.hpp"
 #include "sccpipe/core/workload.hpp"
 #include "sccpipe/filters/filters.hpp"
 #include "sccpipe/filters/reference.hpp"
+#include "sccpipe/noc/partition.hpp"
 #include "sccpipe/render/rasterizer.hpp"
 #include "sccpipe/render/reference.hpp"
+#include "sccpipe/scc/chip.hpp"
 #include "sccpipe/sim/parallel_sim.hpp"
 #include "sccpipe/sim/reference_scheduler.hpp"
 #include "sccpipe/sim/simulator.hpp"
@@ -257,14 +261,16 @@ Metric bench_raster(int side, int triangles, int repeats) {
 //     This is the engine's best case and measures raw multi-queue dispatch
 //     scaling with zero synchronisation cost.
 //   * e2e — the reduced walkthrough at each sim_jobs value. The
-//     walkthrough model is confined to the host region (the fabric is not
-//     yet partition-aware), so this row documents the honest current
-//     state: byte-identical results, one window, no intra-run speedup.
+//     walkthrough is region-native (noc/fabric.hpp): chip work executes
+//     at the region owning its tile, so partitioned rows genuinely cross
+//     regions and drain in many coalescible barrier windows.
 //
 // Every row is CHECK-verified against the jobs=1 run of the same workload
 // (identical event counts / results), so the sweep doubles as a release-
-// build determinism probe. The rows are context like the e2e section —
-// the CI ratio gate never reads them.
+// build determinism probe. The e2e jobs=4 row additionally feeds the
+// window-overhead gate: windows per simulated millisecond must not regress
+// more than 2x against the committed record (a cheap canary for lookahead
+// or coalescing regressions that byte-identity cannot see).
 
 struct SimJobsRow {
   std::string workload;
@@ -275,7 +281,13 @@ struct SimJobsRow {
   double events_per_sec = 0.0;
   double speedup_vs_jobs1 = 0.0;
   std::uint64_t windows = 0;
+  std::uint64_t coalesced_windows = 0;
   std::uint64_t cross_region_events = 0;
+  double sim_ms = 0.0;  ///< simulated span the windows amortised over
+
+  double windows_per_sim_ms() const {
+    return sim_ms > 0.0 ? static_cast<double>(windows) / sim_ms : 0.0;
+  }
 };
 
 /// Per-region churn chain for the partitioned engine: same
@@ -311,6 +323,7 @@ std::vector<SimJobsRow> bench_sim_jobs_churn(std::uint64_t fires_per_region,
     std::vector<double> secs;
     std::uint64_t events = 0;
     ParallelSimStats stats;
+    SimTime sim_end = SimTime::zero();
     for (int r = 0; r < repeats; ++r) {
       // Huge lookahead: the snapshot bound of every region is its peers'
       // first event plus ~an hour, so the run completes in one window.
@@ -329,7 +342,7 @@ std::vector<SimJobsRow> bench_sim_jobs_churn(std::uint64_t fires_per_region,
           });
         }
       }
-      eng.run();
+      sim_end = eng.run();
       secs.push_back(seconds_since(t0));
       for (const RegionChurn& d : drivers) SCCPIPE_CHECK(d.fired >= fires_per_region);
       events = eng.dispatched();
@@ -338,7 +351,8 @@ std::vector<SimJobsRow> bench_sim_jobs_churn(std::uint64_t fires_per_region,
     const double med = median(secs);
     SimJobsRow row{"churn", jobs, kRegions, med * 1e3, events,
                    static_cast<double>(events) / med, 1.0, stats.windows,
-                   stats.cross_region_events};
+                   stats.coalesced_windows, stats.cross_region_events,
+                   sim_end.to_ms()};
     if (jobs == 1) {
       events_at_1 = events;
       wall_at_1 = med;
@@ -374,11 +388,19 @@ std::vector<SimJobsRow> bench_sim_jobs_e2e(int frames, int size, int pipelines,
       SCCPIPE_CHECK(!res.fault.failed);
     }
     const double med = median(secs);
-    SimJobsRow row{"e2e", jobs, res.parallel_sim.regions, med * 1e3,
+    // Honesty check on the recorded region count: it must be what the
+    // partition map actually produces for this platform and job request,
+    // not an assumed regions == jobs (the map clamps to the column count).
+    const MeshPartition part(ChipConfig::scc().mesh_layout,
+                             std::max(1, jobs));
+    SCCPIPE_CHECK(res.parallel_sim.regions == part.regions());
+    SimJobsRow row{"e2e", jobs, part.regions(), med * 1e3,
                    res.events_dispatched,
                    static_cast<double>(res.events_dispatched) / med, 1.0,
                    res.parallel_sim.windows,
-                   res.parallel_sim.cross_region_events};
+                   res.parallel_sim.coalesced_windows,
+                   res.parallel_sim.cross_region_events,
+                   res.walkthrough.to_ms()};
     if (jobs == 1) {
       events_at_1 = res.events_dispatched;
       wall_at_1 = med;
@@ -446,9 +468,10 @@ void write_json(const std::string& path, const std::vector<Metric>& metrics,
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"sccpipe-bench-perf-baseline-v1\",\n");
+  std::fprintf(f, "  \"schema\": \"sccpipe-bench-perf-baseline-v2\",\n");
   std::fprintf(f, "  \"tool\": \"perf_baseline\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"nproc\": %u,\n", std::thread::hardware_concurrency());
   std::fprintf(f, "  \"note\": \"speedup = optimized/reference on one machine; the CI gate compares ratios only\",\n");
   std::fprintf(f, "  \"metrics\": [\n");
   for (std::size_t i = 0; i < metrics.size(); ++i) {
@@ -488,12 +511,16 @@ void write_json(const std::string& path, const std::vector<Metric>& metrics,
                  "    {\"workload\": \"%s\", \"jobs\": %d, \"regions\": %d, "
                  "\"wall_ms\": %.1f, \"events_dispatched\": %llu, "
                  "\"events_per_sec\": %.4g, \"speedup_vs_jobs1\": %.2f, "
-                 "\"windows\": %llu, \"cross_region_events\": %llu}%s\n",
+                 "\"windows\": %llu, \"coalesced_windows\": %llu, "
+                 "\"cross_region_events\": %llu, \"sim_ms\": %.3f, "
+                 "\"windows_per_sim_ms\": %.4g}%s\n",
                  s.workload.c_str(), s.jobs, s.regions, s.wall_ms,
                  static_cast<unsigned long long>(s.events), s.events_per_sec,
                  s.speedup_vs_jobs1,
                  static_cast<unsigned long long>(s.windows),
+                 static_cast<unsigned long long>(s.coalesced_windows),
                  static_cast<unsigned long long>(s.cross_region_events),
+                 s.sim_ms, s.windows_per_sim_ms(),
                  i + 1 < sim_jobs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
@@ -526,9 +553,28 @@ std::optional<double> committed_speedup(const std::string& json,
   return std::strtod(json.c_str() + at + key.size(), nullptr);
 }
 
+/// Pull `"windows_per_sim_ms": <num>` out of the committed e2e sim_jobs
+/// row for \p jobs (the format is ours, so a scan is enough).
+std::optional<double> committed_window_overhead(const std::string& json,
+                                                int jobs) {
+  const std::string tag =
+      "\"workload\": \"e2e\", \"jobs\": " + std::to_string(jobs) + ",";
+  std::size_t at = json.find(tag);
+  if (at == std::string::npos) return std::nullopt;
+  const std::string key = "\"windows_per_sim_ms\": ";
+  at = json.find(key, at);
+  if (at == std::string::npos) return std::nullopt;
+  return std::strtod(json.c_str() + at + key.size(), nullptr);
+}
+
 /// The CI regression gate: every committed ratio must still be at least
-/// half-reached by the current build. Returns the number of failures.
-int check_against(const std::string& path, const std::vector<Metric>& now) {
+/// half-reached by the current build, and the partitioned walkthrough's
+/// window overhead (barrier windows per simulated millisecond at the
+/// jobs=4 e2e row) must not have grown past 2x the committed value —
+/// byte-identity cannot see a lookahead or coalescing regression, but
+/// this ratio does. Returns the number of failures.
+int check_against(const std::string& path, const std::vector<Metric>& now,
+                  const std::vector<SimJobsRow>& sim_jobs) {
   const std::string json = read_file(path);
   if (json.empty()) {
     std::fprintf(stderr, "[bench] cannot read committed baseline %s\n",
@@ -547,6 +593,23 @@ int check_against(const std::string& path, const std::vector<Metric>& now) {
     const bool ok = m.speedup() >= floor;
     std::printf("[check] %-12s committed %.2fx, current %.2fx, floor %.2fx  %s\n",
                 m.name.c_str(), *want, m.speedup(), floor,
+                ok ? "ok" : "REGRESSION");
+    if (!ok) ++failures;
+  }
+  for (const SimJobsRow& s : sim_jobs) {
+    if (s.workload != "e2e" || s.jobs != 4) continue;
+    const std::optional<double> want = committed_window_overhead(json, s.jobs);
+    if (!want || *want <= 0.0) {
+      std::fprintf(stderr,
+                   "[bench] window-overhead: no committed windows_per_sim_ms, "
+                   "skipping\n");
+      continue;
+    }
+    const double ceiling = *want * 2.0;
+    const bool ok = s.windows_per_sim_ms() <= ceiling;
+    std::printf("[check] %-12s committed %.3g w/ms, current %.3g w/ms, "
+                "ceiling %.3g  %s\n",
+                "win-overhead", *want, s.windows_per_sim_ms(), ceiling,
                 ok ? "ok" : "REGRESSION");
     if (!ok) ++failures;
   }
@@ -623,18 +686,21 @@ int main(int argc, char** argv) {
               " identical to jobs=1):\n");
   for (const SimJobsRow& s : sim_jobs) {
     std::printf("  %-6s jobs %d over %d regions: %8.1f ms, %.3g events/s, "
-                "%.2fx vs jobs=1, %llu window(s), %llu cross-region\n",
+                "%.2fx vs jobs=1, %llu window(s) (+%llu coalesced), "
+                "%llu cross-region, %.3g windows/sim-ms\n",
                 s.workload.c_str(), s.jobs, s.regions, s.wall_ms,
                 s.events_per_sec, s.speedup_vs_jobs1,
                 static_cast<unsigned long long>(s.windows),
-                static_cast<unsigned long long>(s.cross_region_events));
+                static_cast<unsigned long long>(s.coalesced_windows),
+                static_cast<unsigned long long>(s.cross_region_events),
+                s.windows_per_sim_ms());
   }
 
   const std::string out = args.get("out");
   if (out != "none") write_json(out, metrics, e2e, sim_jobs, smoke);
 
   if (args.has("check") && !args.get("check").empty()) {
-    const int failures = check_against(args.get("check"), metrics);
+    const int failures = check_against(args.get("check"), metrics, sim_jobs);
     if (failures > 0) {
       std::fprintf(stderr, "[bench] %d metric(s) regressed >2x vs %s\n",
                    failures, args.get("check").c_str());

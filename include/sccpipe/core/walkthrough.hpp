@@ -73,11 +73,13 @@ struct RunConfig {
   bool functional = false;
 
   /// Worker threads *inside* this one simulation (the partitioned engine,
-  /// sim/parallel_sim.hpp). Results are bit-identical at every value; 1
-  /// drains inline and spawns no threads. The walkthrough's fabric model
-  /// advances shared link state synchronously, so its events stay confined
-  /// to one region regardless (see docs/PERF.md §1) — the knob exercises
-  /// the engine plumbing and keeps the CSV contract CI-diffable.
+  /// sim/parallel_sim.hpp). The walkthrough attaches a region fabric
+  /// (noc/fabric.hpp) at every value, so timed chip work — compute, DRAM
+  /// streams, memory walks, mid-run DVFS — executes in the mesh region
+  /// owning its tile and regions dispatch concurrently. Event locations
+  /// depend only on the simulated topology, never on the region count, so
+  /// results are bit-identical at every value; 1 drains inline and spawns
+  /// no threads (see docs/PERF.md §1.3).
   int sim_jobs = 1;
 
   std::uint64_t seed = 42;  ///< scratch/flicker randomness
@@ -167,6 +169,7 @@ struct ParallelSimReport {
   int regions = 1;
   std::int64_t lookahead_ns = 0;
   std::uint64_t windows = 0;
+  std::uint64_t coalesced_windows = 0;
   std::uint64_t cross_region_events = 0;
   std::uint64_t idle_region_windows = 0;
 };

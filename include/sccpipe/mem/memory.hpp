@@ -30,6 +30,8 @@
 
 namespace sccpipe {
 
+class RegionFabric;
+
 struct MemoryConfig {
   /// Effective sustained bandwidth per controller (DDR3-800 peak is
   /// 6.4 GB/s; sustained with the SCC's access pattern is far lower).
@@ -64,6 +66,16 @@ class MemorySystem {
   const CacheModel& cache() const { return cache_; }
   const MeshTopology& topology() const { return topo_; }
 
+  /// Re-home the controllers onto a region fabric (noc/fabric.hpp): each
+  /// controller's fair-share queue is rebuilt on the regional Simulator
+  /// owning its router tile, and bulk() turns into a located event chain
+  /// (mesh charge at the host bridge, queueing at the controller's region,
+  /// completion back at the issuing core's tile). In fabric mode bulk()
+  /// must be called from an event at the issuing core's site and delivers
+  /// on_done there. Must be called while no flow is active; nullptr
+  /// detaches and restores the serial path.
+  void attach_fabric(RegionFabric* fabric);
+
   /// Stream \p bytes between \p core and its home MC's DRAM.
   /// \p core_rate_cap is the issuing core's copy bandwidth (bytes/s).
   /// \p on_done fires when the stream completes; mesh link contention along
@@ -76,6 +88,10 @@ class MemorySystem {
   /// under the current load of its home controller. Pure query plus load
   /// sampling; the caller owns treating it as busy time.
   SimTime latency_bound(CoreId core, double n_accesses) const;
+
+  /// As above against an explicit clock — the fabric's walk segments run
+  /// at the controller's region, whose now() is not the host Simulator's.
+  SimTime latency_bound(CoreId core, double n_accesses, SimTime now) const;
 
   /// Latency-bound streams register while active so concurrent walkers see
   /// each other's load (paired calls; see LatencyStreamScope).
@@ -95,15 +111,23 @@ class MemorySystem {
   void set_fault_injector(const FaultInjector* fault) { fault_ = fault; }
 
  private:
+  void rebuild_mcs();
+  void fabric_bulk(CoreId core, double bytes, double core_rate_cap,
+                   BulkCallback on_done);
+
   Simulator& sim_;
   const MeshTopology& topo_;
   MeshModel& mesh_;
   MemoryConfig cfg_;
   CacheModel cache_;
+  /// One fair-share queue per controller. Serial mode: all on sim_. Fabric
+  /// mode: each on the regional Simulator owning the controller's tile, so
+  /// flow start/settle events execute in the controller's region.
   std::vector<std::unique_ptr<FairShareResource>> mcs_;
   std::vector<int> latency_streams_;
   std::vector<McStats> stats_;
   const FaultInjector* fault_ = nullptr;
+  RegionFabric* fabric_ = nullptr;
 };
 
 /// RAII registration of a latency-bound walker.

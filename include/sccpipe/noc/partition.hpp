@@ -54,6 +54,22 @@ class MeshPartition {
     return per_hop_latency * static_cast<double>(min_boundary_hops());
   }
 
+  /// Minimum router-hop distance between any tile of band \p a and any
+  /// tile of band \p b (a != b): the smallest column gap between the two
+  /// bands. Non-adjacent bands are provably further apart than the global
+  /// min_boundary_hops() floor — this is the per-channel distance the
+  /// adaptive lookahead matrix is calibrated from.
+  int band_distance(int a, int b) const;
+
+  /// Per-channel engine lookahead for the (a -> b) mailbox lane:
+  /// band_distance(a, b) router hops at \p per_hop_latency each. Every
+  /// message from band a to band b crosses at least that much simulated
+  /// time, so the bound is safe and strictly wider than the scalar floor
+  /// for non-adjacent bands.
+  SimTime lookahead(SimTime per_hop_latency, int a, int b) const {
+    return per_hop_latency * static_cast<double>(band_distance(a, b));
+  }
+
  private:
   MeshLayout layout_;
   MeshTopology topo_;

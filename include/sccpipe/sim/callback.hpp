@@ -167,12 +167,21 @@ inline constexpr std::size_t kMemCallbackBytes = 192;
 inline constexpr std::size_t kFlowCallbackBytes = 224;
 inline constexpr std::size_t kHostPushCallbackBytes = 120;
 inline constexpr std::size_t kHostPopCallbackBytes = 120;
-inline constexpr std::size_t kSimCallbackBytes = 256;
+inline constexpr std::size_t kFabricCallbackBytes = 240;
+inline constexpr std::size_t kSimCallbackBytes = 272;
 
 /// The continuation type of the timed-execution façade (chip compute /
 /// memory walks / DRAM streams / host compute). Fits every pipeline-stage
 /// lambda inline; anything bigger is a compile error.
 using StageCallback = InplaceFunction<void(), kStageCallbackBytes>;
+
+/// A region-fabric chain leg (noc/fabric.hpp): one hop of a multi-site
+/// event chain, carrying the original StageCallback plus a few words of
+/// POD context. Never nest a FabricCallback inside another FabricCallback —
+/// each leg re-captures the primitive continuation instead, so the tier
+/// stays one below SimCallback (the fabric's site-scoping wrapper adds a
+/// pointer + a site id on top).
+using FabricCallback = InplaceFunction<void(), kFabricCallbackBytes>;
 
 /// The Simulator's event callback — the outermost tier.
 using SimCallback = InplaceFunction<void(), kSimCallbackBytes>;

@@ -11,16 +11,23 @@
 ///
 ///   1. snapshot every region's next event time,
 ///   2. give each region the bound
-///        bound_r = min_{s != r, s non-empty} next_s + lookahead
+///        bound_r = min_{s != r, s non-empty} next_s + lookahead[s][r]
 ///      (no peer can influence region r earlier than that, because any
-///      cross-region interaction takes at least `lookahead` of simulated
-///      time — the per-hop link latency of the partitioned mesh),
+///      interaction from region s to region r takes at least
+///      `lookahead[s][r]` of simulated time — by default the router-latency
+///      floor, but set_lookahead() lets the model install the calibrated
+///      per-channel minimum, e.g. hop latency x the column gap between two
+///      mesh bands, which widens every window that crosses distant bands),
 ///   3. drain every region to its bound in parallel on the worker threads;
 ///      a region that posts cross-region mail mid-window shrinks its own
-///      remaining bound to delivery + lookahead (the round-trip guard: the
-///      receiver may react at delivery time and post back, and that
-///      reaction must not land in the sender's simulated past),
-///   4. barrier; merge the cross-region mailboxes; repeat.
+///      remaining bound to delivery + the *return* lookahead (the
+///      round-trip guard: the receiver may react at delivery time and post
+///      back, and that reaction must not land in the sender's simulated
+///      past),
+///   4. barrier; flush the per-source outboxes; repeat. A barrier at which
+///      no outbox held mail coalesces into the previous window: the flush
+///      scan is skipped and the super-step is counted as a coalesced
+///      continuation, not a new window.
 ///
 /// This is the null-message-free variant of Chandy-Misra-Bryant
 /// synchronisation: bounds come from a barrier snapshot instead of null
@@ -35,10 +42,13 @@
 ///     deterministic by induction;
 ///   * a region's events are executed by exactly one thread per window, in
 ///     the engine's (time, seq) order;
-///   * cross-region events are posted into per-(source, destination)
-///     mailbox lanes and merged at the barrier in a fixed order — sorted
-///     by delivery time, ties broken by (source region, post order) —
-///     never in thread-completion order.
+///   * cross-region events are appended to the source region's outbox (one
+///     batch per source, so a window's posts amortise to a single append
+///     stream) and flushed at the barrier in a fixed order — delivery time,
+///     then the event's topology rank, then (source region, post order) —
+///     never in thread-completion order. Ranked posts let a model order
+///     same-time deliveries by *simulated* position (e.g. source tile),
+///     which is independent of how the mesh happens to be partitioned.
 ///
 /// Thread-safety contract for model code: state owned by a region may only
 /// be touched by callbacks scheduled on that region's Simulator. Cross-
@@ -61,7 +71,10 @@ namespace sccpipe {
 /// Deterministic engine counters: identical at every worker count, so they
 /// may appear in RunResult/CSV output without breaking byte-identity.
 struct ParallelSimStats {
-  std::uint64_t windows = 0;             ///< super-steps executed
+  std::uint64_t windows = 0;             ///< super-steps that merged mail
+  /// Super-steps that coalesced into the previous window because no outbox
+  /// held mail at the barrier (the flush scan was skipped).
+  std::uint64_t coalesced_windows = 0;
   std::uint64_t cross_region_events = 0; ///< mailbox events merged
   /// (region, window) pairs where the region had nothing to execute before
   /// its bound — the idle-stall count of a lopsided partition.
@@ -86,7 +99,18 @@ class ParallelSimulator {
 
   int regions() const { return static_cast<int>(regions_.size()); }
   int jobs() const { return jobs_; }
+  /// The constructor's scalar lookahead — the floor every channel starts
+  /// from until set_lookahead() raises it.
   SimTime lookahead() const { return lookahead_; }
+
+  /// The minimum simulated latency of any src -> dst interaction.
+  SimTime lookahead(int src, int dst) const;
+
+  /// Install a calibrated per-channel lookahead (must be >= the scalar
+  /// floor; src != dst). Raising a channel's lookahead widens every window
+  /// bound it feeds — call it with the real link latency of the partition
+  /// (e.g. router latency x band distance) before run().
+  void set_lookahead(int src, int dst, SimTime lookahead);
 
   /// A region's event queue. Model code confined to region r schedules on
   /// region(r) exactly as it would on a serial Simulator. Outside run(),
@@ -95,13 +119,19 @@ class ParallelSimulator {
   Simulator& region(int r);
 
   /// Schedule \p fn on region \p dst_region at absolute time \p when.
-  /// From inside a callback running on a different region, \p when must be
-  /// at least the sender's now() + lookahead(); the event is routed
-  /// through the sender's mailbox lane and merged at the next barrier.
+  /// From inside a callback running on a different region src, \p when
+  /// must be at least the sender's now() + lookahead(src, dst); the event
+  /// is appended to the sender's outbox and flushed at the next barrier.
   /// From inside a callback on the same region this is a plain
-  /// schedule_at. From outside run() it lands in the environment lane and
-  /// is merged before the first window.
+  /// schedule_at. From outside run() it lands in the environment outbox
+  /// and is flushed before the first window.
   void post(int dst_region, SimTime when, Callback fn);
+
+  /// As post(), with an explicit same-time tie-break rank (see
+  /// Simulator::schedule_at_ranked): lower ranks dispatch first at equal
+  /// timestamps, and every rank beats plain unranked events. Models derive
+  /// ranks from simulated topology so delivery order is partition-blind.
+  void post(int dst_region, SimTime when, std::uint64_t rank, Callback fn);
 
   /// Region currently executing on this thread, or -1 when the calling
   /// thread is not inside a region callback of any engine.
@@ -131,11 +161,16 @@ class ParallelSimulator {
 
  private:
   struct Mail {
+    int dst;
     SimTime when;
+    std::uint64_t rank;
     Callback fn;
   };
 
-  void merge_mailboxes();
+  /// Drain every outbox into the destination regions' queues (ranked
+  /// inserts keep the deterministic delivery order without a sort).
+  /// Returns true when any mail was flushed.
+  bool flush_outboxes();
   /// Snapshot next event times; returns the global minimum (max() = all
   /// empty). Fills bounds_ for a step clamped to \p deadline.
   SimTime compute_bounds(SimTime deadline);
@@ -143,21 +178,24 @@ class ParallelSimulator {
   void drain_region(int r);
   void run_step_parallel();
   void worker_loop(int worker);
+  SimTime& lookahead_ref(int src, int dst);
 
   std::vector<std::unique_ptr<Simulator>> regions_;
-  /// lanes_[src][dst]: src in [0, R] where lane R is the environment
-  /// (posts from outside run()); dst in [0, R).
-  std::vector<std::vector<std::vector<Mail>>> lanes_;
+  /// outbox_[src]: mail posted by region src this window, in post order;
+  /// src == regions() is the environment lane (posts from outside run()).
+  /// One append stream per source — a window's cross-region posts batch
+  /// into a single vector instead of R separate lanes.
+  std::vector<std::vector<Mail>> outbox_;
   std::vector<SimTime> next_;    // per-region snapshot
   std::vector<SimTime> bounds_;  // per-region window bound (exclusive)
   /// Effective per-region bound while draining: starts at bounds_[r] and
-  /// shrinks to (delivery + lookahead) at the region's first cross-region
-  /// post of the window — the earliest a reaction round trip can return.
-  /// Written only by the thread draining region r.
+  /// shrinks to (delivery + return lookahead) at the region's first
+  /// cross-region post of the window — the earliest a reaction round trip
+  /// can return. Written only by the thread draining region r.
   std::vector<SimTime> caps_;
-  std::vector<Mail> merge_scratch_;
-  std::vector<std::uint32_t> merge_order_;
-  SimTime lookahead_;
+  SimTime lookahead_;  ///< scalar floor (the default channel lookahead)
+  /// Row-major regions() x regions() per-channel lookahead matrix.
+  std::vector<SimTime> lookahead_matrix_;
   int jobs_;
   ParallelSimStats stats_;
 

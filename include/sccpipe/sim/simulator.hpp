@@ -14,9 +14,9 @@
 /// per worker thread; instances share nothing.
 ///
 /// Hot-path layout (structure of arrays): the priority heap holds only
-/// 24-byte (time, seq, slot) keys — sifts touch nothing but hot cache
-/// lines — while callbacks live in a pooled slot table indexed by the key's
-/// slot. Callbacks are `SimCallback` (inline fixed-capacity storage, see
+/// 32-byte (time, rank, seq, slot) keys — sifts touch nothing but hot
+/// cache lines — while callbacks live in a pooled slot table indexed by the
+/// key's slot. Callbacks are `SimCallback` (inline fixed-capacity storage, see
 /// callback.hpp), so steady-state schedule/cancel/dispatch performs zero
 /// heap allocations; SimulatorStats counts the container growths so tests
 /// can assert exactly that.
@@ -82,13 +82,29 @@ class Simulator {
   /// (Thin forwarders: the callable is materialised once at the call site
   /// and relocated exactly once, into its slot.)
   EventHandle schedule_at(SimTime when, Callback fn) {
-    return schedule_impl(when, std::move(fn));
+    return schedule_impl(when, kUnranked, std::move(fn));
   }
 
   /// Schedule \p fn \p delay after now (delay must be non-negative).
   EventHandle schedule_after(SimTime delay, Callback fn) {
-    return schedule_impl(delay_to_when(delay), std::move(fn));
+    return schedule_impl(delay_to_when(delay), kUnranked, std::move(fn));
   }
+
+  /// Schedule \p fn at \p when with an explicit tie-break rank. At equal
+  /// timestamps, lower ranks dispatch first and any rank dispatches before
+  /// plain (kUnranked) events; equal ranks fall back to scheduling order.
+  /// The partitioned engine (sim/parallel_sim.hpp) derives ranks from the
+  /// *simulated* topology (source site, per-site post order), so merged
+  /// cross-region mail dispatches in an order independent of both worker
+  /// count and region count.
+  EventHandle schedule_at_ranked(SimTime when, std::uint64_t rank,
+                                 Callback fn) {
+    return schedule_impl(when, rank, std::move(fn));
+  }
+
+  /// Rank used by the plain schedule_at/schedule_after paths: sorts after
+  /// every explicit rank at the same timestamp.
+  static constexpr std::uint64_t kUnranked = ~std::uint64_t{0};
 
   /// Cancel a pending event. Returns false if it already ran, was already
   /// cancelled, or the handle is empty. O(1); the captured state is
@@ -127,19 +143,23 @@ class Simulator {
   static constexpr std::size_t kDefaultSizeHint = 1024;
 
  private:
-  EventHandle schedule_impl(SimTime when, Callback&& fn);
+  EventHandle schedule_impl(SimTime when, std::uint64_t rank, Callback&& fn);
   SimTime delay_to_when(SimTime delay) const;
 
   /// Hot heap entry: the ordering key plus the slot that holds the cold
-  /// callback. 24 bytes, trivially copyable — sifts never touch callbacks.
+  /// callback. 32 bytes, trivially copyable — sifts never touch callbacks.
   struct HeapKey {
     SimTime when;
+    std::uint64_t rank;
     std::uint64_t seq;
     std::uint32_t slot;
 
-    // Min-heap on (when, seq) via std::push_heap's max-heap comparator.
+    // Min-heap on (when, rank, seq) via std::push_heap's max-heap
+    // comparator. Plain events carry rank = kUnranked, so for them this
+    // degenerates to the historical (when, seq) order.
     friend bool operator<(const HeapKey& a, const HeapKey& b) {
       if (a.when != b.when) return a.when > b.when;
+      if (a.rank != b.rank) return a.rank > b.rank;
       return a.seq > b.seq;
     }
   };

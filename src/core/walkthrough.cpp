@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "sccpipe/filters/filters.hpp"
+#include "sccpipe/noc/fabric.hpp"
 #include "sccpipe/noc/mesh.hpp"
 #include "sccpipe/noc/partition.hpp"
 #include "sccpipe/sim/parallel_sim.hpp"
@@ -57,6 +58,25 @@ double host_render_cycles(const Calibration& cal, const RenderLoad& load) {
   return w.cycles + 100.0 * w.walk_accesses;
 }
 
+/// Mesh layout of the platform the run will build. The partition and the
+/// fabric's transit calibration must describe the *actual* chip — the
+/// cluster node's mesh is 8 tiles wide, not the 6-wide SCC default — or
+/// located delivery times (and hence the CSV contract) would depend on
+/// which platform's geometry happened to seed the partition.
+MeshLayout platform_layout(const RunConfig& cfg) {
+  return cfg.platform == PlatformKind::Scc
+             ? ChipConfig::scc().mesh_layout
+             : ChipConfig::mogon_node().mesh_layout;
+}
+
+/// Per-hop router latency of the platform — the fabric's transit unit and
+/// the engine's scalar lookahead floor.
+SimTime platform_router_latency(const RunConfig& cfg) {
+  return cfg.platform == PlatformKind::Scc
+             ? ChipConfig::scc().mesh_timing.router_latency
+             : ChipConfig::mogon_node().mesh_timing.router_latency;
+}
+
 void apply_stage_functional(StageKind kind, Image& img, int frame,
                             std::uint64_t seed, int max_scratches) {
   switch (kind) {
@@ -90,9 +110,10 @@ class WalkthroughSim {
       : scene_(scene),
         trace_(trace),
         cfg_(cfg),
-        partition_(MeshLayout{}, std::max(1, cfg.sim_jobs)),
+        partition_(platform_layout(cfg), std::max(1, cfg.sim_jobs)),
         engine_(partition_.regions(), std::max(1, cfg.sim_jobs),
-                partition_.lookahead(MeshTimingConfig{}.router_latency)),
+                partition_.lookahead(platform_router_latency(cfg))),
+        fabric_(engine_, partition_, platform_router_latency(cfg)),
         sim_(engine_.region(partition_.host_region())) {
     SCCPIPE_CHECK_MSG(cfg.scenario != Scenario::SingleCore,
                       "use run_single_core() for the one-core baseline");
@@ -116,6 +137,12 @@ class WalkthroughSim {
                          SimTime::zero());
     }
     build_platform();
+    // Unconfine the chip: timed work (compute, DRAM streams, memory walks,
+    // mid-run DVFS) now executes at the region owning its tile. The fabric
+    // is attached at every sim_jobs value — with one region every located
+    // post lands on the same queue, so jobs=1 stays the serial reference
+    // the byte-identity contract diffs against.
+    chip_->attach_fabric(&fabric_);
     build_placement();
     apply_dvfs();
     build_channels_and_stages();
@@ -1499,6 +1526,7 @@ class WalkthroughSim {
     r.parallel_sim.regions = engine_.regions();
     r.parallel_sim.lookahead_ns = engine_.lookahead().to_ns();
     r.parallel_sim.windows = engine_.stats().windows;
+    r.parallel_sim.coalesced_windows = engine_.stats().coalesced_windows;
     r.parallel_sim.cross_region_events = engine_.stats().cross_region_events;
     r.parallel_sim.idle_region_windows = engine_.stats().idle_region_windows;
     return r;
@@ -1630,12 +1658,15 @@ class WalkthroughSim {
   const WorkloadTrace& trace_;
   RunConfig cfg_;
 
-  // The partitioned engine owns the region queues; the fabric-entangled
-  // walkthrough model runs entirely in the host region (docs/PERF.md §1),
-  // so `sim_` aliases that region's Simulator and every downstream actor
-  // keeps its plain Simulator& dependency.
+  // The partitioned engine owns the region queues; the fabric gives every
+  // mesh tile a home region and turns the chip's timed primitives into
+  // located event chains, so a --sim-jobs N run dispatches the pipeline
+  // across bands concurrently (docs/PERF.md §1.3). `sim_` aliases the host
+  // region's Simulator: host-side actors (links, channels, supervisor,
+  // producer) keep their plain Simulator& dependency and stay host-owned.
   MeshPartition partition_;
   ParallelSimulator engine_;
+  RegionFabric fabric_;
   Simulator& sim_;
   std::unique_ptr<SccChip> chip_;
   std::unique_ptr<RcceComm> rcce_;

@@ -6,6 +6,7 @@
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "sccpipe/support/check.hpp"
@@ -27,6 +28,13 @@ int default_sim_jobs() {
     if (v > 0) return v;
   }
   return 1;
+}
+
+Status validate_sim_jobs(int sim_jobs) {
+  if (sim_jobs >= 1) return Status();
+  return Status(StatusCode::InvalidArgument,
+                "--sim-jobs must be a positive worker count, got " +
+                    std::to_string(sim_jobs));
 }
 
 // ----------------------------------------------------------------- ThreadPool

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
+
+#include "sccpipe/noc/fabric.hpp"
 
 namespace sccpipe {
 
@@ -10,13 +13,32 @@ MemorySystem::MemorySystem(Simulator& sim, const MeshTopology& topo,
     : sim_(sim), topo_(topo), mesh_(mesh), cfg_(cfg), cache_(cfg.cache) {
   SCCPIPE_CHECK(cfg_.mc_bandwidth_bytes_per_sec > 0.0);
   const int n = topo_.mc_count();
-  mcs_.reserve(static_cast<std::size_t>(n));
-  for (McId m = 0; m < n; ++m) {
-    mcs_.push_back(std::make_unique<FairShareResource>(
-        sim_, "mc" + std::to_string(m), cfg_.mc_bandwidth_bytes_per_sec));
-  }
   latency_streams_.assign(static_cast<std::size_t>(n), 0);
   stats_.resize(static_cast<std::size_t>(n));
+  rebuild_mcs();
+}
+
+void MemorySystem::rebuild_mcs() {
+  for (const auto& mc : mcs_) {
+    SCCPIPE_CHECK_MSG(mc == nullptr || mc->active_flows() == 0,
+                      "re-homing a controller with flows in flight");
+  }
+  mcs_.clear();
+  const int n = topo_.mc_count();
+  mcs_.reserve(static_cast<std::size_t>(n));
+  for (McId m = 0; m < n; ++m) {
+    Simulator& owner =
+        fabric_ != nullptr
+            ? fabric_->region_sim(topo_.tile_at(topo_.mc_position(m)))
+            : sim_;
+    mcs_.push_back(std::make_unique<FairShareResource>(
+        owner, "mc" + std::to_string(m), cfg_.mc_bandwidth_bytes_per_sec));
+  }
+}
+
+void MemorySystem::attach_fabric(RegionFabric* fabric) {
+  fabric_ = fabric;
+  rebuild_mcs();
 }
 
 void MemorySystem::bulk(CoreId core, double bytes, double core_rate_cap,
@@ -24,6 +46,10 @@ void MemorySystem::bulk(CoreId core, double bytes, double core_rate_cap,
   SCCPIPE_CHECK(topo_.valid_core(core));
   SCCPIPE_CHECK(bytes >= 0.0);
   SCCPIPE_CHECK(on_done != nullptr);
+  if (fabric_ != nullptr) {
+    fabric_bulk(core, bytes, core_rate_cap, std::move(on_done));
+    return;
+  }
   const McId mc = topo_.home_mc(core);
   const auto mci = static_cast<std::size_t>(mc);
   McStats& st = stats_[mci];
@@ -68,7 +94,57 @@ void MemorySystem::bulk(CoreId core, double bytes, double core_rate_cap,
   }
 }
 
+void MemorySystem::fabric_bulk(CoreId core, double bytes, double core_rate_cap,
+                               BulkCallback on_done) {
+  // Located chain (caller executes at the issuing core's tile):
+  //   1. hop to the host bridge — the mesh model is host-owned, so the
+  //      route charge and the fault-layer admission decision happen there;
+  //   2. located post to the controller's tile, delayed by the head
+  //      latency (mesh contention + any MC outage window) plus transit —
+  //      the flow queues on the controller's *regional* fair-share queue;
+  //   3. completion hops back to the core's tile, where on_done runs.
+  RegionFabric& fab = *fabric_;
+  fab.hop(fab.bridge_site(), [this, core, bytes, core_rate_cap,
+                              cb = std::move(on_done)]() mutable {
+    RegionFabric& fab = *fabric_;
+    const McId mc = topo_.home_mc(core);
+    const auto mci = static_cast<std::size_t>(mc);
+    McStats& st = stats_[mci];
+    st.bulk_bytes += bytes;
+    ++st.bulk_flows;
+    const SimTime now = fab.now();
+    const SimTime mesh_done = mesh_.transfer(now, topo_.core_coord(core),
+                                             topo_.mc_position(mc), bytes);
+    const SimTime mesh_extra = mesh_done - now;
+    double service_bytes = bytes;
+    SimTime admit_at = now;
+    if (fault_ != nullptr && fault_->enabled()) {
+      admit_at = fault_->mc_available(mc, now);
+      service_bytes = bytes * fault_->mc_slowdown(mc, admit_at);
+    }
+    const TileId mc_tile = topo_.tile_at(topo_.mc_position(mc));
+    const SimTime start = max(now, admit_at) + mesh_extra +
+                          fab.transit(fab.bridge_site(), mc_tile);
+    fab.post_at(mc_tile, start, [this, core, service_bytes, core_rate_cap,
+                                 cb = std::move(cb)]() mutable {
+      const auto mci = static_cast<std::size_t>(topo_.home_mc(core));
+      mcs_[mci]->start_flow(
+          service_bytes,
+          [this, core, cb = std::move(cb)]() mutable {
+            fabric_->hop(topo_.tile_of(core),
+                         [cb = std::move(cb)]() mutable { cb(); });
+          },
+          core_rate_cap);
+    });
+  });
+}
+
 SimTime MemorySystem::latency_bound(CoreId core, double n_accesses) const {
+  return latency_bound(core, n_accesses, sim_.now());
+}
+
+SimTime MemorySystem::latency_bound(CoreId core, double n_accesses,
+                                    SimTime now) const {
   SCCPIPE_CHECK(topo_.valid_core(core));
   SCCPIPE_CHECK(n_accesses >= 0.0);
   const McId mc = topo_.home_mc(core);
@@ -80,7 +156,7 @@ SimTime MemorySystem::latency_bound(CoreId core, double n_accesses) const {
   SimTime per_access = cfg_.base_line_latency * inflation +
                        cfg_.per_hop_latency * static_cast<double>(hops);
   if (fault_ != nullptr && fault_->enabled()) {
-    per_access = per_access * fault_->mc_slowdown(mc, sim_.now());
+    per_access = per_access * fault_->mc_slowdown(mc, now);
   }
   return per_access * n_accesses;
 }

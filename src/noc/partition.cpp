@@ -44,6 +44,30 @@ int MeshPartition::tiles_in_region(int region) const {
   return columns * layout_.height;
 }
 
+int MeshPartition::band_distance(int a, int b) const {
+  SCCPIPE_CHECK_MSG(a >= 0 && a < regions_ && b >= 0 && b < regions_,
+                    "band_distance(" << a << ", " << b << ") of " << regions_);
+  if (a == b) return 0;
+  // Bands are contiguous column ranges, so the closest pair of tiles is
+  // the facing pair across the gap: |nearest column of a - nearest column
+  // of b| router hops (X-then-Y routing, same row).
+  int last_a = -1, first_a = layout_.width;
+  int last_b = -1, first_b = layout_.width;
+  for (int x = 0; x < layout_.width; ++x) {
+    const int r = column_region_[static_cast<std::size_t>(x)];
+    if (r == a) {
+      first_a = std::min(first_a, x);
+      last_a = x;
+    } else if (r == b) {
+      first_b = std::min(first_b, x);
+      last_b = x;
+    }
+  }
+  SCCPIPE_CHECK_MSG(last_a >= 0 && last_b >= 0,
+                    "band_distance over an unmapped band");
+  return last_a < first_b ? first_b - last_a : first_a - last_b;
+}
+
 int MeshPartition::min_boundary_hops() const {
   if (regions_ == 1) return 1;
   // Bands are contiguous columns, so the closest inter-region pair is a

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "sccpipe/noc/fabric.hpp"
 #include "sccpipe/sim/fault.hpp"
 
 namespace sccpipe {
@@ -47,6 +48,7 @@ SccChip::SccChip(Simulator& sim, ChipConfig cfg)
                     "default frequency " << cfg_.default_mhz);
   tile_mhz_.assign(static_cast<std::size_t>(topo_.tile_count()),
                    cfg_.default_mhz);
+  tile_mhz_live_ = tile_mhz_;
   tile_points_.assign(static_cast<std::size_t>(topo_.tile_count()),
                       dvfs_.point_for(cfg_.default_mhz));
   cores_.resize(static_cast<std::size_t>(topo_.core_count()));
@@ -63,9 +65,25 @@ int SccChip::voltage_domain_of(TileId tile) const {
 void SccChip::set_tile_frequency(TileId tile, int mhz) {
   SCCPIPE_CHECK(tile >= 0 && tile < topo_.tile_count());
   SCCPIPE_CHECK(dvfs_.allowed(mhz));
+  // Requested frequency, voltage domains and the power bill are host-side
+  // bookkeeping and update synchronously. The tile's live clock is owned
+  // by the tile's region: a mid-run DVFS command crosses the mesh as a
+  // located post before compute() on that tile sees the new speed.
   tile_mhz_[static_cast<std::size_t>(tile)] = mhz;
   refresh_voltages();
   refresh_power();
+  if (fabric_ != nullptr && RegionFabric::in_run()) {
+    fabric_->hop(tile, [this, tile, mhz] {
+      tile_mhz_live_[static_cast<std::size_t>(tile)] = mhz;
+    });
+  } else {
+    tile_mhz_live_[static_cast<std::size_t>(tile)] = mhz;
+  }
+}
+
+void SccChip::attach_fabric(RegionFabric* fabric) {
+  fabric_ = fabric;
+  mem_.attach_fabric(fabric);
 }
 
 void SccChip::refresh_voltages() {
@@ -104,6 +122,11 @@ double SccChip::effective_hz(CoreId core) const {
   return frequency_hz(core) * cfg_.ipc_factor;
 }
 
+double SccChip::effective_hz_live(CoreId core) const {
+  const auto tile = static_cast<std::size_t>(topo_.tile_of(core));
+  return tile_mhz_live_[tile] * 1e6 * cfg_.ipc_factor;
+}
+
 double SccChip::copy_rate(CoreId core) const {
   SCCPIPE_CHECK(topo_.valid_core(core));
   return cfg_.copy_rate_bytes_per_sec;
@@ -138,13 +161,17 @@ int SccChip::allocated_count() const {
 }
 
 void SccChip::set_core_busy(CoreId core, bool busy) {
+  set_core_busy_at(core, busy, sim_.now());
+}
+
+void SccChip::set_core_busy_at(CoreId core, bool busy, SimTime now) {
   SCCPIPE_CHECK(topo_.valid_core(core));
   CoreState& st = cores_[static_cast<std::size_t>(core)];
   if (st.busy == busy) return;
   if (busy) {
-    st.busy_since = sim_.now();
+    st.busy_since = now;
   } else {
-    st.busy_total += sim_.now() - st.busy_since;
+    st.busy_total += now - st.busy_since;
   }
   st.busy = busy;
 }
@@ -158,13 +185,36 @@ SimTime SccChip::core_busy_time(CoreId core) const {
 }
 
 bool SccChip::core_dead(CoreId core) const {
-  return fault_ != nullptr && fault_->core_failed(core, sim_.now());
+  return core_dead_at(core, sim_.now());
+}
+
+bool SccChip::core_dead_at(CoreId core, SimTime now) const {
+  return fault_ != nullptr && fault_->core_failed(core, now);
 }
 
 void SccChip::compute(CoreId core, double ref_cycles,
                       StageCallback on_done) {
   SCCPIPE_CHECK(ref_cycles >= 0.0);
   SCCPIPE_CHECK(on_done != nullptr);
+  if (fabric_ != nullptr) {
+    // Region-native chain: hop to the core's tile, run the work on the
+    // tile's regional clock, hop back to the caller's site. The fail-stop
+    // check happens *at the tile* (arrival time is partition-independent),
+    // and the duration reads the tile-owned live clock.
+    const TileId ret = fabric_->current_site();
+    const TileId ct = topo_.tile_of(core);
+    fabric_->hop(ct, [this, core, ref_cycles, ret,
+                      cb = std::move(on_done)]() mutable {
+      if (core_dead_at(core, fabric_->now())) return;
+      const SimTime dur = SimTime::sec(ref_cycles / effective_hz_live(core));
+      set_core_busy_at(core, true, fabric_->now());
+      fabric_->after(dur, [this, core, ret, cb = std::move(cb)]() mutable {
+        set_core_busy_at(core, false, fabric_->now());
+        fabric_->hop(ret, [cb = std::move(cb)]() mutable { cb(); });
+      });
+    });
+    return;
+  }
   if (core_dead(core)) return;  // fail-stop: nothing starts, nothing returns
   const SimTime dur = SimTime::sec(ref_cycles / effective_hz(core));
   set_core_busy(core, true);
@@ -177,13 +227,35 @@ void SccChip::compute(CoreId core, double ref_cycles,
 void SccChip::memory_walk(CoreId core, double line_accesses,
                           StageCallback on_done) {
   SCCPIPE_CHECK(on_done != nullptr);
-  if (core_dead(core)) return;
-  mem_.register_latency_stream(core);
-  set_core_busy(core, true);
   // Split the walk into segments, re-sampling the controller load at each
   // boundary: a long traversal sees the average congestion over its
   // lifetime, not whatever happened to be in flight the instant it began.
   constexpr int kSegments = 4;
+  if (fabric_ != nullptr) {
+    // Region-native chain: busy accounting at the core's tile, then the
+    // dependent-miss segments at the home controller's tile — the walker
+    // registration and load sampling touch MC-region-owned state, so they
+    // must execute there.
+    const TileId ret = fabric_->current_site();
+    const TileId ct = topo_.tile_of(core);
+    fabric_->hop(ct, [this, core, line_accesses, ret,
+                      cb = std::move(on_done)]() mutable {
+      if (core_dead_at(core, fabric_->now())) return;
+      set_core_busy_at(core, true, fabric_->now());
+      const TileId mct = topo_.tile_at(topo_.mc_position(topo_.home_mc(core)));
+      fabric_->hop(mct, [this, core, line_accesses, ret,
+                         cb = std::move(cb)]() mutable {
+        mem_.register_latency_stream(core);
+        fabric_walk_step(WalkState{core, line_accesses / kSegments, kSegments,
+                                   std::move(cb)},
+                         ret);
+      });
+    });
+    return;
+  }
+  if (core_dead(core)) return;
+  mem_.register_latency_stream(core);
+  set_core_busy(core, true);
   walk_step(WalkState{core, line_accesses / kSegments, kSegments,
                       std::move(on_done)});
 }
@@ -201,9 +273,47 @@ void SccChip::walk_step(WalkState st) {
       dur, [this, st = std::move(st)]() mutable { walk_step(std::move(st)); });
 }
 
+void SccChip::fabric_walk_step(WalkState st, TileId ret_site) {
+  // Executes at the home controller's tile (load sampled on its region).
+  if (st.remaining == 0) {
+    mem_.unregister_latency_stream(st.core);
+    const TileId ct = topo_.tile_of(st.core);
+    fabric_->hop(ct, [this, core = st.core, ret_site,
+                      cb = std::move(st.on_done)]() mutable {
+      set_core_busy_at(core, false, fabric_->now());
+      fabric_->hop(ret_site, [cb = std::move(cb)]() mutable { cb(); });
+    });
+    return;
+  }
+  --st.remaining;
+  const SimTime dur =
+      mem_.latency_bound(st.core, st.per_segment, fabric_->now());
+  fabric_->after(dur, [this, st = std::move(st), ret_site]() mutable {
+    fabric_walk_step(std::move(st), ret_site);
+  });
+}
+
 void SccChip::dram_stream(CoreId core, double bytes,
                           StageCallback on_done) {
   SCCPIPE_CHECK(on_done != nullptr);
+  if (fabric_ != nullptr) {
+    // Region-native chain: the stream is issued from the core's tile (the
+    // memory system routes it through the controller's region and calls
+    // back at the core's tile), then the continuation hops home.
+    const TileId ret = fabric_->current_site();
+    const TileId ct = topo_.tile_of(core);
+    fabric_->hop(ct, [this, core, bytes, ret,
+                      cb = std::move(on_done)]() mutable {
+      if (core_dead_at(core, fabric_->now())) return;
+      set_core_busy_at(core, true, fabric_->now());
+      mem_.bulk(core, bytes, copy_rate(core),
+                [this, core, ret, cb = std::move(cb)]() mutable {
+                  set_core_busy_at(core, false, fabric_->now());
+                  fabric_->hop(ret, [cb = std::move(cb)]() mutable { cb(); });
+                });
+    });
+    return;
+  }
   if (core_dead(core)) return;
   set_core_busy(core, true);
   mem_.bulk(core, bytes, copy_rate(core),

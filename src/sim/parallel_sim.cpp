@@ -10,7 +10,7 @@ namespace {
 
 /// Thread-local execution context: which engine/region the current thread
 /// is draining. Lets post() route same-region schedules directly and pick
-/// the right mailbox lane for cross-region ones.
+/// the right outbox for cross-region ones.
 struct ExecContext {
   ParallelSimulator* engine = nullptr;
   int region = -1;
@@ -38,11 +38,13 @@ ParallelSimulator::ParallelSimulator(int regions, int jobs, SimTime lookahead,
   for (int r = 0; r < regions; ++r) {
     regions_.push_back(std::make_unique<Simulator>(size_hint_per_region));
   }
-  lanes_.resize(static_cast<std::size_t>(regions) + 1);
-  for (auto& row : lanes_) row.resize(static_cast<std::size_t>(regions));
+  outbox_.resize(static_cast<std::size_t>(regions) + 1);
   next_.resize(static_cast<std::size_t>(regions), SimTime::max());
   bounds_.resize(static_cast<std::size_t>(regions), SimTime::max());
   caps_.resize(static_cast<std::size_t>(regions), SimTime::max());
+  lookahead_matrix_.resize(
+      static_cast<std::size_t>(regions) * static_cast<std::size_t>(regions),
+      lookahead);
   if (jobs_ > 1) {
     threads_.reserve(static_cast<std::size_t>(jobs_) - 1);
     for (int w = 1; w < jobs_; ++w) {
@@ -72,98 +74,121 @@ int ParallelSimulator::current_region() {
   return t_ctx.engine != nullptr ? t_ctx.region : -1;
 }
 
+SimTime& ParallelSimulator::lookahead_ref(int src, int dst) {
+  return lookahead_matrix_[static_cast<std::size_t>(src) *
+                               regions_.size() +
+                           static_cast<std::size_t>(dst)];
+}
+
+SimTime ParallelSimulator::lookahead(int src, int dst) const {
+  SCCPIPE_CHECK_MSG(src >= 0 && src < regions() && dst >= 0 &&
+                        dst < regions(),
+                    "lookahead(" << src << ", " << dst << ") of "
+                                 << regions());
+  return lookahead_matrix_[static_cast<std::size_t>(src) * regions_.size() +
+                           static_cast<std::size_t>(dst)];
+}
+
+void ParallelSimulator::set_lookahead(int src, int dst, SimTime lookahead) {
+  SCCPIPE_CHECK_MSG(src >= 0 && src < regions() && dst >= 0 &&
+                        dst < regions() && src != dst,
+                    "set_lookahead(" << src << ", " << dst << ") of "
+                                     << regions());
+  SCCPIPE_CHECK_MSG(lookahead >= lookahead_,
+                    "per-channel lookahead "
+                        << lookahead.to_string()
+                        << " undercuts the constructor floor "
+                        << lookahead_.to_string());
+  lookahead_ref(src, dst) = lookahead;
+}
+
 void ParallelSimulator::post(int dst_region, SimTime when, Callback fn) {
+  post(dst_region, when, Simulator::kUnranked, std::move(fn));
+}
+
+void ParallelSimulator::post(int dst_region, SimTime when, std::uint64_t rank,
+                             Callback fn) {
   SCCPIPE_CHECK_MSG(dst_region >= 0 && dst_region < regions(),
                     "post to region " << dst_region << " of " << regions());
-  const std::size_t dst = static_cast<std::size_t>(dst_region);
   if (t_ctx.engine == this) {
     const int src = t_ctx.region;
     if (src == dst_region) {
-      regions_[dst]->schedule_at(when, std::move(fn));
+      regions_[static_cast<std::size_t>(dst_region)]->schedule_at_ranked(
+          when, rank, std::move(fn));
       return;
     }
     Simulator& sender = *regions_[static_cast<std::size_t>(src)];
     SCCPIPE_CHECK_MSG(
-        when >= sender.now() + lookahead_,
+        when >= sender.now() + lookahead(src, dst_region),
         "cross-region post at " << when.to_string() << " violates lookahead "
-                                << lookahead_.to_string() << " from now="
-                                << sender.now().to_string());
+                                << lookahead(src, dst_region).to_string()
+                                << " from now=" << sender.now().to_string());
     // Round-trip guard: the receiver can react to this mail at `when` and
-    // post back, so nothing may arrive here before when + lookahead — the
-    // sender must not simulate past that point within this window. The
-    // shrink never undercuts the sender's clock (when + lookahead >
-    // when >= now), and a region that never posts keeps its full bound.
+    // post back, so nothing may arrive here before when + the *return*
+    // channel's lookahead — the sender must not simulate past that point
+    // within this window. The shrink never undercuts the sender's clock
+    // (when + lookahead > when >= now), and a region that never posts
+    // keeps its full bound.
     caps_[static_cast<std::size_t>(src)] =
         min(caps_[static_cast<std::size_t>(src)],
-            saturating_add(when, lookahead_));
-    lanes_[static_cast<std::size_t>(src)][dst].push_back(
-        Mail{when, std::move(fn)});
+            saturating_add(when, lookahead(dst_region, src)));
+    outbox_[static_cast<std::size_t>(src)].push_back(
+        Mail{dst_region, when, rank, std::move(fn)});
     return;
   }
   // Environment lane: setup posts from outside run(). Single-threaded by
-  // contract (the engine is not running), merged before the first window.
-  lanes_[regions_.size()][dst].push_back(Mail{when, std::move(fn)});
+  // contract (the engine is not running), flushed before the first window.
+  outbox_[regions_.size()].push_back(
+      Mail{dst_region, when, rank, std::move(fn)});
 }
 
-void ParallelSimulator::merge_mailboxes() {
-  const std::size_t R = regions_.size();
-  for (std::size_t dst = 0; dst < R; ++dst) {
-    merge_scratch_.clear();
-    for (std::size_t src = 0; src <= R; ++src) {
-      auto& lane = lanes_[src][dst];
-      for (Mail& m : lane) merge_scratch_.push_back(std::move(m));
-      lane.clear();
+bool ParallelSimulator::flush_outboxes() {
+  // One pass over the per-source batches, in source order. Ranked inserts
+  // make the destination heap realise the deterministic delivery order —
+  // (time, rank, source, post order) — with no sort: equal (time, rank)
+  // ties fall back to the heap's sequence counter, which is exactly this
+  // flush order.
+  std::uint64_t merged = 0;
+  for (auto& box : outbox_) {
+    for (Mail& m : box) {
+      regions_[static_cast<std::size_t>(m.dst)]->schedule_at_ranked(
+          m.when, m.rank, std::move(m.fn));
     }
-    if (merge_scratch_.empty()) continue;
-    // Deterministic delivery order: by time, ties broken by (source
-    // region, post order) — which is exactly the concatenation order, so a
-    // stable sort on the index vector by time alone suffices.
-    merge_order_.resize(merge_scratch_.size());
-    for (std::uint32_t i = 0; i < merge_order_.size(); ++i) {
-      merge_order_[i] = i;
-    }
-    std::stable_sort(merge_order_.begin(), merge_order_.end(),
-                     [&](std::uint32_t a, std::uint32_t b) {
-                       return merge_scratch_[a].when < merge_scratch_[b].when;
-                     });
-    for (const std::uint32_t i : merge_order_) {
-      Mail& m = merge_scratch_[i];
-      regions_[dst]->schedule_at(m.when, std::move(m.fn));
-    }
-    stats_.cross_region_events += merge_scratch_.size();
-    stats_.peak_mailbox =
-        std::max<std::uint64_t>(stats_.peak_mailbox, merge_scratch_.size());
-    merge_scratch_.clear();
+    merged += box.size();
+    box.clear();
   }
+  if (merged > 0) {
+    stats_.cross_region_events += merged;
+    stats_.peak_mailbox = std::max<std::uint64_t>(stats_.peak_mailbox, merged);
+  }
+  return merged > 0;
 }
 
 SimTime ParallelSimulator::compute_bounds(SimTime deadline) {
   const std::size_t R = regions_.size();
-  // Two smallest next-event times and the owner of the smallest: region
-  // r's conservative horizon is the earliest event of any *other* region
-  // plus the lookahead.
-  SimTime min1 = SimTime::max();
-  SimTime min2 = SimTime::max();
-  std::size_t min1_owner = R;
+  SimTime global_min = SimTime::max();
   for (std::size_t r = 0; r < R; ++r) {
     next_[r] = regions_[r]->next_event_time();
-    if (next_[r] < min1) {
-      min2 = min1;
-      min1 = next_[r];
-      min1_owner = r;
-    } else if (next_[r] < min2) {
-      min2 = next_[r];
-    }
+    global_min = min(global_min, next_[r]);
   }
   // Events at exactly `deadline` still run (run_until semantics), so the
   // exclusive drain bound is deadline + 1 ns.
   const SimTime deadline_bound = saturating_add(deadline, SimTime::ns(1));
-  for (std::size_t r = 0; r < R; ++r) {
-    const SimTime peers_min = r == min1_owner ? min2 : min1;
-    bounds_[r] =
-        min(saturating_add(peers_min, lookahead_), deadline_bound);
+  // Region dst's conservative horizon is the earliest event of any *other*
+  // region plus that channel's lookahead. With per-channel lookaheads the
+  // two-smallest trick no longer applies; R is small (<= mesh columns), so
+  // the O(R^2) scan is noise next to the window it buys.
+  for (std::size_t dst = 0; dst < R; ++dst) {
+    SimTime bound = deadline_bound;
+    for (std::size_t src = 0; src < R; ++src) {
+      if (src == dst) continue;
+      bound = min(bound,
+                  saturating_add(next_[src],
+                                 lookahead_matrix_[src * R + dst]));
+    }
+    bounds_[dst] = bound;
   }
-  return min1;
+  return global_min;
 }
 
 void ParallelSimulator::drain_region(int r) {
@@ -213,20 +238,33 @@ void ParallelSimulator::run_step_parallel() {
 SimTime ParallelSimulator::run() { return run_until(SimTime::max()); }
 
 SimTime ParallelSimulator::run_until(SimTime deadline) {
-  merge_mailboxes();  // environment posts, or leftovers past a deadline
+  bool merged = flush_outboxes();  // environment posts, or leftovers
+  bool first = true;
   for (;;) {
     const SimTime global_min = compute_bounds(deadline);
     if (global_min == SimTime::max() || global_min > deadline) break;
-    ++stats_.windows;
-    for (std::size_t r = 0; r < regions_.size(); ++r) {
-      if (next_[r] >= bounds_[r]) ++stats_.idle_region_windows;
+    if (first || merged) {
+      // A real window: the previous barrier delivered mail (or this is the
+      // first super-step of the call), so the bounds reflect new
+      // information. The decision depends only on outbox emptiness — a
+      // deterministic queue property — so the counters stay identical at
+      // every worker count.
+      ++stats_.windows;
+      for (std::size_t r = 0; r < regions_.size(); ++r) {
+        if (next_[r] >= bounds_[r]) ++stats_.idle_region_windows;
+      }
+    } else {
+      // Coalesced continuation: no mail crossed at the last barrier, so
+      // this super-step merely extends the previous window's horizon.
+      ++stats_.coalesced_windows;
     }
+    first = false;
     if (jobs_ == 1) {
       drain_assigned(0);
     } else {
       run_step_parallel();
     }
-    merge_mailboxes();
+    merged = flush_outboxes();
   }
   SimTime latest = SimTime::zero();
   for (const auto& r : regions_) latest = max(latest, r->now());
@@ -242,9 +280,7 @@ std::uint64_t ParallelSimulator::dispatched() const {
 std::size_t ParallelSimulator::pending() const {
   std::size_t total = 0;
   for (const auto& r : regions_) total += r->pending();
-  for (const auto& row : lanes_) {
-    for (const auto& lane : row) total += lane.size();
-  }
+  for (const auto& box : outbox_) total += box.size();
   return total;
 }
 

@@ -21,7 +21,8 @@ void Simulator::reserve_events(std::size_t expected_pending) {
   free_slots_.reserve(expected_pending);
 }
 
-EventHandle Simulator::schedule_impl(SimTime when, Callback&& fn) {
+EventHandle Simulator::schedule_impl(SimTime when, std::uint64_t rank,
+                                     Callback&& fn) {
   SCCPIPE_CHECK_MSG(when >= now_, "schedule_at(" << when.to_string()
                                                  << ") is before now="
                                                  << now_.to_string());
@@ -47,7 +48,7 @@ EventHandle Simulator::schedule_impl(SimTime when, Callback&& fn) {
   slot_seq_[slot] = seq;
   slot_fn_[slot] = std::move(fn);
   if (heap_.size() == heap_.capacity()) ++stats_.allocs;
-  heap_.push_back(HeapKey{when, seq, slot});
+  heap_.push_back(HeapKey{when, rank, seq, slot});
   std::push_heap(heap_.begin(), heap_.end());
   ++live_pending_;
   stats_.peak_events =

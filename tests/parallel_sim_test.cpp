@@ -173,10 +173,59 @@ TEST(ParallelEngine, StatsAreDeterministicAcrossJobsAndReruns) {
     c.jobs = jobs;
     const TrafficResult r = run_traffic_parallel(c);
     EXPECT_EQ(r.engine.windows, base.engine.windows) << "jobs=" << jobs;
+    EXPECT_EQ(r.engine.coalesced_windows, base.engine.coalesced_windows);
     EXPECT_EQ(r.engine.cross_region_events, base.engine.cross_region_events);
     EXPECT_EQ(r.engine.idle_region_windows, base.engine.idle_region_windows);
     EXPECT_EQ(r.engine.peak_mailbox, base.engine.peak_mailbox);
   }
+}
+
+TEST(ParallelEngine, AdaptiveLookaheadWidensDistantChannels) {
+  ParallelSimulator eng{3, 1, SimTime::us(1)};
+  EXPECT_EQ(eng.lookahead(0, 2), SimTime::us(1));  // defaults to the floor
+  eng.set_lookahead(0, 2, SimTime::us(3));
+  eng.set_lookahead(2, 0, SimTime::us(3));
+  EXPECT_EQ(eng.lookahead(0, 2), SimTime::us(3));
+  EXPECT_EQ(eng.lookahead(0, 1), SimTime::us(1));  // other channels keep it
+  std::vector<int> log;
+  eng.region(0).schedule_at(SimTime::us(1), [&] {
+    eng.post(2, SimTime::us(4), [&log] { log.push_back(2); });
+  });
+  eng.run();
+  EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(ParallelEngine, PostBelowWidenedLookaheadThrows) {
+  ParallelSimulator eng{3, 1, SimTime::us(1)};
+  eng.set_lookahead(0, 2, SimTime::us(3));
+  eng.region(0).schedule_at(SimTime::us(1), [&] {
+    // +2us clears the scalar floor but not the widened 0->2 channel.
+    eng.post(2, SimTime::us(3), [] {});
+  });
+  EXPECT_THROW(eng.run(), CheckError);
+}
+
+TEST(ParallelEngine, LookaheadMatrixRejectsBadEntries) {
+  ParallelSimulator eng{3, 1, SimTime::us(2)};
+  EXPECT_THROW(eng.set_lookahead(0, 1, SimTime::us(1)), CheckError);  // < floor
+  EXPECT_THROW(eng.set_lookahead(1, 1, SimTime::us(2)), CheckError);  // src==dst
+}
+
+TEST(ParallelEngine, QuietSuperStepsCoalesceIntoOneWindow) {
+  // Two regions running purely local event chains: no mailbox lane is ever
+  // pending, so only the first super-step costs a real window — the rest
+  // merge into it and are counted separately.
+  ParallelSimulator eng{2, 1, SimTime::us(1)};
+  for (int r = 0; r < 2; ++r) {
+    for (int t = 1; t <= 10; ++t) {
+      eng.region(r).schedule_at(SimTime::us(t), [] {});
+    }
+  }
+  eng.run();
+  EXPECT_EQ(eng.dispatched(), 20u);
+  EXPECT_EQ(eng.stats().cross_region_events, 0u);
+  EXPECT_EQ(eng.stats().windows, 1u);
+  EXPECT_GT(eng.stats().coalesced_windows, 0u);
 }
 
 // -------------------------------------------------------- partition map
@@ -204,6 +253,19 @@ TEST(MeshPartition, RegionCountIsClampedToColumns) {
   EXPECT_EQ(part.regions(), 6);  // one band per column at most
   const MeshPartition one{MeshLayout{}, 1};
   EXPECT_EQ(one.region_of_core(47), 0);
+}
+
+TEST(MeshPartition, BandDistanceIsTheColumnGap) {
+  const MeshPartition part{MeshLayout{}, 3};  // 6 columns -> bands of 2
+  EXPECT_EQ(part.band_distance(0, 0), 0);
+  EXPECT_EQ(part.band_distance(0, 1), 1);
+  EXPECT_EQ(part.band_distance(1, 0), 1);
+  EXPECT_EQ(part.band_distance(0, 2), 3);
+  EXPECT_EQ(part.band_distance(2, 0), 3);
+  // Adjacent bands sit at the scalar floor; distant bands are wider.
+  const SimTime hop = SimTime::ns(4);
+  EXPECT_EQ(part.lookahead(hop, 0, 1), part.lookahead(hop));
+  EXPECT_EQ(part.lookahead(hop, 0, 2), SimTime::ns(12));
 }
 
 // ---------------------------------------------------- traffic equivalence
@@ -332,10 +394,17 @@ void expect_sim_jobs_invariant(RunConfig cfg) {
     expect_run_identical(serial, r, "sim_jobs=" + std::to_string(jobs));
     EXPECT_TRUE(r.parallel_sim.enabled);
     EXPECT_EQ(r.parallel_sim.sim_jobs, std::min(jobs, r.parallel_sim.regions));
-    // The walkthrough model is fabric-confined to the host region, so the
-    // whole run drains in a single window with no cross-region traffic.
-    EXPECT_EQ(r.parallel_sim.windows, 1u);
-    EXPECT_EQ(r.parallel_sim.cross_region_events, 0u);
+    // The walkthrough is region-native: chip work executes at the region
+    // owning its tile, so a partitioned run must actually cross regions
+    // and drain in many barrier windows — the byte-identity above is only
+    // meaningful if the engine genuinely ran concurrent regions. At two
+    // regions a small placement can legitimately fit inside one band
+    // (zero crossings is then correct, and cheap); from four regions up
+    // the stage chain always straddles a boundary.
+    if (jobs >= 4) {
+      EXPECT_GT(r.parallel_sim.windows, 1u) << "jobs=" << jobs;
+      EXPECT_GT(r.parallel_sim.cross_region_events, 0u) << "jobs=" << jobs;
+    }
   }
 }
 
@@ -377,6 +446,26 @@ TEST(WalkthroughEquivalence, ChaosBurstLossOverloadByteIdentical) {
   cfg.overload.window = 4;
   cfg.overload.queue_depth = 4;
   expect_sim_jobs_invariant(cfg);
+}
+
+TEST(WalkthroughEquivalence, MoreRegionsThanOccupiedTilesDegradesGracefully) {
+  // Metamorphic: a one-pipeline walkthrough occupies a handful of tiles,
+  // yet we ask for far more bands than the mesh has columns. Regions that
+  // own no stage tiles must not change the outcome — the run stays
+  // bit-identical to serial — and they generate no work of their own; they
+  // only show up as idle regions in the window accounting.
+  RunConfig cfg;
+  cfg.scenario = Scenario::SingleRenderer;
+  cfg.pipelines = 1;
+  cfg.sim_jobs = 1;
+  const RunResult serial = run_walkthrough(shared_scene(), shared_trace(), cfg);
+  RunConfig wide = cfg;
+  wide.sim_jobs = 64;  // clamped to one band per column
+  const RunResult r = run_walkthrough(shared_scene(), shared_trace(), wide);
+  expect_run_identical(serial, r, "sim_jobs=64");
+  EXPECT_EQ(r.parallel_sim.regions, 6);  // the SCC mesh is 6 columns wide
+  EXPECT_GT(r.parallel_sim.windows, 1u);
+  EXPECT_GT(r.parallel_sim.idle_region_windows, 0u);
 }
 
 }  // namespace

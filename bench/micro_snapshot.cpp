@@ -1,0 +1,93 @@
+// Microbenchmarks of the crash-durability layer: snapshot framing
+// (serialize + CRC), frame validation on read, and the atomic
+// write-then-rename to disk. The checkpoint interval a user can afford is
+// bounded by these costs — a checkpoint is pure host-side I/O with zero
+// simulated cost, but real wall-clock spent here throttles sweep
+// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "sccpipe/core/run_snapshot.hpp"
+#include "sccpipe/support/snapshot.hpp"
+
+namespace {
+
+using namespace sccpipe;
+
+std::vector<std::uint8_t> blob_of(std::size_t bytes) {
+  std::vector<std::uint8_t> b(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    b[i] = static_cast<std::uint8_t>(i * 131u + 7u);
+  }
+  return b;
+}
+
+RunSnapshot sample_snapshot(std::size_t state_bytes) {
+  RunSnapshot snap;
+  snap.config_fingerprint = 0x0123456789abcdefull;
+  snap.frames_delivered = 200;
+  snap.sim_now_ns = 1'500'000'000;
+  snap.crashes_consumed = 1;
+  snap.state = blob_of(state_bytes);
+  return snap;
+}
+
+// Framing throughput: payload build + header + CRC over the state blob.
+// A walkthrough component blob is a few hundred bytes; the larger sizes
+// chart how the CRC scales if future PRs checkpoint bulkier state.
+void BM_SnapshotSerialize(benchmark::State& state) {
+  const RunSnapshot snap =
+      sample_snapshot(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serialize_run_snapshot(snap));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SnapshotSerialize)->Arg(256)->Arg(4096)->Arg(65536);
+
+// Validation cost on the resume path: magic/version/length checks plus a
+// full-payload CRC before a single field is parsed.
+void BM_SnapshotParseValidate(benchmark::State& state) {
+  const std::vector<std::uint8_t> framed = serialize_run_snapshot(
+      sample_snapshot(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    RunSnapshot out;
+    const Status st = parse_run_snapshot(framed, &out);
+    benchmark::DoNotOptimize(st.ok());
+    benchmark::DoNotOptimize(out.state.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SnapshotParseValidate)->Arg(256)->Arg(4096)->Arg(65536);
+
+// The per-checkpoint disk cost: tmp write + fsync-free rename publish.
+void BM_SnapshotAtomicWrite(benchmark::State& state) {
+  const std::string path = "/tmp/sccpipe_bench_snapshot.snap";
+  const std::vector<std::uint8_t> framed = serialize_run_snapshot(
+      sample_snapshot(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    const Status st = snapshot::write_file_atomic(path, framed);
+    benchmark::DoNotOptimize(st.ok());
+  }
+  std::remove(path.c_str());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SnapshotAtomicWrite)->Arg(256)->Arg(65536);
+
+// Fingerprint of a full run configuration — computed once per run; here
+// to keep it honest (it mixes every trajectory-shaping field).
+void BM_ConfigFingerprint(benchmark::State& state) {
+  RunConfig cfg;
+  cfg.fault.core_failures.push_back({5, SimTime::ms(100)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_config_fingerprint(cfg));
+  }
+}
+BENCHMARK(BM_ConfigFingerprint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

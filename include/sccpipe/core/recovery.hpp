@@ -30,6 +30,8 @@
 #include "sccpipe/noc/topology.hpp"
 #include "sccpipe/scc/chip.hpp"
 #include "sccpipe/sim/fault.hpp"
+#include "sccpipe/support/snapshot.hpp"
+#include "sccpipe/support/status.hpp"
 #include "sccpipe/support/time.hpp"
 
 namespace sccpipe {
@@ -47,6 +49,16 @@ struct RecoveryConfig {
   /// spare-exhaustion tests.
   int max_spares = -1;
 };
+
+/// Parse-time validation of a recovery config (the CLI's counterpart of
+/// exec::validate_sim_jobs). Typed InvalidArgument when the heartbeat
+/// period is non-positive or when detection_deadline < 2 * heartbeat_period
+/// — below that bound a single heartbeat arriving one mesh transit late can
+/// be declared a death, so the watchdog would fire spuriously on healthy
+/// congested runs. The Supervisor constructor only CHECKs the weaker
+/// deadline > period invariant; callers parsing user flags should reject
+/// through here first so the failure is a typed error, not an abort.
+Status validate_recovery(const RecoveryConfig& cfg);
 
 /// One detected fail-stop failure and what recovery did about it.
 struct FailureRecord {
@@ -115,6 +127,14 @@ class Supervisor {
 
   std::uint64_t heartbeats_sent() const { return heartbeats_; }
   double heartbeat_bytes_total() const { return heartbeat_bytes_; }
+
+  /// Serialize the supervisor's mutable state: the watched set with its
+  /// last-heartbeat clocks, the liveness traffic tally and the stopped
+  /// flag. The pending tick event is not serialized — resume replays from
+  /// t=0, so the tick chain is re-created by start().
+  void save_state(snapshot::Writer& w) const;
+  /// Inverse of save_state(). Typed DataLoss/VersionSkew from the reader.
+  Status restore_state(snapshot::Reader& r);
 
  private:
   struct Watched {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "sccpipe/support/rng.hpp"
+#include "sccpipe/support/snapshot.hpp"
 #include "sccpipe/support/status.hpp"
 #include "sccpipe/support/time.hpp"
 
@@ -81,6 +82,10 @@ enum class FaultKind : std::uint8_t {
                   ///< successors (delivered out of order)
   HostDuplicate,  ///< decision record: a host datagram was delivered twice
   HostBurstDrop,  ///< decision record: lost in a burst-loss (bad) state
+  CrashAt,        ///< process fate: the host process dies at a planned
+                  ///< instant (crash-at=<time>; executed by the run driver,
+                  ///< never entering the schedule or the trace — see
+                  ///< FaultPlan::crashes)
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -153,6 +158,17 @@ struct FaultPlan {
   /// each occurrence appends one entry).
   std::vector<CoreFailure> core_failures;
 
+  /// Planned *process* deaths ("crash-at=<time>", repeatable): the run
+  /// driver stops dispatching at the first armed instant and the CLI exits
+  /// as if the host process had been killed — the in-tree stand-in for a
+  /// real SIGKILL in the crash/resume tests. Deliberately a config-only key
+  /// (it does not flip enabled()): a crash is not a simulated fault, it
+  /// must neither attach the fault layer nor perturb any RNG stream or the
+  /// fingerprint, or a resumed run could not be byte-identical to an
+  /// uninterrupted one. A resume disarms the crashes the previous attempts
+  /// already consumed (see CheckpointConfig in core/walkthrough.hpp).
+  std::vector<SimTime> crashes;
+
   /// True when any fault class is active; a disabled plan is guaranteed to
   /// leave the simulation bit-identical to one with no fault layer at all.
   /// Derived from the same field table the parser uses, so a newly added
@@ -167,8 +183,8 @@ struct FaultPlan {
   /// duplicate=<rate>[:<time>], burst-loss=<enter>:<exit>[:<loss>],
   /// link-degrade=<n>:<factor>, link-down=<n>,
   /// router-degrade=<n>:<factor>, mc-degrade=<n>:<factor>,
-  /// mc-stall=<n>, core-fail=<core>@<time>, horizon=<time>, window=<time>,
-  /// seed=<n>.
+  /// mc-stall=<n>, core-fail=<core>@<time>, crash-at=<time>,
+  /// horizon=<time>, window=<time>, seed=<n>.
   Status parse(const std::string& text);
 };
 
@@ -261,6 +277,17 @@ class FaultInjector {
   std::uint64_t host_reorders() const { return host_reorders_; }
   std::uint64_t host_duplicates() const { return host_duplicates_; }
   std::uint64_t host_burst_drops() const { return host_burst_drops_; }
+
+  // --- checkpoint hooks ---------------------------------------------------
+  /// Serialize the injector's mutable state — both message-fate RNG
+  /// streams, every decision counter, the burst-loss channel state and the
+  /// full decision trace. The eager window schedule is *not* serialized: it
+  /// is a pure function of the plan and is rebuilt identically on resume.
+  void save_state(snapshot::Writer& w) const;
+  /// Inverse of save_state(); a restored injector continues the exact
+  /// decision sequence (and fingerprint) the saved one would have produced.
+  /// Typed DataLoss/VersionSkew errors surface from the reader.
+  Status restore_state(snapshot::Reader& r);
 
  private:
   SimTime available_after(FaultKind kind, int target, SimTime at) const;

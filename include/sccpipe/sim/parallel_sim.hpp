@@ -58,12 +58,15 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "sccpipe/sim/simulator.hpp"
+#include "sccpipe/support/status.hpp"
 #include "sccpipe/support/time.hpp"
 
 namespace sccpipe {
@@ -80,6 +83,40 @@ struct ParallelSimStats {
   /// its bound — the idle-stall count of a lopsided partition.
   std::uint64_t idle_region_windows = 0;
   std::uint64_t peak_mailbox = 0;        ///< largest single-barrier merge
+};
+
+/// Tuning for the stall watchdog. Both limits are *event and window
+/// counts*, never wall time, so a triggered (or untriggered) watchdog is
+/// bit-identical at every worker count — the detection itself obeys the
+/// engine's determinism contract.
+struct WatchdogConfig {
+  /// A region executing more than this many consecutive events without its
+  /// clock advancing is declared livelocked (the signature of a zero-delay
+  /// self-reschedule cycle — the one hang mode a conservative engine with
+  /// positive lookahead can actually reach, since time inside one window
+  /// can stop advancing even though the window bound is finite).
+  std::uint64_t max_events_per_timestamp = 10'000'000;
+  /// Consecutive super-steps with no global-clock advance and no events
+  /// dispatched anywhere. Provably unreachable with lookahead > 0 (the
+  /// region owning the global minimum always has bound > next), so this is
+  /// a defensive backstop against a future bounds-computation bug.
+  std::uint64_t max_stagnant_windows = 10'000;
+  /// Super-step summaries retained for flight_recorder_dump().
+  std::size_t flight_recorder_depth = 16;
+};
+
+/// One super-step's summary in the watchdog flight recorder: the pre-drain
+/// queue snapshot (what the coordinator knew when it set the bounds) plus
+/// the post-drain cumulative dispatch counts.
+struct WindowRecord {
+  std::uint64_t step = 0;        ///< super-step index (windows + coalesced)
+  SimTime global_min{};          ///< earliest pending event at the snapshot
+  struct Region {
+    SimTime next{};              ///< region's earliest event, pre-drain
+    SimTime bound{};             ///< exclusive window bound it was given
+    std::uint64_t dispatched = 0;  ///< cumulative events after the drain
+  };
+  std::vector<Region> regions;
 };
 
 class ParallelSimulator {
@@ -159,6 +196,29 @@ class ParallelSimulator {
 
   const ParallelSimStats& stats() const { return stats_; }
 
+  // --- stall watchdog -----------------------------------------------------
+  /// Replace the watchdog limits (call before run()). The defaults are far
+  /// above anything a healthy model reaches; tests shrink them to trigger
+  /// detection quickly.
+  void set_watchdog(const WatchdogConfig& cfg) { watchdog_ = cfg; }
+  const WatchdogConfig& watchdog() const { return watchdog_; }
+
+  /// Ok while the engine is healthy. DeadlineExceeded once a run() stopped
+  /// because a region livelocked at one timestamp or the window coordinator
+  /// stagnated — instead of hanging, run()/run_until() return early and the
+  /// caller reads the verdict here (and the evidence from
+  /// flight_recorder_dump()). Sticky: a stalled engine stays stalled.
+  Status watchdog_status() const { return watchdog_status_; }
+
+  /// The last flight_recorder_depth super-step summaries, oldest first.
+  const std::deque<WindowRecord>& flight_recorder() const {
+    return flight_recorder_;
+  }
+  /// Human-readable rendering of the flight recorder — one block per
+  /// retained super-step with each region's {next, bound, dispatched} —
+  /// for logs and the CLI's stall diagnostics.
+  std::string flight_recorder_dump() const;
+
  private:
   struct Mail {
     int dst;
@@ -179,6 +239,11 @@ class ParallelSimulator {
   void run_step_parallel();
   void worker_loop(int worker);
   SimTime& lookahead_ref(int src, int dst);
+  /// Append this super-step's summary to the flight recorder (bounded).
+  void record_window(SimTime global_min);
+  /// Post-barrier stall checks; returns false (and latches
+  /// watchdog_status_) when the run must stop.
+  bool check_watchdog(SimTime global_min);
 
   std::vector<std::unique_ptr<Simulator>> regions_;
   /// outbox_[src]: mail posted by region src this window, in post order;
@@ -198,6 +263,18 @@ class ParallelSimulator {
   std::vector<SimTime> lookahead_matrix_;
   int jobs_;
   ParallelSimStats stats_;
+
+  // Watchdog state. stalled_[r] is written only by the thread draining
+  // region r and read by the coordinator after the barrier (which provides
+  // the happens-before edge), mirroring the caps_ discipline.
+  WatchdogConfig watchdog_;
+  std::vector<std::uint8_t> stalled_;
+  std::vector<SimTime> stalled_at_;      ///< timestamp region r spun on
+  Status watchdog_status_;
+  std::deque<WindowRecord> flight_recorder_;
+  std::uint64_t stagnant_windows_ = 0;
+  SimTime last_global_min_ = SimTime::max();
+  std::uint64_t last_dispatched_ = 0;
 
   // Barrier state for the persistent workers (jobs_ > 1 only).
   std::vector<std::thread> threads_;

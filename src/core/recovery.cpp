@@ -6,6 +6,23 @@
 
 namespace sccpipe {
 
+Status validate_recovery(const RecoveryConfig& cfg) {
+  if (cfg.heartbeat_period <= SimTime::zero()) {
+    return Status(StatusCode::InvalidArgument,
+                  "--heartbeat-ms must be positive, got " +
+                      std::to_string(cfg.heartbeat_period.to_ms()) + " ms");
+  }
+  if (cfg.detection_deadline < cfg.heartbeat_period + cfg.heartbeat_period) {
+    return Status(
+        StatusCode::InvalidArgument,
+        "--detect-ms (" + std::to_string(cfg.detection_deadline.to_ms()) +
+            " ms) must be at least twice --heartbeat-ms (" +
+            std::to_string(cfg.heartbeat_period.to_ms()) +
+            " ms), or one late heartbeat is declared a core death");
+  }
+  return Status();
+}
+
 Supervisor::Supervisor(SccChip& chip, const FaultInjector& fault,
                        RecoveryConfig cfg, CoreId monitor_core)
     : chip_(chip), fault_(fault), cfg_(cfg), monitor_(monitor_core) {
@@ -109,6 +126,41 @@ void Supervisor::tick() {
 
   tick_event_ =
       chip_.sim().schedule_after(cfg_.heartbeat_period, [this] { tick(); });
+}
+
+void Supervisor::save_state(snapshot::Writer& w) const {
+  w.u32(stopped_ ? 1 : 0);
+  w.u64(heartbeats_);
+  w.f64(heartbeat_bytes_);
+  w.u64(watched_.size());
+  for (const Watched& watched : watched_) {
+    w.i64(watched.core);
+    w.i64(watched.last_heartbeat.to_ns());
+  }
+}
+
+Status Supervisor::restore_state(snapshot::Reader& r) {
+  std::uint32_t stopped = 0;
+  std::uint64_t heartbeats = 0, n = 0;
+  double bytes = 0.0;
+  if (Status s = r.u32(&stopped); !s.ok()) return s;
+  if (Status s = r.u64(&heartbeats); !s.ok()) return s;
+  if (Status s = r.f64(&bytes); !s.ok()) return s;
+  if (Status s = r.u64(&n); !s.ok()) return s;
+  std::vector<Watched> watched;
+  watched.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::int64_t core = 0, last_ns = 0;
+    if (Status s = r.i64(&core); !s.ok()) return s;
+    if (Status s = r.i64(&last_ns); !s.ok()) return s;
+    watched.push_back(
+        Watched{static_cast<CoreId>(core), SimTime::ns(last_ns)});
+  }
+  stopped_ = stopped != 0;
+  heartbeats_ = heartbeats;
+  heartbeat_bytes_ = bytes;
+  watched_ = std::move(watched);
+  return Status();
 }
 
 }  // namespace sccpipe

@@ -1,0 +1,137 @@
+#include "sccpipe/core/run_snapshot.hpp"
+
+namespace sccpipe {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+struct Fnv {
+  std::uint64_t h = kFnvOffset;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= kFnvPrime;
+    }
+  }
+  void mix_i(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix_d(double v) {
+    // Scaled fixed-point, matching FaultInjector::fingerprint's treatment
+    // of factors: bit-stable without depending on FP bit patterns.
+    mix_i(static_cast<std::int64_t>(v * 1e9));
+  }
+  void mix_t(SimTime t) { mix_i(t.to_ns()); }
+};
+
+}  // namespace
+
+std::uint64_t run_config_fingerprint(const RunConfig& cfg) {
+  Fnv f;
+  f.mix(static_cast<std::uint64_t>(cfg.scenario));
+  f.mix(static_cast<std::uint64_t>(cfg.arrangement));
+  f.mix(static_cast<std::uint64_t>(cfg.platform));
+  f.mix_d(cfg.overrides.link_bandwidth_bytes_per_sec);
+  f.mix_d(cfg.overrides.mc_bandwidth_bytes_per_sec);
+  f.mix_d(cfg.overrides.core_copy_rate_bytes_per_sec);
+  f.mix(cfg.overrides.quad_tile_voltage_domains ? 1 : 0);
+  f.mix_i(cfg.pipelines);
+  f.mix_i(cfg.blur_mhz);
+  f.mix_i(cfg.tail_mhz);
+  f.mix(cfg.isolate_blur_tile ? 1 : 0);
+  f.mix(cfg.functional ? 1 : 0);
+  f.mix(cfg.seed);
+
+  const FaultPlan& p = cfg.fault;
+  f.mix(p.seed);
+  f.mix_t(p.horizon);
+  f.mix_t(p.window);
+  f.mix_d(p.rcce_drop_rate);
+  f.mix_d(p.rcce_delay_rate);
+  f.mix_t(p.rcce_delay);
+  f.mix_d(p.rcce_corrupt_rate);
+  f.mix_d(p.host_drop_rate);
+  f.mix_d(p.host_delay_rate);
+  f.mix_t(p.host_delay);
+  f.mix_d(p.host_corrupt_rate);
+  f.mix_d(p.host_reorder_rate);
+  f.mix_t(p.host_reorder_delay);
+  f.mix_d(p.host_duplicate_rate);
+  f.mix_t(p.host_duplicate_lag);
+  f.mix_d(p.burst_enter_rate);
+  f.mix_d(p.burst_exit_rate);
+  f.mix_d(p.burst_loss_rate);
+  f.mix_i(p.link_degrade_count);
+  f.mix_d(p.link_degrade_factor);
+  f.mix_i(p.link_down_count);
+  f.mix_i(p.router_degrade_count);
+  f.mix_d(p.router_degrade_factor);
+  f.mix_i(p.mc_degrade_count);
+  f.mix_d(p.mc_degrade_factor);
+  f.mix_i(p.mc_stall_count);
+  f.mix(p.core_failures.size());
+  for (const CoreFailure& cf : p.core_failures) {
+    f.mix_i(cf.core);
+    f.mix_t(cf.at);
+  }
+  // p.crashes deliberately unmixed (see the header).
+
+  const RecoveryConfig& rc = cfg.recovery;
+  f.mix_t(rc.heartbeat_period);
+  f.mix_t(rc.detection_deadline);
+  f.mix_d(rc.heartbeat_bytes);
+  f.mix_i(rc.max_spares);
+
+  const OverloadConfig& oc = cfg.overload;
+  f.mix_d(oc.offered_fps);
+  f.mix_i(oc.window);
+  f.mix_i(oc.queue_depth);
+  f.mix_t(oc.frame_deadline);
+  f.mix_i(oc.breaker_threshold);
+  f.mix_t(oc.breaker_cooldown);
+
+  const RetryPolicy& rp = cfg.rcce.retry;
+  f.mix_i(rp.max_attempts);
+  f.mix_t(rp.timeout);
+  f.mix_t(rp.backoff);
+  f.mix_d(rp.backoff_factor);
+  f.mix_t(rp.max_backoff);
+  f.mix_t(rp.deadline);
+  return f.h;
+}
+
+std::vector<std::uint8_t> serialize_run_snapshot(const RunSnapshot& snap) {
+  snapshot::Writer w;
+  w.u64(snap.config_fingerprint);
+  w.u64(snap.frames_delivered);
+  w.i64(snap.sim_now_ns);
+  w.u32(snap.crashes_consumed);
+  w.bytes(snap.state.data(), snap.state.size());
+  return w.finish();
+}
+
+Status parse_run_snapshot(const std::vector<std::uint8_t>& framed,
+                          RunSnapshot* out) {
+  snapshot::Reader r;
+  if (Status s = r.open(framed); !s.ok()) return s;
+  RunSnapshot snap;
+  if (Status s = r.u64(&snap.config_fingerprint); !s.ok()) return s;
+  if (Status s = r.u64(&snap.frames_delivered); !s.ok()) return s;
+  if (Status s = r.i64(&snap.sim_now_ns); !s.ok()) return s;
+  if (Status s = r.u32(&snap.crashes_consumed); !s.ok()) return s;
+  if (Status s = r.bytes(&snap.state); !s.ok()) return s;
+  if (!r.at_end()) {
+    return Status(StatusCode::DataLoss,
+                  "snapshot has trailing bytes past the last field");
+  }
+  *out = std::move(snap);
+  return Status();
+}
+
+Status load_run_snapshot(const std::string& path, RunSnapshot* out) {
+  std::vector<std::uint8_t> framed;
+  if (Status s = snapshot::read_file(path, &framed); !s.ok()) return s;
+  return parse_run_snapshot(framed, out);
+}
+
+}  // namespace sccpipe

@@ -6,12 +6,14 @@
 #include <set>
 #include <utility>
 
+#include "sccpipe/core/run_snapshot.hpp"
 #include "sccpipe/filters/filters.hpp"
 #include "sccpipe/noc/fabric.hpp"
 #include "sccpipe/noc/mesh.hpp"
 #include "sccpipe/noc/partition.hpp"
 #include "sccpipe/sim/parallel_sim.hpp"
 #include "sccpipe/support/check.hpp"
+#include "sccpipe/support/snapshot.hpp"
 
 namespace sccpipe {
 
@@ -147,10 +149,28 @@ class WalkthroughSim {
     apply_dvfs();
     build_channels_and_stages();
     build_supervisor();
+    crash_plan_ = cfg_.fault.crashes;
+    std::sort(crash_plan_.begin(), crash_plan_.end());
+    config_fp_ = run_config_fingerprint(cfg_);
   }
 
   RunResult run() {
+    // Cores are allocated before the resume gate: collect() and the chip
+    // teardown both expect an allocated placement even when the resume
+    // snapshot turns out to be unusable and the engine never runs.
     allocate_cores();
+    if (cfg_.checkpoint.resume && !load_resume()) return collect();
+    // Arm the first planned crash this attempt has not consumed. The crash
+    // is a *process* fate executed here in the driver: dispatch simply
+    // stops at the armed instant (events at exactly T still run, matching
+    // run_until semantics), as if the host process had been killed. It
+    // never touches the fault layer, so the dispatched prefix — and every
+    // checkpoint written before T — is byte-identical to the uninterrupted
+    // run's.
+    const SimTime crash_at =
+        crashes_disarmed_ < crash_plan_.size()
+            ? crash_plan_[crashes_disarmed_]
+            : SimTime::max();
     if (supervisor_) {
       supervisor_->start([this](CoreId core, SimTime detected_at) {
         handle_core_failure(core, detected_at);
@@ -159,7 +179,24 @@ class WalkthroughSim {
     start_producer();
     start_filter_stages();
     start_transfer();
-    engine_.run();
+    on_run_start();
+    if (crash_at == SimTime::max()) {
+      engine_.run();
+    } else {
+      engine_.run_until(crash_at);
+      // Work left beyond the crash instant means the run was cut short; a
+      // walkthrough that legitimately finished before T drains to empty
+      // and never counts as crashed.
+      if (engine_.pending() > 0) {
+        crashed_ = true;
+        crashed_at_ = crash_at;
+      }
+    }
+    if (const Status ws = engine_.watchdog_status(); !ws.ok()) {
+      // The engine refused to hang; surface the typed verdict as the run's
+      // failure so callers see DeadlineExceeded, not a mysterious short run.
+      on_fault("parallel engine watchdog", ws);
+    }
     return collect();
   }
 
@@ -347,6 +384,11 @@ class WalkthroughSim {
           if (cfg_.functional && tok.image) {
             out_frames_.push_back(*tok.image);
           }
+          // Frame boundary: the one instant where host-side run state is
+          // both quiescent enough and host-region-confined, so a snapshot
+          // captured here is identical at every --sim-jobs value. Pure
+          // host I/O — zero simulated cost, no CSV impact.
+          if (cfg_.checkpoint.enabled()) on_frame_boundary(at);
         });
     if (fault_) viewer_ch->set_fault(fault_.get(), cfg_.rcce.retry);
     viewer_wire_ = viewer_ch.get();
@@ -1418,15 +1460,206 @@ class WalkthroughSim {
     });
   }
 
+  // ---------------------------------------------------------- checkpoints
+  /// First checkpoint-layer failure wins in the report; every one also
+  /// fails the run through the ordinary fault path so a broken resume or
+  /// write surfaces as a typed, graceful failure, never a wrong CSV.
+  void checkpoint_fault(const std::string& where, const Status& st) {
+    if (ckpt_.error_code == StatusCode::Ok) {
+      ckpt_.error_code = st.code();
+      ckpt_.error = st.message();
+    }
+    on_fault(where, st);
+  }
+
+  /// Load + validate the resume snapshot. Returns false (run failed, typed
+  /// NotFound/DataLoss/VersionSkew/InvalidArgument) when the file is
+  /// missing, corrupt, from another format version, or from a different
+  /// run configuration.
+  bool load_resume() {
+    ckpt_.resumed = true;
+    Status st = load_run_snapshot(cfg_.checkpoint.file, &resume_snap_);
+    if (st.ok() && resume_snap_.config_fingerprint != config_fp_) {
+      st = Status(StatusCode::InvalidArgument,
+                  "snapshot '" + cfg_.checkpoint.file +
+                      "' was written by a different run configuration "
+                      "(config fingerprint mismatch)");
+    }
+    if (!st.ok()) {
+      checkpoint_fault("resume", st);
+      return false;
+    }
+    have_resume_ = true;
+    crashes_disarmed_ = std::min<std::size_t>(
+        static_cast<std::size_t>(resume_snap_.crashes_consumed) + 1,
+        crash_plan_.size());
+    return true;
+  }
+
+  /// Everything save_state-capable plus the host-side frame/ledger
+  /// cursors, serialized in one fixed order. Captured at a viewer-arrival
+  /// event, all of it is host-region-confined, so the bytes are identical
+  /// at every --sim-jobs value — which is what lets a snapshot taken under
+  /// one worker count anchor a resume under another.
+  std::vector<std::uint8_t> component_blob(std::uint64_t frames, SimTime at) {
+    snapshot::Writer w;
+    w.u64(frames);
+    w.i64(at.to_ns());
+    w.u32(fault_ != nullptr ? 1 : 0);
+    if (fault_) fault_->save_state(w);
+    w.u32(breaker_ != nullptr ? 1 : 0);
+    if (breaker_) breaker_->save_state(w);
+    w.u32(host_arq_ != nullptr ? 1 : 0);
+    if (host_arq_) host_arq_->transport().save_state(w);
+    w.u32(supervisor_ != nullptr ? 1 : 0);
+    if (supervisor_) supervisor_->save_state(w);
+    // Live frame ledger (overload runs tally as they go).
+    w.u64(transport_tally_.frames_offered);
+    w.u64(transport_tally_.frames_admitted);
+    w.u64(transport_tally_.shed_admission);
+    w.u64(transport_tally_.shed_deadline);
+    w.u64(transport_tally_.shed_transport);
+    w.u64(transport_tally_.shed_breaker);
+    // Recovery progress counters.
+    w.i64(recovery_.failures_detected);
+    w.i64(recovery_.failures_recovered);
+    w.i64(recovery_.frames_replayed);
+    w.i64(recovery_.spares_used);
+    w.i64(recovery_.pipelines_lost);
+    w.u64(recovery_.checkpoint_writes);
+    w.u64(recovery_.checkpoint_replays);
+    w.f64(recovery_.checkpoint_bytes);
+    // Host-side distribution/collection cursors.
+    w.i64(connect_frames_);
+    w.i64(transfer_frame_);
+    w.i64(connect_expected_);
+    w.i64(max_feeder_q_);
+    w.u64(lost_frames_.size());
+    for (const int f : lost_frames_) w.i64(f);
+    w.u64(pipeline_gen_.size());
+    for (const int g : pipeline_gen_) w.i64(g);
+    w.u64(acked_.size());
+    for (const int a : acked_) w.i64(a);
+    w.u64(cores_now_.size());
+    for (const auto& cores : cores_now_) {
+      w.u64(cores.size());
+      for (const CoreId c : cores) w.i64(c);
+    }
+    return w.payload();
+  }
+
+  void write_checkpoint(std::uint64_t frames, SimTime at) {
+    RunSnapshot snap;
+    snap.config_fingerprint = config_fp_;
+    snap.frames_delivered = frames;
+    snap.sim_now_ns = at.to_ns();
+    snap.crashes_consumed = static_cast<std::uint32_t>(crashes_disarmed_);
+    snap.state = component_blob(frames, at);
+    const Status st = snapshot::write_file_atomic(
+        cfg_.checkpoint.file, serialize_run_snapshot(snap));
+    if (!st.ok()) {
+      checkpoint_fault("checkpoint write", st);
+      return;
+    }
+    ++ckpt_.checkpoints_written;
+    ckpt_.last_checkpoint_frames = frames;
+  }
+
+  /// Frame-0 bootstrap, run after the stages are wired but before any
+  /// event dispatches. Writing a checkpoint here closes the one durability
+  /// hole interval checkpointing leaves: a crash landing *before* the first
+  /// periodic write would otherwise leave no snapshot — and since the
+  /// snapshot carries this attempt's disarm count, no progress through the
+  /// crash plan. With it, every attempt disarms one more crash no matter
+  /// where the crash falls relative to the checkpoint interval. A frame-0
+  /// resume anchor is verified at the same point, keeping write and verify
+  /// symmetric.
+  void on_run_start() {
+    if (failed_ || !cfg_.checkpoint.enabled()) return;
+    if (have_resume_ && !resume_checked_ &&
+        resume_snap_.frames_delivered == 0) {
+      resume_checked_ = true;
+      if (resume_snap_.sim_now_ns != 0 ||
+          component_blob(0, SimTime::zero()) != resume_snap_.state) {
+        checkpoint_fault(
+            "resume verify",
+            Status(StatusCode::DataLoss,
+                   "initial state diverged from snapshot '" +
+                       cfg_.checkpoint.file +
+                       "': the snapshot was written by a different build or "
+                       "environment"));
+        return;
+      }
+      ckpt_.resume_verified = true;
+    }
+    if (cfg_.checkpoint.every_frames > 0) {
+      write_checkpoint(0, SimTime::zero());
+    }
+  }
+
+  void on_frame_boundary(SimTime at) {
+    if (failed_) return;
+    const std::uint64_t frames =
+        static_cast<std::uint64_t>(frame_done_ms_.size());
+    // Resume verification anchor: when the replay reaches the snapshot's
+    // frame count, the live state must reproduce the stored blob exactly.
+    // A match proves the run is on the recorded trajectory; a mismatch
+    // means the build/config/environment drifted and continuing would
+    // produce silently different results — typed DataLoss instead.
+    if (have_resume_ && !resume_checked_ &&
+        frames == resume_snap_.frames_delivered) {
+      resume_checked_ = true;
+      if (at.to_ns() != resume_snap_.sim_now_ns ||
+          component_blob(frames, at) != resume_snap_.state) {
+        checkpoint_fault(
+            "resume verify",
+            Status(StatusCode::DataLoss,
+                   "deterministic replay diverged from snapshot '" +
+                       cfg_.checkpoint.file + "' at frame " +
+                       std::to_string(frames) +
+                       ": the snapshot was written by a different build or "
+                       "environment"));
+        return;
+      }
+      ckpt_.resume_verified = true;
+    }
+    if (cfg_.checkpoint.every_frames > 0 &&
+        frames % static_cast<std::uint64_t>(cfg_.checkpoint.every_frames) ==
+            0) {
+      write_checkpoint(frames, at);
+    }
+  }
+
+  void collect_checkpoint_report(RunResult& r) {
+    r.checkpoint = ckpt_;
+    r.checkpoint.enabled = cfg_.checkpoint.enabled() || !crash_plan_.empty();
+    r.checkpoint.crashed = crashed_;
+    r.checkpoint.crashed_at_ms = crashed_ ? crashed_at_.to_ms() : 0.0;
+    r.checkpoint.crashes_consumed =
+        static_cast<std::uint32_t>(crashes_disarmed_);
+    if (have_resume_ && !resume_checked_ && !failed_ && !crashed_ &&
+        r.checkpoint.error_code == StatusCode::Ok) {
+      // The replay drained without ever reaching the snapshot's frame
+      // count — the snapshot records more progress than this configuration
+      // can produce, which the fingerprint cannot always catch.
+      r.checkpoint.error_code = StatusCode::DataLoss;
+      r.checkpoint.error =
+          "replay completed at " + std::to_string(frame_done_ms_.size()) +
+          " frames without reaching the snapshot's " +
+          std::to_string(resume_snap_.frames_delivered);
+    }
+  }
+
   // -------------------------------------------------------------- results
   RunResult collect() {
     RunResult r;
     // A fault-free run must always complete; a faulted run may legitimately
     // end early (graceful failure, reported below), a degraded self-healing
-    // run delivers everything except the explicitly-lost frames, and an
+    // run delivers everything except the explicitly-lost frames, a crashed
+    // run stopped dispatching at its planned death by design, and an
     // overload run sheds by design — its completeness invariant is the
     // frame ledger checked in collect_transport_report.
-    SCCPIPE_CHECK_MSG(failed_ || overload_mode_ ||
+    SCCPIPE_CHECK_MSG(failed_ || crashed_ || overload_mode_ ||
                           static_cast<int>(frame_done_ms_.size()) +
                                   static_cast<int>(lost_frames_.size()) ==
                               frames_total(),
@@ -1529,6 +1762,12 @@ class WalkthroughSim {
     r.parallel_sim.coalesced_windows = engine_.stats().coalesced_windows;
     r.parallel_sim.cross_region_events = engine_.stats().cross_region_events;
     r.parallel_sim.idle_region_windows = engine_.stats().idle_region_windows;
+    if (const Status ws = engine_.watchdog_status(); !ws.ok()) {
+      r.parallel_sim.stalled = true;
+      r.parallel_sim.stall = ws.message();
+      r.parallel_sim.flight_recorder = engine_.flight_recorder_dump();
+    }
+    collect_checkpoint_report(r);
     return r;
   }
 
@@ -1556,7 +1795,9 @@ class WalkthroughSim {
     t.enabled = overload_mode_;
     if (!overload_mode_) return;
     t.frames_delivered = static_cast<std::uint64_t>(frame_done_ms_.size());
-    if (!failed_) {
+    // A crashed run's ledger is legitimately torn mid-flight (frames were
+    // admitted but never delivered/shed); only intact runs must balance.
+    if (!failed_ && !crashed_) {
       SCCPIPE_CHECK_MSG(
           t.frames_offered ==
               t.frames_admitted + t.shed_admission + t.shed_breaker,
@@ -1735,6 +1976,18 @@ class WalkthroughSim {
   std::set<int> lost_frames_;
   std::map<int, std::vector<int>> frame_routes_;
   double first_detect_ms_ = -1.0;
+
+  // ---- checkpoint / crash state (inert unless cfg_.checkpoint or a
+  //      crash-at fate is active) ----
+  std::vector<SimTime> crash_plan_;  // planned process deaths, sorted
+  std::uint64_t config_fp_ = 0;
+  CheckpointReport ckpt_;
+  RunSnapshot resume_snap_;
+  bool have_resume_ = false;
+  bool resume_checked_ = false;
+  bool crashed_ = false;
+  SimTime crashed_at_ = SimTime::zero();
+  std::size_t crashes_disarmed_ = 0;  // crash-at fates this attempt skips
 
   // Producer distribution progress (to resume a chain stalled on a dead
   // core) and the supervisor-mode transfer collector's cursor.

@@ -1,6 +1,7 @@
 #include "sccpipe/sim/parallel_sim.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "sccpipe/support/check.hpp"
 
@@ -42,6 +43,8 @@ ParallelSimulator::ParallelSimulator(int regions, int jobs, SimTime lookahead,
   next_.resize(static_cast<std::size_t>(regions), SimTime::max());
   bounds_.resize(static_cast<std::size_t>(regions), SimTime::max());
   caps_.resize(static_cast<std::size_t>(regions), SimTime::max());
+  stalled_.resize(static_cast<std::size_t>(regions), 0);
+  stalled_at_.resize(static_cast<std::size_t>(regions), SimTime::zero());
   lookahead_matrix_.resize(
       static_cast<std::size_t>(regions) * static_cast<std::size_t>(regions),
       lookahead);
@@ -198,7 +201,27 @@ void ParallelSimulator::drain_region(int r) {
   Simulator& sim = *regions_[i];
   // Step-wise drain re-reading the cap: a cross-region post made by the
   // event just executed shrinks it mid-window (round-trip guard above).
-  while (sim.next_event_time() < caps_[i]) sim.step();
+  // The same loop hosts the livelock watchdog: a zero-delay self-reschedule
+  // cycle keeps next_event_time() pinned at one timestamp forever, below
+  // any finite cap, so only an *event count* at an unchanged timestamp can
+  // see it. Counting events (not wall time) keeps detection deterministic.
+  SimTime last_ts = SimTime::max();
+  std::uint64_t events_at_ts = 0;
+  while (sim.next_event_time() < caps_[i]) {
+    const SimTime ts = sim.next_event_time();
+    if (ts == last_ts) {
+      if (++events_at_ts > watchdog_.max_events_per_timestamp) {
+        stalled_[i] = 1;
+        stalled_at_[i] = ts;
+        break;  // stop draining; the coordinator reads the verdict at the
+                // barrier and aborts the run with DeadlineExceeded
+      }
+    } else {
+      last_ts = ts;
+      events_at_ts = 1;
+    }
+    sim.step();
+  }
   t_ctx = ExecContext{};
 }
 
@@ -235,9 +258,90 @@ void ParallelSimulator::run_step_parallel() {
   cv_done_.wait(lock, [&] { return running_ == 0; });
 }
 
+void ParallelSimulator::record_window(SimTime global_min) {
+  WindowRecord rec;
+  rec.step = stats_.windows + stats_.coalesced_windows;
+  rec.global_min = global_min;
+  rec.regions.reserve(regions_.size());
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    rec.regions.push_back(
+        WindowRecord::Region{next_[r], bounds_[r], regions_[r]->dispatched()});
+  }
+  flight_recorder_.push_back(std::move(rec));
+  while (flight_recorder_.size() > watchdog_.flight_recorder_depth) {
+    flight_recorder_.pop_front();
+  }
+}
+
+bool ParallelSimulator::check_watchdog(SimTime global_min) {
+  for (std::size_t r = 0; r < stalled_.size(); ++r) {
+    if (stalled_[r] == 0) continue;
+    watchdog_status_ = Status(
+        StatusCode::DeadlineExceeded,
+        "parallel engine stalled: region " + std::to_string(r) +
+            " executed more than " +
+            std::to_string(watchdog_.max_events_per_timestamp) +
+            " events without its clock advancing past " +
+            stalled_at_[r].to_string() +
+            " (zero-delay self-reschedule cycle); flight recorder holds "
+            "the last " +
+            std::to_string(flight_recorder_.size()) + " windows");
+    return false;
+  }
+  const std::uint64_t now_dispatched = dispatched();
+  if (global_min == last_global_min_ && now_dispatched == last_dispatched_) {
+    if (++stagnant_windows_ > watchdog_.max_stagnant_windows) {
+      watchdog_status_ = Status(
+          StatusCode::DeadlineExceeded,
+          "parallel engine stalled: " +
+              std::to_string(stagnant_windows_) +
+              " consecutive windows dispatched nothing with the global "
+              "clock pinned at " +
+              global_min.to_string() + "; flight recorder holds the last " +
+              std::to_string(flight_recorder_.size()) + " windows");
+      return false;
+    }
+  } else {
+    stagnant_windows_ = 0;
+    last_global_min_ = global_min;
+    last_dispatched_ = now_dispatched;
+  }
+  return true;
+}
+
+std::string ParallelSimulator::flight_recorder_dump() const {
+  std::string out = "flight recorder (" +
+                    std::to_string(flight_recorder_.size()) +
+                    " windows, oldest first):\n";
+  for (const WindowRecord& rec : flight_recorder_) {
+    out += "  step " + std::to_string(rec.step) + " global_min=" +
+           (rec.global_min == SimTime::max() ? std::string("-")
+                                             : rec.global_min.to_string()) +
+           "\n";
+    for (std::size_t r = 0; r < rec.regions.size(); ++r) {
+      const WindowRecord::Region& reg = rec.regions[r];
+      out += "    region " + std::to_string(r) + ": next=" +
+             (reg.next == SimTime::max() ? std::string("-")
+                                         : reg.next.to_string()) +
+             " bound=" +
+             (reg.bound == SimTime::max() ? std::string("-")
+                                          : reg.bound.to_string()) +
+             " dispatched=" + std::to_string(reg.dispatched) + "\n";
+    }
+  }
+  return out;
+}
+
 SimTime ParallelSimulator::run() { return run_until(SimTime::max()); }
 
 SimTime ParallelSimulator::run_until(SimTime deadline) {
+  if (!watchdog_status_.ok()) {
+    // Sticky stall: a stalled engine refuses further dispatch so a caller
+    // that ignores the first verdict cannot re-enter the livelock.
+    SimTime latest = SimTime::zero();
+    for (const auto& r : regions_) latest = max(latest, r->now());
+    return latest;
+  }
   bool merged = flush_outboxes();  // environment posts, or leftovers
   bool first = true;
   for (;;) {
@@ -264,7 +368,9 @@ SimTime ParallelSimulator::run_until(SimTime deadline) {
     } else {
       run_step_parallel();
     }
+    record_window(global_min);
     merged = flush_outboxes();
+    if (!check_watchdog(global_min)) break;
   }
   SimTime latest = SimTime::zero();
   for (const auto& r : regions_) latest = max(latest, r->now());

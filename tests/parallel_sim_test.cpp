@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sccpipe/core/walkthrough.hpp"
@@ -446,6 +448,103 @@ TEST(WalkthroughEquivalence, ChaosBurstLossOverloadByteIdentical) {
   cfg.overload.window = 4;
   cfg.overload.queue_depth = 4;
   expect_sim_jobs_invariant(cfg);
+}
+
+// ---------------------------------------------------------- stall watchdog
+
+// A zero-delay self-reschedule cycle pins a region's clock: next_event_time
+// never passes the barrier cap, so without the watchdog run() spins forever.
+// With a shrunken event budget the engine must stop with a typed
+// DeadlineExceeded and a populated flight recorder instead of hanging.
+TEST(ParallelEngineWatchdog, ZeroDelayCycleTripsTypedDeadline) {
+  ParallelSimulator eng{2, 2, SimTime::us(1)};
+  WatchdogConfig wd;
+  wd.max_events_per_timestamp = 1000;
+  eng.set_watchdog(wd);
+  std::function<void()> spin;
+  std::uint64_t spins = 0;
+  spin = [&] {
+    ++spins;
+    eng.region(0).schedule_at(eng.region(0).now(), [&] { spin(); });
+  };
+  eng.region(0).schedule_at(SimTime::us(2), [&] { spin(); });
+  eng.region(1).schedule_at(SimTime::us(50), [] {});
+  eng.run();
+
+  const Status st = eng.watchdog_status();
+  EXPECT_EQ(st.code(), StatusCode::DeadlineExceeded) << st.to_string();
+  EXPECT_NE(st.message().find("region 0"), std::string::npos) << st.message();
+  // The budget bounds the wasted work: the cycle was cut off near the limit.
+  EXPECT_GE(spins, wd.max_events_per_timestamp);
+  EXPECT_LE(spins, wd.max_events_per_timestamp + 2);
+  // Flight recorder: non-empty, bounded, and renderable.
+  EXPECT_FALSE(eng.flight_recorder().empty());
+  EXPECT_LE(eng.flight_recorder().size(), wd.flight_recorder_depth);
+  const std::string dump = eng.flight_recorder_dump();
+  EXPECT_NE(dump.find("window"), std::string::npos);
+  // Sticky: further run() calls refuse to dispatch the poisoned region.
+  const std::uint64_t dispatched = eng.dispatched();
+  eng.run();
+  EXPECT_EQ(eng.dispatched(), dispatched);
+  EXPECT_EQ(eng.watchdog_status().code(), StatusCode::DeadlineExceeded);
+}
+
+TEST(ParallelEngineWatchdog, HealthyRunReportsOkAndRecordsWindows) {
+  ParallelSimulator eng{2, 2, SimTime::us(1)};
+  WatchdogConfig wd;
+  wd.max_events_per_timestamp = 100;
+  wd.flight_recorder_depth = 4;
+  eng.set_watchdog(wd);
+  int fired = 0;
+  for (int i = 1; i <= 20; ++i) {
+    eng.region(i % 2).schedule_at(SimTime::us(i), [&] { ++fired; });
+  }
+  eng.run();
+  EXPECT_EQ(fired, 20);
+  EXPECT_TRUE(eng.watchdog_status().ok());
+  EXPECT_FALSE(eng.flight_recorder().empty());
+  EXPECT_LE(eng.flight_recorder().size(), wd.flight_recorder_depth);
+}
+
+// Same-timestamp bursts *below* the budget are legitimate (barrier windows
+// routinely batch co-timed events) and must not trip the detector.
+TEST(ParallelEngineWatchdog, CoTimedBurstBelowBudgetIsNotAStall) {
+  ParallelSimulator eng{2, 2, SimTime::us(1)};
+  WatchdogConfig wd;
+  wd.max_events_per_timestamp = 64;
+  eng.set_watchdog(wd);
+  int fired = 0;
+  for (int i = 0; i < 60; ++i) {
+    eng.region(0).schedule_at(SimTime::us(3), [&] { ++fired; });
+  }
+  eng.run();
+  EXPECT_EQ(fired, 60);
+  EXPECT_TRUE(eng.watchdog_status().ok());
+}
+
+// The watchdog verdict is part of the determinism contract: the same
+// poisoned program trips at the same point at any worker count.
+TEST(ParallelEngineWatchdog, VerdictIsWorkerCountInvariant) {
+  auto stall_point = [](int jobs) {
+    ParallelSimulator eng{4, jobs, SimTime::us(1)};
+    WatchdogConfig wd;
+    wd.max_events_per_timestamp = 500;
+    eng.set_watchdog(wd);
+    std::function<void()> spin;
+    spin = [&] {
+      eng.region(2).schedule_at(eng.region(2).now(), [&] { spin(); });
+    };
+    eng.region(2).schedule_at(SimTime::us(7), [&] { spin(); });
+    for (int r = 0; r < 4; ++r) {
+      eng.region(r).schedule_at(SimTime::us(40), [] {});
+    }
+    eng.run();
+    EXPECT_EQ(eng.watchdog_status().code(), StatusCode::DeadlineExceeded);
+    return std::make_pair(eng.dispatched(), eng.watchdog_status().message());
+  };
+  const auto serial = stall_point(1);
+  EXPECT_EQ(stall_point(2), serial);
+  EXPECT_EQ(stall_point(4), serial);
 }
 
 TEST(WalkthroughEquivalence, MoreRegionsThanOccupiedTilesDegradesGracefully) {

@@ -381,5 +381,38 @@ TEST(Supervisor, CorruptionIsCaughtAndRetriedNeverDeliveredSilently) {
   EXPECT_GE(r.fault.host_retransmissions, r.fault.host_corrupts);
 }
 
+// -------------------------------------------------------- config validation
+
+// The CLI-facing guard: a detection deadline under two heartbeat periods
+// declares a core dead after a single late heartbeat, which is a config
+// mistake, not a tighter setting. It must be rejected before a run starts,
+// with a typed error naming the flags.
+TEST(RecoveryValidation, DeadlineUnderTwoHeartbeatsRejected) {
+  RecoveryConfig cfg;
+  cfg.heartbeat_period = SimTime::ms(10);
+  cfg.detection_deadline = SimTime::ms(15);
+  const Status st = validate_recovery(cfg);
+  EXPECT_EQ(st.code(), StatusCode::InvalidArgument);
+  EXPECT_NE(st.message().find("--detect-ms"), std::string::npos);
+  EXPECT_NE(st.message().find("--heartbeat-ms"), std::string::npos);
+}
+
+TEST(RecoveryValidation, ExactlyTwoHeartbeatsAccepted) {
+  RecoveryConfig cfg;
+  cfg.heartbeat_period = SimTime::ms(10);
+  cfg.detection_deadline = SimTime::ms(20);
+  EXPECT_TRUE(validate_recovery(cfg).ok());
+}
+
+TEST(RecoveryValidation, DefaultsAccepted) {
+  EXPECT_TRUE(validate_recovery(RecoveryConfig{}).ok());
+}
+
+TEST(RecoveryValidation, NonPositiveHeartbeatRejected) {
+  RecoveryConfig cfg;
+  cfg.heartbeat_period = SimTime::zero();
+  EXPECT_EQ(validate_recovery(cfg).code(), StatusCode::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace sccpipe

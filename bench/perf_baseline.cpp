@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "queue_bench.hpp"
 #include "sccpipe/core/walkthrough.hpp"
 #include "sccpipe/core/workload.hpp"
 #include "sccpipe/filters/filters.hpp"
@@ -173,6 +174,39 @@ Metric bench_event_churn(std::uint64_t fires, int chains, int repeats) {
   m.ref_allocs_per_event = static_cast<double>(ref_allocs) / fires;
   m.opt_allocs_per_event = static_cast<double>(opt_allocs) / fires;
   return m;
+}
+
+// ------------------------------------------------------------- queue ops
+//
+// Hold-pattern churn at a controlled pending depth (bench/queue_bench.hpp):
+// the pending population holds at N throughout the measured window, so each
+// tier probes the heaps at a fixed sift depth instead of the mixed depths
+// the event-churn row sees. 1k pending is cache-resident (pure layout
+// ratio); 32k spills the engines' working sets differently and is the tier
+// bench/micro_queue gates CI against. micro_queue has the full tier sweep
+// including a DRAM-resident 1M run.
+
+Metric bench_queue_ops(const char* name, std::size_t pending,
+                       std::uint64_t dispatches, int repeats) {
+  // ~2.125 queue ops per dispatched event (1 dispatch, 1 replacement
+  // schedule, a cancel + re-arm every 8th); the constant cancels out of
+  // the ratio.
+  const double ops = 2.125 * static_cast<double>(dispatches);
+  std::vector<double> ref_s, opt_s;
+  for (int r = 0; r < repeats; ++r) {
+    bench::QueueHoldDriver<reference::Scheduler, reference::Scheduler::Handle>
+        ref(0x9e3779b9u + pending);
+    ref_s.push_back(ref.run(pending, dispatches, [] { return Clock::now(); },
+                            seconds_since));
+    bench::QueueHoldDriver<Simulator, EventHandle> opt(0x9e3779b9u + pending);
+    opt_s.push_back(opt.run(pending, dispatches, [] { return Clock::now(); },
+                            seconds_since));
+    // Shared (time, rank, seq) dispatch order means the RNG streams — and
+    // every derived count — must agree exactly between the engines.
+    SCCPIPE_CHECK(opt.dispatched == ref.dispatched);
+    SCCPIPE_CHECK(opt.cancels == ref.cancels);
+  }
+  return Metric{name, "ops/s", ops / median(ref_s), ops / median(opt_s)};
 }
 
 // ------------------------------------------------------------ pixel kernels
@@ -540,19 +574,6 @@ std::string read_file(const std::string& path) {
   return out;
 }
 
-/// Pull `"speedup": <num>` out of the metric object named \p name in a
-/// record this tool wrote (the format is ours, so a scan is enough).
-std::optional<double> committed_speedup(const std::string& json,
-                                        const std::string& name) {
-  const std::string tag = "\"name\": \"" + name + "\"";
-  std::size_t at = json.find(tag);
-  if (at == std::string::npos) return std::nullopt;
-  const std::string key = "\"speedup\": ";
-  at = json.find(key, at);
-  if (at == std::string::npos) return std::nullopt;
-  return std::strtod(json.c_str() + at + key.size(), nullptr);
-}
-
 /// Pull `"windows_per_sim_ms": <num>` out of the committed e2e sim_jobs
 /// row for \p jobs (the format is ours, so a scan is enough).
 std::optional<double> committed_window_overhead(const std::string& json,
@@ -583,7 +604,8 @@ int check_against(const std::string& path, const std::vector<Metric>& now,
   }
   int failures = 0;
   for (const Metric& m : now) {
-    const std::optional<double> want = committed_speedup(json, m.name);
+    const std::optional<double> want =
+        bench::committed_metric_speedup(json, m.name);
     if (!want) {
       std::fprintf(stderr, "[bench] %-12s no committed ratio, skipping\n",
                    m.name.c_str());
@@ -642,8 +664,14 @@ int main(int argc, char** argv) {
   std::printf("perf_baseline: optimised hot paths vs reference transcriptions"
               " (%s mode)\n\n", smoke ? "smoke" : "full");
 
+  const std::uint64_t queue_dispatches = smoke ? 100'000 : 1'000'000;
+
   std::vector<Metric> metrics;
   metrics.push_back(bench_event_churn(churn_fires, churn_chains, repeats));
+  metrics.push_back(
+      bench_queue_ops("queue_ops_1k", 1'000, queue_dispatches, repeats));
+  metrics.push_back(
+      bench_queue_ops("queue_ops_32k", 32'000, queue_dispatches, repeats));
   metrics.push_back(bench_filter(
       "blur", img_side, repeats, filter_passes,
       [](Image& img) { apply_blur(img); },

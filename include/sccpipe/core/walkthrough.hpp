@@ -204,6 +204,15 @@ struct ParallelSimReport {
   bool stalled = false;
   std::string stall;
   std::string flight_recorder;
+  /// Container growths summed over the region simulators. The engine
+  /// derives each region's queue reservation from the partition's occupied
+  /// tiles (not one global constant), so steady state performs zero
+  /// allocations per region — asserted at sim-jobs 1/4/8 by
+  /// tests/parallel_sim_test.cpp. Not part of the CSV.
+  std::uint64_t region_allocs = 0;
+  /// Max simultaneous pending events over all region simulators (the
+  /// figure the occupancy-derived size hints are calibrated against).
+  std::uint64_t region_peak_events = 0;
 };
 
 /// Checkpoint/crash/resume outcome of one run. Deliberately NOT part of the

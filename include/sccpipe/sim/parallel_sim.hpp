@@ -130,6 +130,14 @@ class ParallelSimulator {
   ParallelSimulator(int regions, int jobs, SimTime lookahead,
                     std::size_t size_hint_per_region =
                         Simulator::kDefaultSizeHint);
+
+  /// As above, with a per-region event-capacity hint (one entry per
+  /// region). Models that know their partition's occupancy — e.g. the
+  /// walkthrough, whose per-region event population scales with the
+  /// tiles the partition assigned to each band — size each region's pools
+  /// up front so steady state performs zero allocations per region.
+  ParallelSimulator(int regions, int jobs, SimTime lookahead,
+                    const std::vector<std::size_t>& size_hints);
   ~ParallelSimulator();
   ParallelSimulator(const ParallelSimulator&) = delete;
   ParallelSimulator& operator=(const ParallelSimulator&) = delete;
@@ -227,9 +235,11 @@ class ParallelSimulator {
     Callback fn;
   };
 
-  /// Drain every outbox into the destination regions' queues (ranked
-  /// inserts keep the deterministic delivery order without a sort).
-  /// Returns true when any mail was flushed.
+  /// Drain every outbox into the destination regions' queues as one bulk
+  /// merge per destination (append the batch, restore the heap invariant
+  /// once — the keys' (time, rank, seq) total order keeps the delivery
+  /// order deterministic without a sort). Returns true when any mail was
+  /// flushed.
   bool flush_outboxes();
   /// Snapshot next event times; returns the global minimum (max() = all
   /// empty). Fills bounds_ for a step clamped to \p deadline.

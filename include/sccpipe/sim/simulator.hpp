@@ -13,10 +13,12 @@
 /// experiment execution (exec/executor.hpp) runs one independent Simulator
 /// per worker thread; instances share nothing.
 ///
-/// Hot-path layout (structure of arrays): the priority heap holds only
-/// 32-byte (time, rank, seq, slot) keys — sifts touch nothing but hot
-/// cache lines — while callbacks live in a pooled slot table indexed by the
-/// key's slot. Callbacks are `SimCallback` (inline fixed-capacity storage, see
+/// Hot-path layout (structure of arrays): the priority queue is a
+/// cache-line-aligned 4-ary implicit min-heap (sim/dary_heap.hpp) holding
+/// only 32-byte (time, rank, seq, slot) keys — a sibling group is exactly
+/// two aligned cache lines and a sift walks log4(n) levels — while
+/// callbacks live in a pooled slot table indexed by the key's slot.
+/// Callbacks are `SimCallback` (inline fixed-capacity storage, see
 /// callback.hpp), so steady-state schedule/cancel/dispatch performs zero
 /// heap allocations; SimulatorStats counts the container growths so tests
 /// can assert exactly that.
@@ -28,11 +30,19 @@
 /// events the key heap is compacted in one O(n) pass over PODs, so
 /// retry/timeout-heavy workloads (most armed timeouts are cancelled, not
 /// dispatched) stay linear instead of quadratic.
+///
+/// Bulk merges: merge_append()/merge_commit() let a batch source (the
+/// parallel engine's barrier flush, sim/parallel_sim.hpp) append a whole
+/// window of events and restore the heap invariant once — O(k + rebuild)
+/// amortised instead of k sift-up passes. Because the (time, rank, seq)
+/// key is a strict total order, the merge strategy can never change the
+/// dispatch sequence, only the constant factor of reaching it.
 
 #include <cstdint>
 #include <vector>
 
 #include "sccpipe/sim/callback.hpp"
+#include "sccpipe/sim/dary_heap.hpp"
 #include "sccpipe/support/time.hpp"
 
 namespace sccpipe {
@@ -102,6 +112,21 @@ class Simulator {
     return schedule_impl(when, rank, std::move(fn));
   }
 
+  /// Bulk-merge fast path: exactly schedule_at_ranked — same checks, same
+  /// sequence assignment, same handle — except the heap invariant is NOT
+  /// restored until merge_commit(). A batch source (the parallel engine's
+  /// barrier flush) appends a whole window of mail, then commits once:
+  /// O(k + rebuild) amortised instead of k sift passes. Between the first
+  /// merge_append and merge_commit, only merge_append/cancel may be
+  /// called; dispatch and queries CHECK against an uncommitted merge.
+  EventHandle merge_append(SimTime when, std::uint64_t rank, Callback fn);
+
+  /// Restore the heap invariant after a run of merge_append calls (no-op
+  /// when none are outstanding). Dispatch order is provably unaffected:
+  /// (time, rank, seq) is a strict total order, so every valid heap pops
+  /// in the same sequence.
+  void merge_commit();
+
   /// Rank used by the plain schedule_at/schedule_after paths: sorts after
   /// every explicit rank at the same timestamp.
   static constexpr std::uint64_t kUnranked = ~std::uint64_t{0};
@@ -113,6 +138,18 @@ class Simulator {
 
   /// Dispatch the next event. Returns false when the queue is empty.
   bool step();
+
+  /// Batched same-timestamp dispatch: run every event sharing the front
+  /// key's timestamp — including events a callback schedules *at* that
+  /// same timestamp — up to \p max_events, in one pass over the heap
+  /// front. Returns the number dispatched (0 when the queue is empty).
+  /// The drain primitive of the parallel engine's window loop: the
+  /// round-trip cap only ever shrinks to strictly *later* timestamps, so
+  /// the cap needs re-reading once per timestamp, not once per event —
+  /// and the caller's livelock watchdog budget maps onto \p max_events
+  /// (a return value of max_events with the front still at the same
+  /// timestamp is exactly the old per-event counter overflowing).
+  std::uint64_t run_timestamp(std::uint64_t max_events);
 
   /// Run until the queue drains. Returns the final simulated time.
   SimTime run();
@@ -154,17 +191,25 @@ class Simulator {
     std::uint64_t seq;
     std::uint32_t slot;
 
-    // Min-heap on (when, rank, seq) via std::push_heap's max-heap
-    // comparator. Plain events carry rank = kUnranked, so for them this
-    // degenerates to the historical (when, seq) order.
-    friend bool operator<(const HeapKey& a, const HeapKey& b) {
-      if (a.when != b.when) return a.when > b.when;
-      if (a.rank != b.rank) return a.rank > b.rank;
-      return a.seq > b.seq;
+    /// Strict (when, rank, seq) dispatch order — "a dispatches before b".
+    /// Plain events carry rank = kUnranked, so for them this degenerates
+    /// to the historical (when, seq) order. seq is unique, so this is a
+    /// total order: heap-internal strategy cannot change the pop sequence.
+    static bool before(const HeapKey& a, const HeapKey& b) {
+      if (a.when != b.when) return a.when < b.when;
+      if (a.rank != b.rank) return a.rank < b.rank;
+      return a.seq < b.seq;
     }
   };
+  static_assert(sizeof(HeapKey) == 32, "heap keys are two per cache line");
 
-  std::vector<HeapKey> heap_;
+  /// Acquire a slot, store \p fn in it and return the slot index (shared
+  /// tail of the scheduling paths; counts container growths).
+  std::uint32_t acquire_slot(std::uint64_t seq, Callback&& fn);
+  /// Pop the front key and dispatch its callback (front must be live).
+  void dispatch_front();
+
+  DaryKeyHeap<HeapKey> heap_;
   // slot -> seq of the event occupying it (0 = free). A heap key whose
   // slot no longer records its seq is a tombstone.
   std::vector<std::uint64_t> slot_seq_;
@@ -176,7 +221,8 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
   std::size_t live_pending_ = 0;
-  std::size_t tombstones_ = 0;  // cancelled keys still in heap_
+  std::size_t tombstones_ = 0;      // cancelled keys still in heap_
+  std::size_t merge_appended_ = 0;  // keys appended, invariant pending
   SimulatorStats stats_;
 
   bool is_tombstone(const HeapKey& key) const {

@@ -79,6 +79,32 @@ SimTime platform_router_latency(const RunConfig& cfg) {
              : ChipConfig::mogon_node().mesh_timing.router_latency;
 }
 
+/// Per-region event-queue reservations derived from the partition's
+/// occupancy instead of one global constant. A region's steady-state
+/// pending load scales with the tiles it hosts (each tile keeps a bounded
+/// set of in-flight NoC transfers, memory walks and compute
+/// continuations); the host region additionally carries the frame
+/// source/sink, power sampling and recovery machinery. The constants are
+/// calibrated against measured region_peak_events of the walkthrough
+/// suites (single-digit peaks per region) with an order of magnitude of
+/// headroom, so a steady-state run never grows a region queue —
+/// region_allocs == 0 is asserted at sim-jobs 1/4/8 by
+/// tests/parallel_sim_test.cpp — while reserving far less than the old
+/// flat kDefaultSizeHint did per region.
+std::vector<std::size_t> region_size_hints(const MeshPartition& partition) {
+  constexpr std::size_t kEventsPerTile = 16;
+  constexpr std::size_t kRegionBaseEvents = 128;
+  constexpr std::size_t kHostExtraEvents = 512;
+  std::vector<std::size_t> hints(static_cast<std::size_t>(partition.regions()));
+  for (int r = 0; r < partition.regions(); ++r) {
+    hints[static_cast<std::size_t>(r)] =
+        kRegionBaseEvents +
+        kEventsPerTile * static_cast<std::size_t>(partition.tiles_in_region(r));
+  }
+  hints[static_cast<std::size_t>(partition.host_region())] += kHostExtraEvents;
+  return hints;
+}
+
 void apply_stage_functional(StageKind kind, Image& img, int frame,
                             std::uint64_t seed, int max_scratches) {
   switch (kind) {
@@ -114,7 +140,8 @@ class WalkthroughSim {
         cfg_(cfg),
         partition_(platform_layout(cfg), std::max(1, cfg.sim_jobs)),
         engine_(partition_.regions(), std::max(1, cfg.sim_jobs),
-                partition_.lookahead(platform_router_latency(cfg))),
+                partition_.lookahead(platform_router_latency(cfg)),
+                region_size_hints(partition_)),
         fabric_(engine_, partition_, platform_router_latency(cfg)),
         sim_(engine_.region(partition_.host_region())) {
     SCCPIPE_CHECK_MSG(cfg.scenario != Scenario::SingleCore,
@@ -1762,6 +1789,12 @@ class WalkthroughSim {
     r.parallel_sim.coalesced_windows = engine_.stats().coalesced_windows;
     r.parallel_sim.cross_region_events = engine_.stats().cross_region_events;
     r.parallel_sim.idle_region_windows = engine_.stats().idle_region_windows;
+    for (int region = 0; region < engine_.regions(); ++region) {
+      const SimulatorStats& rs = engine_.region(region).stats();
+      r.parallel_sim.region_allocs += rs.allocs;
+      r.parallel_sim.region_peak_events =
+          std::max(r.parallel_sim.region_peak_events, rs.peak_events);
+    }
     if (const Status ws = engine_.watchdog_status(); !ws.ok()) {
       r.parallel_sim.stalled = true;
       r.parallel_sim.stall = ws.message();

@@ -346,12 +346,16 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int link_count,
     ev.start = ev.end = cf.at;
     schedule_.push_back(ev);
   }
-  std::sort(schedule_.begin(), schedule_.end(),
-            [](const FaultEvent& a, const FaultEvent& b) {
-              if (a.start != b.start) return a.start < b.start;
-              if (a.target != b.target) return a.target < b.target;
-              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
-            });
+  // stable_sort: two events agreeing on (start, target, kind) — e.g. a
+  // duplicated CoreFail entry in the plan — keep their generation order, so
+  // the schedule (and everything replayed from it) is fully deterministic
+  // rather than depending on std::sort's tie behaviour.
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     if (a.target != b.target) return a.target < b.target;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
 }
 
 SimTime FaultInjector::available_after(FaultKind kind, int target,

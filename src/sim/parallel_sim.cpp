@@ -28,16 +28,27 @@ SimTime saturating_add(SimTime a, SimTime b) {
 
 ParallelSimulator::ParallelSimulator(int regions, int jobs, SimTime lookahead,
                                      std::size_t size_hint_per_region)
+    : ParallelSimulator(regions, jobs, lookahead,
+                        std::vector<std::size_t>(
+                            static_cast<std::size_t>(std::max(regions, 1)),
+                            size_hint_per_region)) {}
+
+ParallelSimulator::ParallelSimulator(int regions, int jobs, SimTime lookahead,
+                                     const std::vector<std::size_t>& size_hints)
     : lookahead_(lookahead) {
   SCCPIPE_CHECK_MSG(regions >= 1, "ParallelSimulator needs >= 1 region");
   SCCPIPE_CHECK_MSG(regions <= 4096, "region count " << regions
                                                      << " is not sane");
   SCCPIPE_CHECK_MSG(lookahead > SimTime::zero(),
                     "conservative sync needs a positive lookahead");
+  SCCPIPE_CHECK_MSG(size_hints.size() == static_cast<std::size_t>(regions),
+                    "size_hints has " << size_hints.size() << " entries for "
+                                      << regions << " regions");
   jobs_ = std::clamp(jobs, 1, regions);
   regions_.reserve(static_cast<std::size_t>(regions));
   for (int r = 0; r < regions; ++r) {
-    regions_.push_back(std::make_unique<Simulator>(size_hint_per_region));
+    regions_.push_back(std::make_unique<Simulator>(
+        size_hints[static_cast<std::size_t>(r)]));
   }
   outbox_.resize(static_cast<std::size_t>(regions) + 1);
   next_.resize(static_cast<std::size_t>(regions), SimTime::max());
@@ -146,21 +157,27 @@ void ParallelSimulator::post(int dst_region, SimTime when, std::uint64_t rank,
 }
 
 bool ParallelSimulator::flush_outboxes() {
-  // One pass over the per-source batches, in source order. Ranked inserts
-  // make the destination heap realise the deterministic delivery order —
-  // (time, rank, source, post order) — with no sort: equal (time, rank)
-  // ties fall back to the heap's sequence counter, which is exactly this
-  // flush order.
+  // One pass over the per-source batches, in source order, appended into
+  // the destination heaps WITHOUT per-post sifts; each touched heap then
+  // restores its invariant once (merge_commit: sift the appendix or one
+  // Floyd rebuild, whichever is cheaper) — O(k + rebuild) amortised for a
+  // k-message barrier instead of k·O(log n) heap inserts. Sequence numbers
+  // are assigned in exactly this append order, so the deterministic
+  // delivery order — (time, rank, source, post order) — is unchanged:
+  // equal (time, rank) ties fall back to the heap's sequence counter, and
+  // the (time, rank, seq) key is a strict total order, so the merge
+  // strategy cannot influence which event dispatches next.
   std::uint64_t merged = 0;
   for (auto& box : outbox_) {
     for (Mail& m : box) {
-      regions_[static_cast<std::size_t>(m.dst)]->schedule_at_ranked(
+      regions_[static_cast<std::size_t>(m.dst)]->merge_append(
           m.when, m.rank, std::move(m.fn));
     }
     merged += box.size();
     box.clear();
   }
   if (merged > 0) {
+    for (auto& region : regions_) region->merge_commit();
     stats_.cross_region_events += merged;
     stats_.peak_mailbox = std::max<std::uint64_t>(stats_.peak_mailbox, merged);
   }
@@ -199,28 +216,34 @@ void ParallelSimulator::drain_region(int r) {
   t_ctx = ExecContext{this, r};
   caps_[i] = bounds_[i];
   Simulator& sim = *regions_[i];
-  // Step-wise drain re-reading the cap: a cross-region post made by the
-  // event just executed shrinks it mid-window (round-trip guard above).
-  // The same loop hosts the livelock watchdog: a zero-delay self-reschedule
-  // cycle keeps next_event_time() pinned at one timestamp forever, below
-  // any finite cap, so only an *event count* at an unchanged timestamp can
-  // see it. Counting events (not wall time) keeps detection deterministic.
-  SimTime last_ts = SimTime::max();
-  std::uint64_t events_at_ts = 0;
-  while (sim.next_event_time() < caps_[i]) {
+  // Timestamp-batched drain: every event sharing the front timestamp runs
+  // in one run_timestamp() pass, and the round-trip cap is re-read once
+  // per *timestamp*, not once per event. That is sound because the cap
+  // only ever shrinks to delivery + return-lookahead of a post made at
+  // the current timestamp — strictly later than the timestamp itself
+  // (lookahead > 0) — so no same-time event can be cut off mid-batch;
+  // tightly-coupled windows with bursts of simultaneous mail pay the cap
+  // and bound checks per simulated instant instead of per event.
+  //
+  // The livelock watchdog rides the same batching: a zero-delay
+  // self-reschedule cycle pins the front timestamp forever, so
+  // run_timestamp() exhausting its event budget with the front still at
+  // the same timestamp is exactly the old per-event counter overflowing —
+  // the region executed max_events_per_timestamp events without its clock
+  // advancing. Counting events (not wall time) keeps detection
+  // deterministic at every worker count.
+  for (;;) {
     const SimTime ts = sim.next_event_time();
-    if (ts == last_ts) {
-      if (++events_at_ts > watchdog_.max_events_per_timestamp) {
-        stalled_[i] = 1;
-        stalled_at_[i] = ts;
-        break;  // stop draining; the coordinator reads the verdict at the
-                // barrier and aborts the run with DeadlineExceeded
-      }
-    } else {
-      last_ts = ts;
-      events_at_ts = 1;
+    if (ts >= caps_[i]) break;
+    const std::uint64_t n =
+        sim.run_timestamp(watchdog_.max_events_per_timestamp);
+    if (n >= watchdog_.max_events_per_timestamp &&
+        sim.next_event_time() == ts) {
+      stalled_[i] = 1;
+      stalled_at_[i] = ts;
+      break;  // stop draining; the coordinator reads the verdict at the
+              // barrier and aborts the run with DeadlineExceeded
     }
-    sim.step();
   }
   t_ctx = ExecContext{};
 }

@@ -4,6 +4,12 @@
 
 #include "sccpipe/support/check.hpp"
 
+#if defined(__GNUC__) || defined(__clang__)
+#define SCCPIPE_SLOT_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define SCCPIPE_SLOT_PREFETCH(addr) ((void)0)
+#endif
+
 namespace sccpipe {
 
 namespace {
@@ -21,13 +27,7 @@ void Simulator::reserve_events(std::size_t expected_pending) {
   free_slots_.reserve(expected_pending);
 }
 
-EventHandle Simulator::schedule_impl(SimTime when, std::uint64_t rank,
-                                     Callback&& fn) {
-  SCCPIPE_CHECK_MSG(when >= now_, "schedule_at(" << when.to_string()
-                                                 << ") is before now="
-                                                 << now_.to_string());
-  SCCPIPE_CHECK(fn != nullptr);
-  const std::uint64_t seq = next_seq_++;
+std::uint32_t Simulator::acquire_slot(std::uint64_t seq, Callback&& fn) {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -47,15 +47,46 @@ EventHandle Simulator::schedule_impl(SimTime when, std::uint64_t rank,
   }
   slot_seq_[slot] = seq;
   slot_fn_[slot] = std::move(fn);
+  return slot;
+}
+
+EventHandle Simulator::schedule_impl(SimTime when, std::uint64_t rank,
+                                     Callback&& fn) {
+  SCCPIPE_CHECK_MSG(when >= now_, "schedule_at(" << when.to_string()
+                                                 << ") is before now="
+                                                 << now_.to_string());
+  SCCPIPE_CHECK(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t slot = acquire_slot(seq, std::move(fn));
   if (heap_.size() == heap_.capacity()) ++stats_.allocs;
-  heap_.push_back(HeapKey{when, rank, seq, slot});
-  std::push_heap(heap_.begin(), heap_.end());
+  heap_.push(HeapKey{when, rank, seq, slot});
   ++live_pending_;
   stats_.peak_events =
       std::max<std::uint64_t>(stats_.peak_events, live_pending_);
   return EventHandle{slot, seq};
 }
 
+EventHandle Simulator::merge_append(SimTime when, std::uint64_t rank,
+                                    Callback fn) {
+  SCCPIPE_CHECK_MSG(when >= now_, "merge_append(" << when.to_string()
+                                                  << ") is before now="
+                                                  << now_.to_string());
+  SCCPIPE_CHECK(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t slot = acquire_slot(seq, std::move(fn));
+  if (heap_.size() == heap_.capacity()) ++stats_.allocs;
+  heap_.append(HeapKey{when, rank, seq, slot});
+  ++merge_appended_;
+  ++live_pending_;
+  stats_.peak_events =
+      std::max<std::uint64_t>(stats_.peak_events, live_pending_);
+  return EventHandle{slot, seq};
+}
+
+void Simulator::merge_commit() {
+  heap_.commit(merge_appended_);
+  merge_appended_ = 0;
+}
 
 SimTime Simulator::delay_to_when(SimTime delay) const {
   SCCPIPE_CHECK_MSG(!delay.is_negative(),
@@ -85,39 +116,68 @@ void Simulator::release_slot(std::uint32_t slot) {
 
 void Simulator::compact_if_worthwhile() {
   // Lazy compaction: tombstoned keys pad every sift. Once they are the
-  // majority, one O(n) filter + make_heap pass over the POD keys reclaims
+  // majority, one O(n) filter + rebuild pass over the POD keys reclaims
   // the heap (the callbacks were already destroyed at cancel time).
   if (tombstones_ < kMinTombstonesForCompaction ||
       tombstones_ * 2 < heap_.size()) {
     return;
   }
-  std::erase_if(heap_, [&](const HeapKey& key) { return is_tombstone(key); });
-  std::make_heap(heap_.begin(), heap_.end());
+  heap_.remove_and_rebuild(
+      [&](const HeapKey& key) { return is_tombstone(key); });
   tombstones_ = 0;
+  // The rebuild re-established the invariant for every key, appended or
+  // not (only reachable if a caller cancels mid-merge, which the barrier
+  // flush never does).
+  merge_appended_ = 0;
   ++stats_.compactions;
 }
 
 void Simulator::drop_front_tombstones() {
+  SCCPIPE_CHECK_MSG(merge_appended_ == 0,
+                    "dispatch/query during an uncommitted bulk merge — "
+                    "call merge_commit() first");
   while (!heap_.empty() && is_tombstone(heap_.front())) {
-    std::pop_heap(heap_.begin(), heap_.end());
-    heap_.pop_back();
+    heap_.pop_front();
     --tombstones_;
   }
 }
 
-bool Simulator::step() {
-  drop_front_tombstones();
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end());
-  const HeapKey key = heap_.back();
-  heap_.pop_back();
+void Simulator::dispatch_front() {
+  const HeapKey key = heap_.front();
+  // The slot table is far larger than the key array (one callback-sized
+  // entry per slot), so the callback line usually misses where the keys
+  // hit. Start its load now — it resolves while pop_front sifts — and
+  // once the new front is known, start the *next* dispatch's slot load so
+  // it resolves while the current callback runs.
+  SCCPIPE_SLOT_PREFETCH(&slot_fn_[key.slot]);
+  heap_.pop_front();
+  if (!heap_.empty()) SCCPIPE_SLOT_PREFETCH(&slot_fn_[heap_.front().slot]);
   Callback fn = std::move(slot_fn_[key.slot]);
   release_slot(key.slot);
   now_ = key.when;
   --live_pending_;
   ++dispatched_;
   fn();
+}
+
+bool Simulator::step() {
+  drop_front_tombstones();
+  if (heap_.empty()) return false;
+  dispatch_front();
   return true;
+}
+
+std::uint64_t Simulator::run_timestamp(std::uint64_t max_events) {
+  drop_front_tombstones();
+  if (heap_.empty() || max_events == 0) return 0;
+  const SimTime ts = heap_.front().when;
+  std::uint64_t n = 0;
+  do {
+    dispatch_front();
+    ++n;
+    drop_front_tombstones();
+  } while (n < max_events && !heap_.empty() && heap_.front().when == ts);
+  return n;
 }
 
 SimTime Simulator::run() {
@@ -130,7 +190,8 @@ SimTime Simulator::run_until(SimTime deadline) {
   for (;;) {
     drop_front_tombstones();
     if (heap_.empty() || heap_.front().when > deadline) break;
-    step();
+    // All events at the front timestamp are <= deadline: batch them.
+    run_timestamp(~std::uint64_t{0});
   }
   return now_;
 }
@@ -139,7 +200,7 @@ SimTime Simulator::run_before(SimTime bound) {
   for (;;) {
     drop_front_tombstones();
     if (heap_.empty() || heap_.front().when >= bound) break;
-    step();
+    run_timestamp(~std::uint64_t{0});
   }
   return now_;
 }

@@ -15,6 +15,7 @@
 #include "sccpipe/rcce/rcce.hpp"
 #include "sccpipe/sim/fair_share.hpp"
 #include "sccpipe/sim/parallel_sim.hpp"
+#include "sccpipe/sim/reference_scheduler.hpp"
 #include "sccpipe/sim/simulator.hpp"
 #include "sccpipe/support/rng.hpp"
 
@@ -223,6 +224,109 @@ TEST_P(FuzzSeeds, RandomEventSoupIsWorkerCountInvariant) {
   const auto one = run_at(1);
   const auto four = run_at(4);
   EXPECT_EQ(one, four) << "seed=" << seed;
+}
+
+// ---------------------------------------------------------------------------
+// Queue equivalence: the d-ary key heap vs the reference binary heap.
+// ---------------------------------------------------------------------------
+
+/// One scripted event of a randomized soup: scheduled up-front at a coarse
+/// time grid (heavy timestamp collisions), half ranked; its callback may
+/// spawn children *at the current timestamp* (stressing same-time batched
+/// dispatch) and may cancel another scripted event mid-run (stressing
+/// tombstones and compaction).
+struct SoupEvent {
+  std::uint64_t id = 0;
+  std::uint64_t t_us = 0;
+  std::uint64_t rank = 0;
+  int children = 0;
+  std::int64_t cancel_idx = -1;
+};
+
+/// Replay one script on either engine (Simulator or reference::Scheduler —
+/// both expose schedule_at/schedule_at_ranked/cancel/run with the same
+/// (when, rank, seq) dispatch order) and record the dispatch sequence.
+template <typename Engine>
+std::vector<std::uint64_t> run_event_soup(
+    Engine& eng, const std::vector<SoupEvent>& script,
+    const std::vector<std::size_t>& upfront_cancels) {
+  std::vector<std::uint64_t> order;
+  using Handle = decltype(eng.schedule_at(SimTime::zero(), [] {}));
+  std::vector<Handle> handles;
+  handles.reserve(script.size());
+  for (const SoupEvent& ev : script) {
+    auto cb = [&eng, &order, &handles, ev] {
+      order.push_back(ev.id);
+      if (ev.cancel_idx >= 0) {
+        eng.cancel(handles[static_cast<std::size_t>(ev.cancel_idx)]);
+      }
+      for (int c = 0; c < ev.children; ++c) {
+        const std::uint64_t child_id = ev.id * 1000 + static_cast<std::uint64_t>(c);
+        // Same-timestamp child: must run within the current batch, after
+        // every already-pending event of this (when, rank) class.
+        eng.schedule_at(eng.now(),
+                        [&order, child_id] { order.push_back(child_id); });
+      }
+    };
+    const SimTime when = SimTime::us(static_cast<double>(ev.t_us));
+    handles.push_back(ev.rank == ~std::uint64_t{0}
+                          ? eng.schedule_at(when, std::move(cb))
+                          : eng.schedule_at_ranked(when, ev.rank, std::move(cb)));
+  }
+  // A burst of up-front cancels (with repeats, so double-cancel paths run
+  // too): enough tombstones to cross the compaction threshold in both
+  // engines before the first dispatch.
+  for (std::size_t idx : upfront_cancels) eng.cancel(handles[idx]);
+  eng.run();
+  return order;
+}
+
+std::vector<SoupEvent> make_soup_script(std::uint64_t seed,
+                                        std::vector<std::size_t>* cancels) {
+  Rng rng{seed};
+  std::vector<SoupEvent> script;
+  const std::uint64_t n = 300 + rng.below(200);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SoupEvent ev;
+    ev.id = i + 1;
+    ev.t_us = rng.below(40);  // ~10 events per timestamp on average
+    ev.rank = rng.below(2) == 0 ? rng.below(4) : ~std::uint64_t{0};
+    ev.children = rng.below(5) == 0 ? static_cast<int>(1 + rng.below(2)) : 0;
+    ev.cancel_idx = rng.below(8) == 0
+                        ? static_cast<std::int64_t>(rng.below(n))
+                        : std::int64_t{-1};
+    script.push_back(ev);
+  }
+  for (int i = 0; i < 200; ++i) cancels->push_back(rng.below(n));
+  return script;
+}
+
+TEST_P(FuzzSeeds, DaryQueueMatchesReferenceBinaryHeapDispatchOrder) {
+  const std::uint64_t seed = GetParam() ^ 0xdeadu;
+  std::vector<std::size_t> cancels;
+  const std::vector<SoupEvent> script = make_soup_script(seed, &cancels);
+  Simulator dary;
+  reference::Scheduler binary;
+  const auto dary_order = run_event_soup(dary, script, cancels);
+  const auto binary_order = run_event_soup(binary, script, cancels);
+  EXPECT_EQ(dary_order, binary_order) << "seed=" << seed;
+  EXPECT_EQ(dary.pending(), 0u);
+  EXPECT_EQ(binary.pending(), 0u);
+}
+
+TEST_P(FuzzSeeds, DaryQueueReplayHasIdenticalStatsAndOrder) {
+  const std::uint64_t seed = GetParam() ^ 0xbeefu;
+  std::vector<std::size_t> cancels;
+  const std::vector<SoupEvent> script = make_soup_script(seed, &cancels);
+  Simulator a;
+  Simulator b;
+  const auto order_a = run_event_soup(a, script, cancels);
+  const auto order_b = run_event_soup(b, script, cancels);
+  EXPECT_EQ(order_a, order_b) << "seed=" << seed;
+  EXPECT_EQ(a.stats().allocs, b.stats().allocs);
+  EXPECT_EQ(a.stats().compactions, b.stats().compactions);
+  EXPECT_EQ(a.stats().peak_events, b.stats().peak_events);
+  EXPECT_EQ(a.dispatched(), b.dispatched());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,

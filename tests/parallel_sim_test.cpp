@@ -567,5 +567,23 @@ TEST(WalkthroughEquivalence, MoreRegionsThanOccupiedTilesDegradesGracefully) {
   EXPECT_GT(r.parallel_sim.idle_region_windows, 0u);
 }
 
+TEST(WalkthroughEquivalence, RegionQueuesNeverAllocateInSteadyState) {
+  // The engine derives each region's queue reservation from the
+  // partition's occupied-tile count (region_size_hints in walkthrough.cpp)
+  // instead of one global constant; a full walkthrough must therefore
+  // never grow a region's event containers, at any worker count.
+  RunConfig cfg;
+  cfg.scenario = Scenario::HostRenderer;
+  cfg.pipelines = 3;
+  for (const int jobs : {1, 4, 8}) {
+    RunConfig c = cfg;
+    c.sim_jobs = jobs;
+    const RunResult r = run_walkthrough(shared_scene(), shared_trace(), c);
+    EXPECT_EQ(r.parallel_sim.region_allocs, 0u)
+        << "jobs=" << jobs << " peak=" << r.parallel_sim.region_peak_events;
+    EXPECT_GT(r.parallel_sim.region_peak_events, 0u) << "jobs=" << jobs;
+  }
+}
+
 }  // namespace
 }  // namespace sccpipe

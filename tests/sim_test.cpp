@@ -568,5 +568,157 @@ TEST(SimulatorDeterminism, MatchesReferenceSchedulerOnChaosWorkload) {
   EXPECT_EQ(trace_new, trace_ref);
 }
 
+// ------------------------------------- batched same-timestamp dispatch
+
+TEST(RunTimestamp, DispatchesEveryCoTimedEventIncludingNewcomers) {
+  Simulator sim;
+  std::vector<int> log;
+  sim.schedule_at(SimTime::us(1), [&] {
+    log.push_back(1);
+    // A newcomer *at the current timestamp* joins the running batch.
+    sim.schedule_at(sim.now(), [&] { log.push_back(3); });
+  });
+  sim.schedule_at(SimTime::us(1), [&] { log.push_back(2); });
+  sim.schedule_at(SimTime::us(2), [&] { log.push_back(4); });
+  EXPECT_EQ(sim.run_timestamp(~std::uint64_t{0}), 3u);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::us(1));
+  EXPECT_EQ(sim.next_event_time(), SimTime::us(2));
+  EXPECT_EQ(sim.run_timestamp(~std::uint64_t{0}), 1u);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.run_timestamp(~std::uint64_t{0}), 0u);  // drained
+}
+
+TEST(RunTimestamp, BudgetCutsABatchMidTimestamp) {
+  Simulator sim;
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::us(7), [&] { ++ran; });
+  }
+  EXPECT_EQ(sim.run_timestamp(4), 4u);
+  EXPECT_EQ(ran, 4);
+  // The front is still at the cut timestamp — exactly the signal the
+  // parallel engine's watchdog keys on.
+  EXPECT_EQ(sim.next_event_time(), SimTime::us(7));
+  EXPECT_EQ(sim.run_timestamp(~std::uint64_t{0}), 6u);
+  EXPECT_EQ(ran, 10);
+}
+
+TEST(RunTimestamp, SkipsFrontTombstones) {
+  Simulator sim;
+  int ran = 0;
+  const EventHandle dead = sim.schedule_at(SimTime::us(1), [&] { ++ran; });
+  sim.schedule_at(SimTime::us(2), [&] { ++ran; });
+  sim.cancel(dead);
+  EXPECT_EQ(sim.run_timestamp(~std::uint64_t{0}), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), SimTime::us(2));
+}
+
+// ------------------------------------------------- bulk window merges
+
+TEST(MergeAppend, MatchesIndividualRankedSchedulesExactly) {
+  // The same ranked batch delivered two ways — individual pushes vs one
+  // append-then-commit merge — must dispatch identically: the (time,
+  // rank, seq) key is a strict total order, so any valid heap pops the
+  // same way.
+  auto drive = [](bool merged) {
+    Simulator sim;
+    std::vector<int> log;
+    // A little pre-existing queue so the merge lands in a non-empty heap.
+    for (int i = 0; i < 8; ++i) {
+      sim.schedule_at(SimTime::us(5 + i), [&log, i] { log.push_back(100 + i); });
+    }
+    struct Mail {
+      SimTime when;
+      std::uint64_t rank;
+      int id;
+    };
+    std::vector<Mail> batch;
+    for (int i = 0; i < 20; ++i) {
+      batch.push_back(Mail{SimTime::us(4 + (i * 7) % 9),
+                           static_cast<std::uint64_t>((i * 5) % 3), i});
+    }
+    for (const Mail& m : batch) {
+      auto cb = [&log, id = m.id] { log.push_back(id); };
+      if (merged) {
+        sim.merge_append(m.when, m.rank, std::move(cb));
+      } else {
+        sim.schedule_at_ranked(m.when, m.rank, std::move(cb));
+      }
+    }
+    if (merged) sim.merge_commit();
+    sim.run();
+    return log;
+  };
+  EXPECT_EQ(drive(true), drive(false));
+}
+
+TEST(MergeAppend, LargeBatchTakesTheRebuildPathAndStaysOrdered) {
+  // 1000 appends into a 10-deep queue: commit() must take the Floyd
+  // rebuild path (k*8 >= size) and still produce (time, rank, seq) order.
+  Simulator sim;
+  std::vector<std::pair<std::int64_t, int>> log;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::us(500 + i), [&log, i] {
+      log.push_back({-1, i});
+    });
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime when = SimTime::us((i * 37) % 1000);
+    sim.merge_append(when, static_cast<std::uint64_t>(i % 5),
+                     [&log, &sim, i] { log.push_back({sim.now().to_ns(), i}); });
+  }
+  sim.merge_commit();
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  ASSERT_EQ(log.size(), 1010u);
+  std::int64_t prev = 0;
+  for (const auto& [at, id] : log) {
+    if (at >= 0) {
+      EXPECT_GE(at, prev);
+      prev = at;
+    }
+  }
+}
+
+TEST(MergeAppend, SmallBatchSiftPathMatchesSchedules) {
+  // A 3-event merge into a 100-deep queue stays below the rebuild
+  // threshold: commit() sifts each appended key up instead.
+  auto drive = [](bool merged) {
+    Simulator sim;
+    std::vector<int> log;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_at(SimTime::us(i), [&log, i] { log.push_back(1000 + i); });
+    }
+    for (int i = 0; i < 3; ++i) {
+      auto cb = [&log, i] { log.push_back(i); };
+      if (merged) {
+        sim.merge_append(SimTime::us(50 + i), 0, std::move(cb));
+      } else {
+        sim.schedule_at_ranked(SimTime::us(50 + i), 0, std::move(cb));
+      }
+    }
+    if (merged) sim.merge_commit();
+    sim.run();
+    return log;
+  };
+  EXPECT_EQ(drive(true), drive(false));
+}
+
+TEST(MergeAppend, CountsAllocsLikeSchedule) {
+  Simulator sim(16);
+  for (int i = 0; i < 16; ++i) {
+    sim.merge_append(SimTime::us(1), 0, [] {});
+  }
+  sim.merge_commit();
+  EXPECT_EQ(sim.stats().allocs, 0u);
+  sim.merge_append(SimTime::us(1), 0, [] {});  // 17th: the heap must grow
+  sim.merge_commit();
+  EXPECT_GT(sim.stats().allocs, 0u);
+  sim.run();
+  EXPECT_EQ(sim.dispatched(), 17u);
+}
+
 }  // namespace
 }  // namespace sccpipe

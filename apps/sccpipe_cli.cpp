@@ -13,6 +13,7 @@
 #include "sccpipe/core/recovery.hpp"
 #include "sccpipe/core/walkthrough.hpp"
 #include "sccpipe/exec/executor.hpp"
+#include "sccpipe/sim/fault.hpp"
 #include "sccpipe/support/args.hpp"
 #include "sccpipe/support/snapshot.hpp"
 #include "sccpipe/support/table.hpp"
@@ -51,6 +52,29 @@ bool parse_arrangement(const std::string& v, Arrangement* out) {
   return true;
 }
 
+/// Comma-split a repeated fault flag ("5@100,9@250") into individual plan
+/// entries, each parsed through the shared fault grammar.
+bool parse_fault_list(const std::string& text, const char* flag,
+                      const char* kind, FaultPlan* plan) {
+  if (text.empty()) return true;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    const Status st = plan->parse(std::string(kind) + "=" + item);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: bad --%s: %s\n", flag,
+                   st.message().c_str());
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,10 +97,28 @@ int main(int argc, char** argv) {
   args.add_flag("core-fail",
                 "fail-stop core fault(s), '<core>@<ms>' comma-separated, "
                 "e.g. '5@100,9@250'", "");
+  args.add_flag("slow-core",
+                "fail-slow core fate(s), '<core>:<factor>@<ms>' "
+                "comma-separated, e.g. '5:4@100'", "");
+  args.add_flag("degraded-link",
+                "degraded mesh link(s), '<tileA>-<tileB>:<factor>@<ms>' "
+                "comma-separated (adjacent tiles only)", "");
+  args.add_flag("stall",
+                "intermittent core stall train(s), "
+                "'<core>:<period_ms>:<duration_ms>' comma-separated", "");
   args.add_flag("heartbeat-ms", "supervisor heartbeat period [ms]", "10");
   args.add_flag("detect-ms", "heartbeat silence declared a failure [ms]", "25");
   args.add_flag("max-spares",
                 "spare cores recovery may consume (-1 = all)", "-1");
+  args.add_flag("gray-detect-factor",
+                "flag a core gray when its normalized service time exceeds "
+                "this multiple of the pipeline median for "
+                "--gray-detect-windows consecutive windows (0 = off)", "0");
+  args.add_flag("gray-detect-windows",
+                "consecutive over-threshold windows before a gray flag", "3");
+  args.add_flag("gray-policy",
+                "mitigation ladder ceiling: off | dvfs | migrate | rebalance",
+                "rebalance");
   args.add_flag("rcce-retries",
                 "transport attempts per message under fault injection", "1");
   args.add_flag("rcce-timeout-ms",
@@ -171,23 +213,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  const std::string core_fail = args.get("core-fail");
-  if (!core_fail.empty()) {
-    std::size_t pos = 0;
-    while (pos <= core_fail.size()) {
-      const std::size_t comma = core_fail.find(',', pos);
-      const std::string item =
-          core_fail.substr(pos, comma == std::string::npos ? std::string::npos
-                                                           : comma - pos);
-      const Status st = cfg.fault.parse("core-fail=" + item);
-      if (!st.ok()) {
-        std::fprintf(stderr, "error: bad --core-fail: %s\n",
-                     st.message().c_str());
-        return 2;
-      }
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
+  if (!parse_fault_list(args.get("core-fail"), "core-fail", "core-fail",
+                        &cfg.fault) ||
+      !parse_fault_list(args.get("slow-core"), "slow-core", "slow-core",
+                        &cfg.fault) ||
+      !parse_fault_list(args.get("degraded-link"), "degraded-link",
+                        "degraded-link", &cfg.fault) ||
+      !parse_fault_list(args.get("stall"), "stall", "intermittent-stall",
+                        &cfg.fault)) {
+    return 2;
   }
   if (args.get_int("fault-seed") > 0) {
     cfg.fault.seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
@@ -196,6 +230,19 @@ int main(int argc, char** argv) {
   cfg.recovery.detection_deadline = SimTime::ms(args.get_double("detect-ms"));
   cfg.recovery.max_spares = args.get_int("max-spares");
   if (const Status st = validate_recovery(cfg.recovery); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+    return 2;
+  }
+  cfg.gray.detect_factor = args.get_double("gray-detect-factor");
+  cfg.gray.detect_windows = args.get_int("gray-detect-windows");
+  if (const Status st = parse_gray_policy(args.get("gray-policy"),
+                                          &cfg.gray.policy);
+      !st.ok()) {
+    std::fprintf(stderr, "error: bad --gray-policy: %s\n",
+                 st.message().c_str());
+    return 2;
+  }
+  if (const Status st = validate_gray(cfg.gray); !st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
     return 2;
   }
@@ -225,6 +272,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: reorder=/duplicate= fates on the host feed need the "
                  "sliding-window transport; pass --window > 0\n");
+    return 2;
+  }
+  if (cfg.gray.enabled() && cfg.overload.enabled()) {
+    std::fprintf(stderr,
+                 "error: --gray-detect-factor cannot be combined with the "
+                 "overload data plane flags (open-loop feeder, ARQ window, "
+                 "bounded queues)\n");
     return 2;
   }
 
@@ -269,10 +323,13 @@ int main(int argc, char** argv) {
     std::printf("scenario,arrangement,platform,pipelines,frames,walkthrough_s,"
                 "mean_watts,chip_energy_j,host_busy_s,host_extra_j,"
                 "failures_detected,failures_recovered,frames_replayed,"
-                "frames_lost,spares_used,max_detect_ms,post_failure_fps,%s\n",
+                "frames_lost,spares_used,max_detect_ms,post_failure_fps,"
+                "gray_flags,gray_dvfs,gray_migrations,gray_rebalances,"
+                "gray_escalations,gray_drained,gray_shed,"
+                "post_mitigation_fps,%s\n",
                 TransportReport::csv_header().c_str());
     std::printf("%s,%s,%s,%d,%d,%.3f,%.2f,%.1f,%.3f,%.1f,%d,%d,%d,%d,%d,"
-                "%.3f,%.3f,%s\n",
+                "%.3f,%.3f,%d,%d,%d,%d,%d,%d,%llu,%.3f,%s\n",
                 scenario_name(cfg.scenario), arrangement_name(cfg.arrangement),
                 cfg.platform == PlatformKind::Scc ? "scc" : "cluster",
                 cfg.pipelines, frames, r.walkthrough.to_sec(),
@@ -281,7 +338,11 @@ int main(int argc, char** argv) {
                 r.recovery.failures_recovered, r.recovery.frames_replayed,
                 r.recovery.frames_lost, r.recovery.spares_used,
                 r.recovery.max_detection_latency_ms,
-                r.recovery.post_failure_fps, r.transport.csv().c_str());
+                r.recovery.post_failure_fps, r.gray.flags_raised,
+                r.gray.dvfs_boosts, r.gray.migrations, r.gray.rebalances,
+                r.gray.escalations, r.gray.frames_drained,
+                static_cast<unsigned long long>(r.gray.frames_shed),
+                r.gray.post_mitigation_fps, r.transport.csv().c_str());
     return r.fault.failed ? 1 : 0;
   }
 
@@ -409,6 +470,35 @@ int main(int argc, char** argv) {
                       ? ("remapped to core " + std::to_string(f.remapped_to))
                             .c_str()
                       : (f.recovered ? "no action needed" : "run failed"));
+    }
+  }
+  if (r.gray.enabled) {
+    const GrayReport& g = r.gray;
+    std::printf("gray failures: %d flag(s) -> %d dvfs boost(s), %d "
+                "migration(s), %d rebalance(s), %d escalation(s)\n",
+                g.flags_raised, g.dvfs_boosts, g.migrations, g.rebalances,
+                g.escalations);
+    std::printf("  ledger: %llu offered = %llu delivered + %llu shed; %d "
+                "in-flight frame(s) drained through migration\n",
+                static_cast<unsigned long long>(g.frames_offered),
+                static_cast<unsigned long long>(g.frames_delivered),
+                static_cast<unsigned long long>(g.frames_shed),
+                g.frames_drained);
+    if (g.post_mitigation_fps > 0.0) {
+      std::printf("  post-mitigation throughput %.2f fps\n",
+                  g.post_mitigation_fps);
+    }
+    for (const GrayActionRecord& a : g.actions) {
+      std::printf("  core %d (%s, pipeline %d) flagged %.3f s -> %s%s; "
+                  "p50 %.2f -> %.2f ms (norm %.2f vs median %.2f, "
+                  "streak %d)\n",
+                  a.core, stage_name(a.stage), a.pipeline,
+                  a.flagged_at_ms / 1000.0, a.action.c_str(),
+                  a.migrated_to >= 0
+                      ? (" to core " + std::to_string(a.migrated_to)).c_str()
+                      : "",
+                  a.before_stage_ms, a.after_stage_ms, a.evidence.norm,
+                  a.evidence.median_norm, a.evidence.streak);
     }
   }
 

@@ -148,11 +148,29 @@ int main(int argc, char** argv) {
                 "fail-stop core(s): '<core>@<ms>' comma-separated, "
                 "e.g. '5@100,9@250'",
                 "");
+  args.add_flag("slow-core",
+                "fail-slow core fate(s): '<core>:<factor>@<ms>' "
+                "comma-separated, e.g. '5:4@100'", "");
+  args.add_flag("degraded-link",
+                "degraded mesh link(s): '<tileA>-<tileB>:<factor>@<ms>' "
+                "comma-separated (adjacent tiles only)", "");
+  args.add_flag("stall",
+                "intermittent core stall train(s): "
+                "'<core>:<period_ms>:<duration_ms>' comma-separated", "");
   args.add_flag("heartbeat-ms", "supervisor heartbeat period [ms]", "10");
   args.add_flag("detect-ms", "heartbeat silence declared a failure [ms]",
                 "25");
   args.add_flag("max-spares",
                 "spare cores the supervisor may promote (-1 = all)", "-1");
+  args.add_flag("gray-detect-factor",
+                "flag a core gray when its normalized service time exceeds "
+                "this multiple of the pipeline median for "
+                "--gray-detect-windows consecutive windows (0 = off)", "0");
+  args.add_flag("gray-detect-windows",
+                "consecutive over-threshold windows before a gray flag", "3");
+  args.add_flag("gray-policy",
+                "mitigation ladder ceiling: off | dvfs | migrate | rebalance",
+                "rebalance");
   args.add_flag("offered-fps",
                 "open-loop offered load at the host feeder [frames/s] "
                 "(0 = closed loop; mcpc runs only)", "0");
@@ -201,12 +219,21 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  for (const std::string& item : split_csv(args.get("core-fail"))) {
-    const Status st = fault.parse("core-fail=" + item);
-    if (!st.ok()) {
-      std::fprintf(stderr, "[sweep] bad --core-fail: %s\n",
-                   st.to_string().c_str());
-      return 2;
+  const struct {
+    const char* flag;
+    const char* kind;
+  } fault_flags[] = {{"core-fail", "core-fail"},
+                     {"slow-core", "slow-core"},
+                     {"degraded-link", "degraded-link"},
+                     {"stall", "intermittent-stall"}};
+  for (const auto& ff : fault_flags) {
+    for (const std::string& item : split_csv(args.get(ff.flag))) {
+      const Status st = fault.parse(std::string(ff.kind) + "=" + item);
+      if (!st.ok()) {
+        std::fprintf(stderr, "[sweep] bad --%s: %s\n", ff.flag,
+                     st.to_string().c_str());
+        return 2;
+      }
     }
   }
   RecoveryConfig recovery;
@@ -214,6 +241,20 @@ int main(int argc, char** argv) {
   recovery.detection_deadline = SimTime::ms(args.get_double("detect-ms"));
   recovery.max_spares = args.get_int("max-spares");
   if (const Status st = validate_recovery(recovery); !st.ok()) {
+    std::fprintf(stderr, "[sweep] error: %s\n", st.to_string().c_str());
+    return 2;
+  }
+  GrayConfig gray;
+  gray.detect_factor = args.get_double("gray-detect-factor");
+  gray.detect_windows = args.get_int("gray-detect-windows");
+  if (const Status st = parse_gray_policy(args.get("gray-policy"),
+                                          &gray.policy);
+      !st.ok()) {
+    std::fprintf(stderr, "[sweep] bad --gray-policy: %s\n",
+                 st.to_string().c_str());
+    return 2;
+  }
+  if (const Status st = validate_gray(gray); !st.ok()) {
     std::fprintf(stderr, "[sweep] error: %s\n", st.to_string().c_str());
     return 2;
   }
@@ -248,6 +289,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "[sweep] overload flags apply to the host feed path; pass "
                  "--scenarios mcpc\n");
+    return 2;
+  }
+  if (gray.enabled() && overload.enabled()) {
+    std::fprintf(stderr,
+                 "[sweep] --gray-detect-factor cannot be combined with the "
+                 "overload data plane flags\n");
     return 2;
   }
   RetryPolicy retry;
@@ -317,6 +364,7 @@ int main(int argc, char** argv) {
           gr.cfg.pipelines = k;
           gr.cfg.fault = fault;
           gr.cfg.recovery = recovery;
+          gr.cfg.gray = gray;
           gr.cfg.overload = overload;
           gr.cfg.rcce.retry = retry;
           gr.cfg.sim_jobs = sim_jobs;
@@ -378,13 +426,16 @@ int main(int argc, char** argv) {
               "mean_watts,chip_energy_j,host_busy_s,host_extra_j,"
               "blur_wait_med_ms,failures_detected,failures_recovered,"
               "frames_replayed,frames_lost,spares_used,max_detect_ms,"
-              "post_failure_fps,%s\n",
+              "post_failure_fps,gray_flags,gray_dvfs,gray_migrations,"
+              "gray_rebalances,gray_escalations,gray_drained,gray_shed,"
+              "post_mitigation_fps,%s\n",
               TransportReport::csv_header().c_str());
   for (const GridRun& gr : runs) {
     const RunResult& r = gr.result;
     const StageReport* blur = r.stage(StageKind::Blur, 0);
     std::printf("%s,%s,%s,%d,%.3f,%.2f,%.1f,%.3f,%.1f,%.2f,"
-                "%llu,%llu,%llu,%llu,%d,%.3f,%.2f,%s\n",
+                "%llu,%llu,%llu,%llu,%d,%.3f,%.2f,"
+                "%d,%d,%d,%d,%d,%d,%llu,%.3f,%s\n",
                 scenario_name(gr.cfg.scenario),
                 arrangement_name(gr.cfg.arrangement),
                 gr.platform_label.c_str(), gr.cfg.pipelines,
@@ -397,7 +448,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.recovery.frames_replayed),
                 static_cast<unsigned long long>(r.recovery.frames_lost),
                 r.recovery.spares_used, r.recovery.max_detection_latency_ms,
-                r.recovery.post_failure_fps, r.transport.csv().c_str());
+                r.recovery.post_failure_fps, r.gray.flags_raised,
+                r.gray.dvfs_boosts, r.gray.migrations, r.gray.rebalances,
+                r.gray.escalations, r.gray.frames_drained,
+                static_cast<unsigned long long>(r.gray.frames_shed),
+                r.gray.post_mitigation_fps, r.transport.csv().c_str());
   }
   std::fflush(stdout);
   std::fprintf(stderr, "[sweep] %zu runs in %.2f s wall (%d jobs)\n",

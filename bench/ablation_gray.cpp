@@ -1,0 +1,156 @@
+// Ablation (beyond the paper) — gray-failure tolerance of the macro
+// pipeline. The paper's fault story is fail-stop; real many-core parts
+// also fail *slow* (a thermally throttled core, a degraded mesh link).
+// This harness plants one fail-slow stage core at 1x/2x/4x/8x its normal
+// service time and sweeps the mitigation ladder ceiling (off / dvfs /
+// migrate / rebalance), reporting walkthrough stretch vs the no-fault
+// baseline, detector flags, the actions taken, and the audited frame
+// ledger. Rows land in BENCH_gray.json for cross-PR comparison.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "sccpipe/core/recovery.hpp"
+
+using namespace sccpipe;
+using namespace sccpipe::bench;
+
+namespace {
+
+struct Cell {
+  double slowdown = 1.0;
+  GrayPolicy policy = GrayPolicy::Off;
+};
+
+void write_gray_json(const std::vector<Cell>& cells,
+                     const std::vector<RunResult>& results,
+                     double baseline_s, int victim) {
+  const char* path = "BENCH_gray.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"sccpipe-bench-gray-v1\",\n");
+  std::fprintf(f, "  \"tool\": \"ablation_gray\",\n");
+  std::fprintf(f, "  \"baseline_s\": %.3f,\n", baseline_s);
+  std::fprintf(f, "  \"victim_core\": %d,\n", victim);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const GrayReport& g = results[i].gray;
+    const double wall = results[i].walkthrough.to_sec();
+    std::fprintf(
+        f,
+        "    {\"slowdown\": %.1f, \"policy\": \"%s\", "
+        "\"walkthrough_s\": %.3f, \"stretch\": %.3f, "
+        "\"flags\": %d, \"dvfs_boosts\": %d, \"migrations\": %d, "
+        "\"rebalances\": %d, \"escalations\": %d, \"frames_drained\": %d, "
+        "\"post_mitigation_fps\": %.3f, \"offered\": %llu, "
+        "\"delivered\": %llu, \"shed\": %llu, \"completed\": %s}%s\n",
+        cells[i].slowdown, gray_policy_name(cells[i].policy), wall,
+        baseline_s > 0.0 ? wall / baseline_s : 0.0, g.flags_raised,
+        g.dvfs_boosts, g.migrations, g.rebalances, g.escalations,
+        g.frames_drained, g.post_mitigation_fps,
+        static_cast<unsigned long long>(g.frames_offered),
+        static_cast<unsigned long long>(g.frames_delivered),
+        static_cast<unsigned long long>(g.frames_shed),
+        results[i].fault.failed ? "false" : "true",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] gray record written: %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  print_banner(
+      "Ablation — gray failures (fail-slow stage core vs mitigation ladder)",
+      "EWMA + windowed-quantile detector, dvfs/migrate/rebalance ladder");
+
+  RunConfig base;
+  base.scenario = Scenario::HostRenderer;
+  base.pipelines = 4;
+
+  // Clean baseline: supplies the deterministic placement (to pick the
+  // victim stage core) and the no-fault walkthrough length.
+  const RunResult clean = run(base);
+  const double baseline_s = clean.walkthrough.to_sec();
+  const int victim = clean.placement.pipeline_cores[1][2];
+  const SimTime onset = SimTime::ms(clean.walkthrough.to_ms() * 0.25);
+  std::printf("no-fault baseline: %.3f s; victim core %d slows at %.3f s\n\n",
+              baseline_s, victim, onset.to_sec());
+
+  const std::vector<double> slowdowns = {1.0, 2.0, 4.0, 8.0};
+  const std::vector<GrayPolicy> policies = {
+      GrayPolicy::Off, GrayPolicy::Dvfs, GrayPolicy::Migrate,
+      GrayPolicy::Rebalance};
+  std::vector<Cell> cells;
+  std::vector<RunConfig> cfgs;
+  for (const double slow : slowdowns) {
+    for (const GrayPolicy policy : policies) {
+      Cell cell;
+      cell.slowdown = slow;
+      cell.policy = policy;
+      RunConfig cfg = base;
+      cfg.fault.seed = 7;
+      cfg.fault.slow_cores.push_back(SlowCore{victim, slow, onset});
+      // Service time is compute + DRAM streaming, so an Nx compute
+      // slowdown inflates the sampled span by well under Nx; 1.3x of the
+      // pipeline median catches the 4x and 8x cells while leaving the 1x
+      // and 2x cells (and every healthy core) untouched.
+      cfg.gray.detect_factor = 1.3;
+      cfg.gray.detect_windows = 3;
+      cfg.gray.policy = policy;
+      cells.push_back(cell);
+      cfgs.push_back(cfg);
+    }
+  }
+  const std::vector<RunResult> results = run_batch(cfgs);
+
+  TextTable table({"slowdown", "policy", "wall [s]", "stretch", "flags",
+                   "actions", "drained", "post-mit fps"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const GrayReport& g = results[i].gray;
+    const double wall = results[i].walkthrough.to_sec();
+    std::string actions;
+    if (g.dvfs_boosts > 0) {
+      actions += std::to_string(g.dvfs_boosts) + " dvfs";
+    }
+    if (g.migrations > 0) {
+      if (!actions.empty()) actions += ", ";
+      actions += std::to_string(g.migrations) + " migrate";
+    }
+    if (g.rebalances > 0) {
+      if (!actions.empty()) actions += ", ";
+      actions += std::to_string(g.rebalances) + " rebalance";
+    }
+    if (actions.empty()) actions.push_back('-');
+    table.row()
+        .add(cells[i].slowdown, 1)
+        .add(gray_policy_name(cells[i].policy))
+        .add(wall, 3)
+        .add(baseline_s > 0.0 ? wall / baseline_s : 0.0, 3)
+        .add(g.flags_raised)
+        .add(actions)
+        .add(g.frames_drained)
+        .add(g.post_mitigation_fps, 2);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "at 1x the plan is inert and the detector must stay silent. The\n"
+      "macro pipeline hides a slow stage behind the bottleneck stage, so\n"
+      "the wall clock stretches only once the straggler's service time\n"
+      "eats through that slack — but the detector flags it long before\n"
+      "then, and the ladder restores stage-local service time: a dvfs\n"
+      "boost first, then a drain-migration to a healthy spare (the drained\n"
+      "column counts in-flight strips re-sent through the rebuilt\n"
+      "channels; the ledger above them balances to zero loss).\n");
+
+  write_gray_json(cells, results, baseline_s, victim);
+  return 0;
+}

@@ -31,6 +31,7 @@
 #include "sccpipe/scc/chip.hpp"
 #include "sccpipe/sim/fault.hpp"
 #include "sccpipe/support/snapshot.hpp"
+#include "sccpipe/support/stats.hpp"
 #include "sccpipe/support/status.hpp"
 #include "sccpipe/support/time.hpp"
 
@@ -60,6 +61,56 @@ struct RecoveryConfig {
 /// through here first so the failure is a typed error, not an abort.
 Status validate_recovery(const RecoveryConfig& cfg);
 
+/// How far up the mitigation ladder the walkthrough driver may climb when
+/// the gray detector flags a straggler. Each level includes the ones below
+/// it: a flag is first answered with the cheapest remedy, and a repeat flag
+/// (the straggler is still over threshold K windows later) escalates.
+enum class GrayPolicy : std::uint8_t {
+  Off,        ///< detect and report, never act
+  Dvfs,       ///< boost the straggler's frequency island
+  Migrate,    ///< ... then drain-migrate the stage to a spare core
+  Rebalance,  ///< ... then re-split the stage chain's strip weights
+};
+
+const char* gray_policy_name(GrayPolicy policy);
+/// Parse "off" | "dvfs" | "migrate" | "rebalance"; InvalidArgument on junk.
+Status parse_gray_policy(const std::string& text, GrayPolicy* out);
+
+/// Gray-failure detector tuning. The detector is armed when detect_factor
+/// > 0: each heartbeat tick closes one observation window per watched core,
+/// summarises the window's per-stage service times into a p50 (shared
+/// support/stats histogram), normalizes it by the core's own EWMA baseline
+/// (so heterogeneous stage costs don't read as stragglers), and flags the
+/// core once its normalized service time exceeds detect_factor times the
+/// *median* normalized service time across reporting cores for
+/// detect_windows consecutive windows. Median-relative thresholding means a
+/// uniform slowdown of every core never fires (no false straggler).
+struct GrayConfig {
+  /// Multiple of the pipeline-median normalized service time beyond which a
+  /// core reads as gray-failed; 0 disables the detector entirely.
+  double detect_factor = 0.0;
+  int detect_windows = 3;  ///< K consecutive windows over threshold
+  GrayPolicy policy = GrayPolicy::Rebalance;
+
+  bool enabled() const { return detect_factor > 0.0; }
+};
+
+/// Typed validation of the gray-detector flags: detect_factor must exceed 1
+/// (at 1 the median core itself sits on the threshold) and detect_windows
+/// must be positive. A disabled config (factor 0) is always valid.
+Status validate_gray(const GrayConfig& cfg);
+
+/// Trigger evidence handed to the gray handler alongside the flag — the
+/// exact numbers the detector compared, so every mitigation action in the
+/// RunResult::gray report can show *why* it fired.
+struct GrayEvidence {
+  double window_p50_ms = 0.0;  ///< the window that tripped the threshold
+  double baseline_ms = 0.0;    ///< the core's EWMA service-time baseline
+  double norm = 0.0;           ///< window_p50 / baseline
+  double median_norm = 0.0;    ///< median norm across reporting cores
+  int streak = 0;              ///< consecutive windows over threshold
+};
+
 /// One detected fail-stop failure and what recovery did about it.
 struct FailureRecord {
   int core = -1;
@@ -71,6 +122,11 @@ struct FailureRecord {
   int remapped_to = -1;   ///< spare core that took over, or -1
   bool degraded = false;  ///< pipeline dropped instead of remapped
   bool recovered = false; ///< run continued past this failure
+  /// The core was already flagged gray when it went silent: the fail-stop
+  /// is the *escalation* of one incident, not a second overlapping one, so
+  /// detection latency is measured from the gray flag and any frames the
+  /// gray mitigation already drained are not double-counted as replays.
+  bool gray_escalated = false;
 };
 
 /// Aggregated recovery outcome, part of RunResult.
@@ -102,6 +158,8 @@ class Supervisor {
  public:
   /// (dead core, time the watchdog declared it dead)
   using FailureHandler = std::function<void(CoreId, SimTime)>;
+  /// (straggler core, time the detector flagged it, trigger evidence)
+  using GrayHandler = std::function<void(CoreId, SimTime, const GrayEvidence&)>;
 
   Supervisor(SccChip& chip, const FaultInjector& fault, RecoveryConfig cfg,
              CoreId monitor_core);
@@ -118,6 +176,30 @@ class Supervisor {
   /// Stop watching \p core (a declared-dead core is unwatched implicitly).
   void unwatch(CoreId core);
 
+  /// Arm the gray-failure detector (before start()). Detection rides the
+  /// existing heartbeat tick: each tick closes one observation window per
+  /// watched core. \p on_gray runs from inside the tick, once per flag;
+  /// after firing the streak re-arms, so a straggler the mitigation did not
+  /// cure flags again detect_windows windows later (the walkthrough climbs
+  /// its policy ladder on those repeats).
+  void enable_gray(GrayConfig cfg, GrayHandler on_gray);
+  bool gray_enabled() const { return gray_cfg_.enabled(); }
+
+  /// Feed one per-stage service-time observation (milliseconds) for \p
+  /// core's current window. Called by the stage driver at strip completion;
+  /// callers must invoke it at deterministic simulated instants (the
+  /// walkthrough records from host-region stage callbacks, whose times are
+  /// partition-invariant), which makes the detector byte-identical at any
+  /// --jobs/--sim-jobs. Unwatched cores are ignored.
+  void record_service(CoreId core, double service_ms);
+  /// Drop the detector's per-core history for \p core (after a migration:
+  /// the spare starts with a fresh baseline).
+  void reset_gray(CoreId core);
+  /// True when \p core is currently flagged (streak fired and the straggler
+  /// has not yet dropped back under threshold) — the escalation merge in
+  /// the walkthrough asks this when a silence verdict lands.
+  bool gray_flagged(CoreId core) const;
+
   /// Arm the periodic tick. \p on_failure runs from inside the tick, once
   /// per declared death.
   void start(FailureHandler on_failure);
@@ -127,6 +209,7 @@ class Supervisor {
 
   std::uint64_t heartbeats_sent() const { return heartbeats_; }
   double heartbeat_bytes_total() const { return heartbeat_bytes_; }
+  std::uint64_t gray_windows_evaluated() const { return gray_windows_; }
 
   /// Serialize the supervisor's mutable state: the watched set with its
   /// last-heartbeat clocks, the liveness traffic tally and the stopped
@@ -140,22 +223,40 @@ class Supervisor {
   struct Watched {
     CoreId core = -1;
     SimTime last_heartbeat = SimTime::zero();
+    // Gray-detector state, live only when gray_cfg_.enabled(). The window
+    // samples stay in arrival order (chronological), which keeps the
+    // snapshot serialization canonical; quantiles go through the shared
+    // fixed-bucket histogram at window close.
+    std::vector<double> window_ms;  ///< service samples, current window
+    double baseline_ms = 0.0;       ///< EWMA of unsuspicious window p50s
+    int streak = 0;                 ///< consecutive windows over threshold
+    bool flagged = false;           ///< fired and not yet back under
   };
 
   void tick();
+  void evaluate_gray(SimTime now);
   Watched* find(CoreId core);
+  const Watched* find(CoreId core) const;
 
   SccChip& chip_;
   const FaultInjector& fault_;
   RecoveryConfig cfg_;
+  GrayConfig gray_cfg_{};
   CoreId monitor_;
   FailureHandler on_failure_;
+  GrayHandler on_gray_;
   std::vector<Watched> watched_;  ///< sorted by core id
+  /// Cores currently flagged gray (sorted). Kept outside watched_ so the
+  /// flag survives the unwatch that precedes a fail-stop verdict — that is
+  /// what lets the walkthrough merge slow-then-dead into one incident.
+  std::vector<CoreId> gray_flagged_;
+  LatencyHistogram window_hist_{0.1};  ///< scratch, reused per window close
   EventHandle tick_event_{};
   bool started_ = false;
   bool stopped_ = false;
   std::uint64_t heartbeats_ = 0;
   double heartbeat_bytes_ = 0.0;
+  std::uint64_t gray_windows_ = 0;
 };
 
 }  // namespace sccpipe

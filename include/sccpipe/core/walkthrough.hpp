@@ -127,6 +127,14 @@ struct RunConfig {
   /// assumes rendezvous channels).
   OverloadConfig overload{};
 
+  /// Gray-failure tolerance (see core/recovery.hpp GrayConfig): service-
+  /// time outlier detection on the heartbeat tick plus the mitigation
+  /// ladder (DVFS boost -> drain-migrate -> rebalance). Default-off; when
+  /// armed it builds the Supervisor even without planned core failures.
+  /// Cannot be combined with the overload data plane (the gray ledger
+  /// assumes the closed-loop frame accounting).
+  GrayConfig gray{};
+
   /// Crash-durable run layer (see CheckpointConfig): periodic snapshots,
   /// resume-by-replay, planned crash-at fates. Default-off.
   CheckpointConfig checkpoint{};
@@ -236,6 +244,51 @@ struct CheckpointReport {
   std::string error;
 };
 
+/// One mitigation action the gray policy ladder took, with the detector
+/// evidence that triggered it and the before/after per-stage service time
+/// so the report shows whether the rung worked.
+struct GrayActionRecord {
+  int core = -1;       ///< the flagged straggler
+  int pipeline = -1;   ///< pipeline the core served
+  StageKind stage{};   ///< role the core played
+  /// "dvfs-boost", "migrate", "rebalance", "observe" (policy off / ladder
+  /// exhausted) or "escalate-fail-stop" (the straggler went silent).
+  std::string action;
+  double flagged_at_ms = 0.0;
+  GrayEvidence evidence{};        ///< the numbers that tripped the detector
+  double before_stage_ms = 0.0;   ///< window p50 at the flag
+  double after_stage_ms = 0.0;    ///< stage service p50 after the action
+  int migrated_to = -1;           ///< spare core, for "migrate"
+};
+
+/// Gray-failure outcome of one run: every detector flag, every ladder
+/// action, and the audited frame ledger (offered = delivered + shed;
+/// mitigation itself never loses a frame — drain-migration replays nothing
+/// and abandons nothing).
+struct GrayReport {
+  bool enabled = false;
+  int flags_raised = 0;
+  int dvfs_boosts = 0;
+  int migrations = 0;
+  int rebalances = 0;
+  /// Gray incidents that ended in a fail-stop verdict for the same core —
+  /// merged into ONE incident (see FailureRecord::gray_escalated).
+  int escalations = 0;
+  /// In-flight strips re-sent through a drain-migration's rebuilt channels.
+  /// Counted here, NOT in RecoveryReport::frames_replayed — the straggler
+  /// core is alive, so this is a drain of work already staged, not a
+  /// checkpoint replay after a death.
+  int frames_drained = 0;
+  std::vector<GrayActionRecord> actions;
+  /// Audited ledger over the whole run (CHECKed when the run is intact).
+  std::uint64_t frames_offered = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_shed = 0;  ///< lost to degraded pipelines only
+  /// Delivered-frame throughput from the first flag to the end of the run;
+  /// 0 when nothing was flagged.
+  double post_mitigation_fps = 0.0;
+};
+
 struct RunResult {
   SimTime walkthrough = SimTime::zero();  ///< last frame shown at the viewer
   std::vector<StageReport> stages;
@@ -269,6 +322,10 @@ struct RunResult {
   /// activated any feature): ARQ counters, frame ledger, credit stalls,
   /// breaker transitions, goodput and latency quantiles.
   TransportReport transport;
+
+  /// Gray-failure detection/mitigation outcome (enabled == false unless
+  /// cfg.gray armed the detector).
+  GrayReport gray;
 
   /// Parallel-engine counters (sim_jobs = 1 when the serial path ran).
   ParallelSimReport parallel_sim;

@@ -31,6 +31,16 @@ struct StripRange {
 /// the image "into as many strips as pipelines available".
 std::vector<StripRange> divide_rows(int height, int k);
 
+/// Split \p height rows into weights.size() strips whose sizes are
+/// proportional to \p weights (largest-remainder apportionment, ties broken
+/// toward lower index, every strip at least one row). Equal weights
+/// reproduce divide_rows() exactly, so a never-rebalanced run that routes
+/// through this function stays bit-identical to the unweighted path. Used
+/// by the gray-failure rebalance rung: a straggling pipeline's weight is
+/// lowered so later frames hand it a thinner strip.
+std::vector<StripRange> divide_rows_weighted(int height,
+                                             const std::vector<double>& weights);
+
 class Image {
  public:
   Image() = default;

@@ -180,6 +180,13 @@ class SccChip {
   /// of the requested frequency that a mid-run DVFS command updates via a
   /// located post (see set_tile_frequency).
   double effective_hz_live(CoreId core) const;
+  /// Fail-slow adjustment of a work duration starting at \p now on \p core:
+  /// an intermittent-stall window defers the start to its end, and a
+  /// slow-core fate multiplies the service time. Identity when no fault
+  /// layer is attached or no gray fate covers the instant. Called at the
+  /// core's tile in fabric mode, so the sampled times are region-local and
+  /// partition-independent.
+  SimTime gray_adjusted(CoreId core, SimTime dur, SimTime now) const;
 
   Simulator& sim_;
   ChipConfig cfg_;

@@ -86,6 +86,12 @@ enum class FaultKind : std::uint8_t {
                   ///< instant (crash-at=<time>; executed by the run driver,
                   ///< never entering the schedule or the trace — see
                   ///< FaultPlan::crashes)
+  SlowCore,       ///< fail-slow: core `target`'s compute and memory-walk
+                  ///< latencies multiplied by 1/factor from `start` onward
+  LinkLatency,    ///< degraded link: per-hop router latency on link `target`
+                  ///< multiplied by 1/factor from `start` onward
+  CoreStall,      ///< intermittent stall: core `target` starts no new work
+                  ///< during [start, end) — one window per period
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -107,6 +113,41 @@ struct FaultEvent {
 struct CoreFailure {
   int core = -1;
   SimTime at = SimTime::zero();
+};
+
+/// A planned fail-slow onset ("slow-core=<core>:<factor>@<time>"): from
+/// `at` onward the core's stage compute and memory-walk latencies are
+/// multiplied by `factor` (>= 1; 1.0 is a deliberate no-op that never
+/// activates the fault layer, so a factor-1.0 plan stays byte-identical to
+/// no fault at all). The core keeps answering heartbeats — only the gray
+/// detector can see it.
+struct SlowCore {
+  int core = -1;
+  double factor = 1.0;  ///< latency multiplier, >= 1
+  SimTime at = SimTime::zero();
+};
+
+/// A planned mesh-link degradation ("degraded-link=<a>-<b>:<factor>@<time>"):
+/// from `at` onward every hop crossing the link between *adjacent* tiles
+/// `a` and `b` (both directions) pays `factor` times the per-hop router
+/// latency. Latency only inflates (factor >= 1), so the parallel engine's
+/// adaptive lookahead floor — derived from the un-degraded transit — stays
+/// a valid lower bound and window-sync correctness is untouched.
+struct DegradedLink {
+  int tile_a = -1;
+  int tile_b = -1;
+  double factor = 1.0;  ///< per-hop latency multiplier, >= 1
+  SimTime at = SimTime::zero();
+};
+
+/// A planned intermittent stall ("intermittent-stall=<core>:<period>:
+/// <duration>"): starting at t = 0 the core freezes for `duration` at the
+/// top of every `period` (duration < period, so consecutive stalls never
+/// overlap), over the plan horizon. Stalled work is deferred, never lost.
+struct StallSpec {
+  int core = -1;
+  SimTime period = SimTime::zero();
+  SimTime duration = SimTime::zero();
 };
 
 /// What can go wrong, reproducible from `seed`. Parsed from the CLI's
@@ -158,6 +199,18 @@ struct FaultPlan {
   /// each occurrence appends one entry).
   std::vector<CoreFailure> core_failures;
 
+  /// Planned fail-slow onsets ("slow-core=...", repeatable). Factor-1.0
+  /// entries are accepted but never enter the schedule or flip enabled().
+  std::vector<SlowCore> slow_cores;
+
+  /// Planned mesh-link latency degradations ("degraded-link=...",
+  /// repeatable). Same factor-1.0 no-op rule as slow_cores.
+  std::vector<DegradedLink> degraded_links;
+
+  /// Planned intermittent core stalls ("intermittent-stall=...", at most
+  /// one spec per core — overlapping stall trains are rejected at parse).
+  std::vector<StallSpec> stalls;
+
   /// Planned *process* deaths ("crash-at=<time>", repeatable): the run
   /// driver stops dispatching at the first armed instant and the CLI exits
   /// as if the host process had been killed — the in-tree stand-in for a
@@ -184,6 +237,8 @@ struct FaultPlan {
   /// link-degrade=<n>:<factor>, link-down=<n>,
   /// router-degrade=<n>:<factor>, mc-degrade=<n>:<factor>,
   /// mc-stall=<n>, core-fail=<core>@<time>, crash-at=<time>,
+  /// slow-core=<core>:<factor>@<time>, degraded-link=<a>-<b>:<factor>@<time>,
+  /// intermittent-stall=<core>:<period>:<duration>,
   /// horizon=<time>, window=<time>, seed=<n>.
   Status parse(const std::string& text);
 };
@@ -215,9 +270,11 @@ class FaultInjector {
 
   /// Expand \p plan into a concrete schedule for a platform with the given
   /// component counts (MeshTopology::link_index_count(), tile_count(),
-  /// mc_count()).
+  /// mc_count()). \p mesh_width (tiles per row) is needed only to resolve
+  /// degraded-link tile pairs to directed link indices; a plan without
+  /// degraded links accepts the default.
   FaultInjector(const FaultPlan& plan, int link_count, int tile_count,
-                int mc_count);
+                int mc_count, int mesh_width = 0);
 
   bool enabled() const { return enabled_; }
   const FaultPlan& plan() const { return plan_; }
@@ -232,6 +289,11 @@ class FaultInjector {
   double link_slowdown(int link_index, SimTime at) const;
   /// Router forwarding-latency multiplier (>= 1) for \p tile at \p at.
   double router_slowdown(int tile, SimTime at) const;
+  /// Per-hop latency multiplier (>= 1) for a *degraded* link at \p at.
+  /// Unlike link_slowdown (which scales serialisation time), this scales
+  /// the fixed per-hop router latency — latency only ever inflates, so the
+  /// parallel engine's lookahead floor stays valid.
+  double link_latency_factor(int link_index, SimTime at) const;
 
   // --- memory hooks ------------------------------------------------------
   /// Earliest instant >= \p at when the controller admits a new flow.
@@ -245,6 +307,18 @@ class FaultInjector {
   /// The planned death time of \p core, or SimTime::max() if it never dies.
   SimTime core_fail_time(int core) const;
   bool has_core_failures() const { return !plan_.core_failures.empty(); }
+
+  // --- core fail-slow hooks ----------------------------------------------
+  /// Latency multiplier (>= 1) for \p core's compute and memory-walk work
+  /// at \p at (slow-core fates; 1.0 when the core runs at full speed).
+  double core_slowdown(int core, SimTime at) const;
+  /// Earliest instant >= \p at when \p core may *start* new work — an
+  /// intermittent-stall window defers work to its end, never drops it.
+  SimTime core_available(int core, SimTime at) const;
+  /// True when the plan contains any fail-slow fate (slow-core with factor
+  /// != 1, degraded-link with factor != 1, or an intermittent stall) — the
+  /// gray-failure detector only has something to find when this holds.
+  bool has_gray_faults() const;
 
   // --- message fates (stateful; recorded into the trace) -----------------
   /// Decide the fate of one RCCE transfer attempt. On Deliver/Corrupt,

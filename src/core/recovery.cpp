@@ -23,6 +23,49 @@ Status validate_recovery(const RecoveryConfig& cfg) {
   return Status();
 }
 
+const char* gray_policy_name(GrayPolicy policy) {
+  switch (policy) {
+    case GrayPolicy::Off: return "off";
+    case GrayPolicy::Dvfs: return "dvfs";
+    case GrayPolicy::Migrate: return "migrate";
+    case GrayPolicy::Rebalance: return "rebalance";
+  }
+  return "?";
+}
+
+Status parse_gray_policy(const std::string& text, GrayPolicy* out) {
+  if (text == "off") {
+    *out = GrayPolicy::Off;
+  } else if (text == "dvfs") {
+    *out = GrayPolicy::Dvfs;
+  } else if (text == "migrate") {
+    *out = GrayPolicy::Migrate;
+  } else if (text == "rebalance") {
+    *out = GrayPolicy::Rebalance;
+  } else {
+    return Status(StatusCode::InvalidArgument,
+                  "--gray-policy must be off|dvfs|migrate|rebalance, got '" +
+                      text + "'");
+  }
+  return Status();
+}
+
+Status validate_gray(const GrayConfig& cfg) {
+  if (!cfg.enabled()) return Status();
+  if (cfg.detect_factor <= 1.0) {
+    return Status(StatusCode::InvalidArgument,
+                  "--gray-detect-factor must exceed 1 (the median core sits "
+                  "exactly on a factor-1 threshold), got " +
+                      std::to_string(cfg.detect_factor));
+  }
+  if (cfg.detect_windows < 1) {
+    return Status(StatusCode::InvalidArgument,
+                  "--gray-detect-windows must be positive, got " +
+                      std::to_string(cfg.detect_windows));
+  }
+  return Status();
+}
+
 Supervisor::Supervisor(SccChip& chip, const FaultInjector& fault,
                        RecoveryConfig cfg, CoreId monitor_core)
     : chip_(chip), fault_(fault), cfg_(cfg), monitor_(monitor_core) {
@@ -39,6 +82,46 @@ Supervisor::Watched* Supervisor::find(CoreId core) {
       [](const Watched& w, CoreId c) { return w.core < c; });
   if (it == watched_.end() || it->core != core) return nullptr;
   return &*it;
+}
+
+const Supervisor::Watched* Supervisor::find(CoreId core) const {
+  const auto it = std::lower_bound(
+      watched_.begin(), watched_.end(), core,
+      [](const Watched& w, CoreId c) { return w.core < c; });
+  if (it == watched_.end() || it->core != core) return nullptr;
+  return &*it;
+}
+
+void Supervisor::enable_gray(GrayConfig cfg, GrayHandler on_gray) {
+  SCCPIPE_CHECK(!started_);
+  SCCPIPE_CHECK(validate_gray(cfg).ok());
+  SCCPIPE_CHECK(cfg.enabled());
+  SCCPIPE_CHECK(on_gray != nullptr);
+  gray_cfg_ = cfg;
+  on_gray_ = std::move(on_gray);
+}
+
+void Supervisor::record_service(CoreId core, double service_ms) {
+  if (!gray_cfg_.enabled()) return;
+  Watched* w = find(core);
+  if (w == nullptr) return;  // producer/transfer/already-unwatched cores
+  w->window_ms.push_back(service_ms);
+}
+
+void Supervisor::reset_gray(CoreId core) {
+  const auto it =
+      std::lower_bound(gray_flagged_.begin(), gray_flagged_.end(), core);
+  if (it != gray_flagged_.end() && *it == core) gray_flagged_.erase(it);
+  Watched* w = find(core);
+  if (w == nullptr) return;
+  w->window_ms.clear();
+  w->baseline_ms = 0.0;
+  w->streak = 0;
+  w->flagged = false;
+}
+
+bool Supervisor::gray_flagged(CoreId core) const {
+  return std::binary_search(gray_flagged_.begin(), gray_flagged_.end(), core);
 }
 
 void Supervisor::watch(CoreId core) {
@@ -109,6 +192,15 @@ void Supervisor::tick() {
     heartbeat_bytes_ += cfg_.heartbeat_bytes;
   }
 
+  // Gray-failure scan: close this tick's observation window on every
+  // watched core and flag stragglers. Runs before the silence scan so a
+  // core that is both slow and newly dead resolves as a fail-stop this
+  // same tick (the walkthrough merges the two into one incident).
+  if (gray_cfg_.enabled()) {
+    evaluate_gray(now);
+    if (stopped_) return;  // a gray handler may abort the run
+  }
+
   // Watchdog scan: declare anything silent past the deadline. Collect
   // first, then fire — the handler mutates the watched set (unwatch,
   // watch of the spare).
@@ -128,6 +220,94 @@ void Supervisor::tick() {
       chip_.sim().schedule_after(cfg_.heartbeat_period, [this] { tick(); });
 }
 
+void Supervisor::evaluate_gray(SimTime now) {
+  // EWMA smoothing of the per-core baseline. Deliberately sluggish: the
+  // baseline must remember the core's healthy service time long enough for
+  // detect_windows consecutive comparisons to see the contrast.
+  constexpr double kAlpha = 0.2;
+
+  // Pass 1 (core-id order — watched_ is sorted): close each window, seed
+  // or fetch the baseline, and compute the normalized service time.
+  struct Eval {
+    std::size_t idx;  ///< into watched_
+    double p50;
+    double norm;
+  };
+  std::vector<Eval> evals;
+  for (std::size_t i = 0; i < watched_.size(); ++i) {
+    Watched& w = watched_[i];
+    if (w.window_ms.empty()) continue;  // stage saw no strip this window
+    if (fault_.core_failed(w.core, now)) continue;  // silence scan's case
+    window_hist_.clear();
+    for (const double ms : w.window_ms) window_hist_.add(ms);
+    const double p50 = window_hist_.quantile(0.5);
+    if (w.baseline_ms <= 0.0) w.baseline_ms = p50;  // first window seeds
+    evals.push_back(Eval{i, p50, p50 / w.baseline_ms});
+    ++gray_windows_;
+  }
+  if (evals.empty()) return;
+
+  // Median of the normalized service times across reporting cores. A
+  // uniform slowdown moves every norm — and so the median — by the same
+  // multiple, which is exactly why it never flags anyone.
+  window_hist_.clear();
+  for (const Eval& e : evals) window_hist_.add(e.norm);
+  const double median_norm = window_hist_.quantile(0.5);
+  const double threshold = gray_cfg_.detect_factor * median_norm;
+
+  // Pass 2: streak accounting and baseline maintenance. Evidence for any
+  // flag is captured by value first; handlers run only after the scan (they
+  // mutate watched_, invalidating indices).
+  struct Flag {
+    CoreId core;
+    GrayEvidence ev;
+  };
+  std::vector<Flag> flags;
+  for (const Eval& e : evals) {
+    Watched& w = watched_[e.idx];
+    const bool over = e.norm > threshold;
+    if (!over) {
+      w.streak = 0;
+      if (w.flagged) {
+        w.flagged = false;
+        const auto it = std::lower_bound(gray_flagged_.begin(),
+                                         gray_flagged_.end(), w.core);
+        if (it != gray_flagged_.end() && *it == w.core) {
+          gray_flagged_.erase(it);
+        }
+      }
+      // Only unsuspicious windows feed the EWMA: a straggler must not
+      // launder its slowdown into its own baseline and fade from view.
+      w.baseline_ms = kAlpha * e.p50 + (1.0 - kAlpha) * w.baseline_ms;
+    } else if (++w.streak >= gray_cfg_.detect_windows) {
+      w.streak = 0;  // re-arm: an uncured straggler flags again K windows on
+      if (!w.flagged) {
+        w.flagged = true;
+        const auto it = std::lower_bound(gray_flagged_.begin(),
+                                         gray_flagged_.end(), w.core);
+        if (it == gray_flagged_.end() || *it != w.core) {
+          gray_flagged_.insert(it, w.core);
+        }
+      }
+      GrayEvidence ev;
+      ev.window_p50_ms = e.p50;
+      ev.baseline_ms = w.baseline_ms;
+      ev.norm = e.norm;
+      ev.median_norm = median_norm;
+      ev.streak = gray_cfg_.detect_windows;
+      flags.push_back(Flag{w.core, ev});
+    }
+    w.window_ms.clear();
+  }
+  // Windows of cores that reported nothing stay open (window_ms already
+  // empty); evaluated windows were cleared above.
+
+  for (const Flag& f : flags) {
+    on_gray_(f.core, now, f.ev);
+    if (stopped_) return;
+  }
+}
+
 void Supervisor::save_state(snapshot::Writer& w) const {
   w.u32(stopped_ ? 1 : 0);
   w.u64(heartbeats_);
@@ -137,6 +317,21 @@ void Supervisor::save_state(snapshot::Writer& w) const {
     w.i64(watched.core);
     w.i64(watched.last_heartbeat.to_ns());
   }
+  // Gray-detector block, present exactly when the detector is configured —
+  // the config is part of the run setup, so save and restore agree on the
+  // layout, and a gray-off snapshot stays byte-identical to the pre-gray
+  // format.
+  if (!gray_cfg_.enabled()) return;
+  w.u64(gray_windows_);
+  for (const Watched& watched : watched_) {
+    w.f64(watched.baseline_ms);
+    w.i64(watched.streak);
+    w.u32(watched.flagged ? 1 : 0);
+    w.u64(watched.window_ms.size());
+    for (const double ms : watched.window_ms) w.f64(ms);
+  }
+  w.u64(gray_flagged_.size());
+  for (const CoreId c : gray_flagged_) w.i64(c);
 }
 
 Status Supervisor::restore_state(snapshot::Reader& r) {
@@ -156,10 +351,40 @@ Status Supervisor::restore_state(snapshot::Reader& r) {
     watched.push_back(
         Watched{static_cast<CoreId>(core), SimTime::ns(last_ns)});
   }
+  std::uint64_t gray_windows = 0;
+  std::vector<CoreId> gray_flagged;
+  if (gray_cfg_.enabled()) {
+    if (Status s = r.u64(&gray_windows); !s.ok()) return s;
+    for (Watched& watched : watched) {
+      std::int64_t streak = 0;
+      std::uint32_t flagged = 0;
+      std::uint64_t samples = 0;
+      if (Status s = r.f64(&watched.baseline_ms); !s.ok()) return s;
+      if (Status s = r.i64(&streak); !s.ok()) return s;
+      if (Status s = r.u32(&flagged); !s.ok()) return s;
+      if (Status s = r.u64(&samples); !s.ok()) return s;
+      watched.streak = static_cast<int>(streak);
+      watched.flagged = flagged != 0;
+      watched.window_ms.resize(static_cast<std::size_t>(samples));
+      for (double& ms : watched.window_ms) {
+        if (Status s = r.f64(&ms); !s.ok()) return s;
+      }
+    }
+    std::uint64_t n_flagged = 0;
+    if (Status s = r.u64(&n_flagged); !s.ok()) return s;
+    gray_flagged.reserve(static_cast<std::size_t>(n_flagged));
+    for (std::uint64_t i = 0; i < n_flagged; ++i) {
+      std::int64_t c = 0;
+      if (Status s = r.i64(&c); !s.ok()) return s;
+      gray_flagged.push_back(static_cast<CoreId>(c));
+    }
+  }
   stopped_ = stopped != 0;
   heartbeats_ = heartbeats;
   heartbeat_bytes_ = bytes;
   watched_ = std::move(watched);
+  gray_windows_ = gray_windows;
+  gray_flagged_ = std::move(gray_flagged);
   return Status();
 }
 

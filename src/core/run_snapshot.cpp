@@ -74,6 +74,25 @@ std::uint64_t run_config_fingerprint(const RunConfig& cfg) {
     f.mix_i(cf.core);
     f.mix_t(cf.at);
   }
+  f.mix(p.slow_cores.size());
+  for (const SlowCore& sc : p.slow_cores) {
+    f.mix_i(sc.core);
+    f.mix_d(sc.factor);
+    f.mix_t(sc.at);
+  }
+  f.mix(p.degraded_links.size());
+  for (const DegradedLink& dl : p.degraded_links) {
+    f.mix_i(dl.tile_a);
+    f.mix_i(dl.tile_b);
+    f.mix_d(dl.factor);
+    f.mix_t(dl.at);
+  }
+  f.mix(p.stalls.size());
+  for (const StallSpec& ss : p.stalls) {
+    f.mix_i(ss.core);
+    f.mix_t(ss.period);
+    f.mix_t(ss.duration);
+  }
   // p.crashes deliberately unmixed (see the header).
 
   const RecoveryConfig& rc = cfg.recovery;
@@ -81,6 +100,11 @@ std::uint64_t run_config_fingerprint(const RunConfig& cfg) {
   f.mix_t(rc.detection_deadline);
   f.mix_d(rc.heartbeat_bytes);
   f.mix_i(rc.max_spares);
+
+  const GrayConfig& gc = cfg.gray;
+  f.mix_d(gc.detect_factor);
+  f.mix_i(gc.detect_windows);
+  f.mix(static_cast<std::uint64_t>(gc.policy));
 
   const OverloadConfig& oc = cfg.overload;
   f.mix_d(oc.offered_fps);

@@ -165,6 +165,14 @@ class WalkthroughSim {
       arrival_at_.assign(static_cast<std::size_t>(frames_total()),
                          SimTime::zero());
     }
+    if (cfg.gray.enabled()) {
+      const Status gs = validate_gray(cfg.gray);
+      SCCPIPE_CHECK_MSG(gs.ok(), gs.message());
+      SCCPIPE_CHECK_MSG(!cfg.overload.enabled(),
+                        "gray-failure mitigation cannot be combined with the "
+                        "overload data plane (the gray ledger assumes the "
+                        "closed-loop frame accounting)");
+    }
     build_platform();
     // Unconfine the chip: timed work (compute, DRAM streams, memory walks,
     // mid-run DVFS) now executes at the region owning its tile. The fabric
@@ -271,11 +279,22 @@ class WalkthroughSim {
       fault_ = std::make_unique<FaultInjector>(cfg_.fault,
                                                topo.link_index_count(),
                                                topo.tile_count(),
-                                               topo.mc_count());
+                                               topo.mc_count(),
+                                               topo.layout().width);
       chip_->mesh().set_fault_injector(fault_.get());
       chip_->memory().set_fault_injector(fault_.get());
       chip_->set_fault_injector(fault_.get());
       rcce_->set_fault_injector(fault_.get());
+      for (const SlowCore& sc : cfg_.fault.slow_cores) {
+        SCCPIPE_CHECK_MSG(topo.valid_core(sc.core),
+                          "slow-core targets core " << sc.core
+                              << " which the chip does not have");
+      }
+      for (const StallSpec& ss : cfg_.fault.stalls) {
+        SCCPIPE_CHECK_MSG(topo.valid_core(ss.core),
+                          "intermittent-stall targets core " << ss.core
+                              << " which the chip does not have");
+      }
     }
   }
 
@@ -313,18 +332,30 @@ class WalkthroughSim {
     return pipeline_cores[pipeline_cores.size() - 4];
   }
 
-  /// The Supervisor exists only when the plan schedules a core failure, so
-  /// every other configuration — including PR-1 drop/delay fault runs —
-  /// takes exactly the code paths it did before this feature existed.
+  /// The Supervisor exists only when the plan schedules a core failure or
+  /// the gray detector is armed, so every other configuration — including
+  /// PR-1 drop/delay fault runs — takes exactly the code paths it did
+  /// before this feature existed.
   void build_supervisor() {
-    if (fault_ == nullptr || !fault_->has_core_failures()) return;
+    const bool core_faults = fault_ != nullptr && fault_->has_core_failures();
+    if (!core_faults && !cfg_.gray.enabled()) return;
     const MeshTopology& topo = chip_->topology();
     for (const CoreFailure& cf : cfg_.fault.core_failures) {
       SCCPIPE_CHECK_MSG(topo.valid_core(cf.core),
                         "core-fail targets core " << cf.core
                             << " which the chip does not have");
     }
-    supervisor_ = std::make_unique<Supervisor>(*chip_, *fault_, cfg_.recovery,
+    const FaultInjector* fi = fault_.get();
+    if (fi == nullptr) {
+      // Gray detector armed with no fault plan at all (the ablation's
+      // no-fault baselines): the Supervisor still wants a fault view for
+      // its death checks; hand it an inert one that reports no deaths.
+      idle_fault_ = std::make_unique<FaultInjector>(
+          FaultPlan{}, topo.link_index_count(), topo.tile_count(),
+          topo.mc_count(), topo.layout().width);
+      fi = idle_fault_.get();
+    }
+    supervisor_ = std::make_unique<Supervisor>(*chip_, *fi, cfg_.recovery,
                                                placement_.transfer);
     recovery_.enabled = true;
     spares_ = placement_.spare_cores;
@@ -341,6 +372,14 @@ class WalkthroughSim {
     outstanding_.resize(k);
     replay_q_.resize(k);
     replay_active_.assign(k, 0);
+    gray_drain_.assign(k, 0);
+    if (cfg_.gray.enabled()) {
+      pipe_weight_.assign(k, 1.0);
+      supervisor_->enable_gray(
+          cfg_.gray, [this](CoreId core, SimTime at, const GrayEvidence& ev) {
+            handle_gray_flag(core, at, ev);
+          });
+    }
     for (const CoreId c : placement_.all_cores()) supervisor_->watch(c);
   }
 
@@ -602,6 +641,18 @@ class WalkthroughSim {
       return;
     }
     frame_routes_[frame] = std::move(route);
+    if (gray_weighted_) {
+      // Rebalanced run: snap this frame's weighted split now, so a
+      // rebalance landing mid-distribution can never tear one frame's
+      // strips (the split must be consistent across all of its slots).
+      const std::vector<int>& rt = frame_routes_[frame];
+      std::vector<double> wts;
+      wts.reserve(rt.size());
+      for (const int q : rt) {
+        wts.push_back(pipe_weight_[static_cast<std::size_t>(q)]);
+      }
+      frame_strips_[frame] = divide_rows_weighted(side(), wts);
+    }
     dist_active_ = true;
     dist_frame_ = frame;
     dist_slot_ = 0;
@@ -666,6 +717,7 @@ class WalkthroughSim {
     if (s >= static_cast<int>(route.size())) {
       dist_active_ = false;
       dist_pending_pipeline_ = -1;
+      frame_strips_.erase(frame);
       if (cfg_.scenario == Scenario::SingleRenderer) {
         record_span(placement_.producer, StageKind::Render, frame, "process",
                     producer_span_start_, sim_.now());
@@ -678,7 +730,14 @@ class WalkthroughSim {
       return;
     }
     const int p = route[static_cast<std::size_t>(s)];
-    const auto strips = divide_rows(side(), static_cast<int>(route.size()));
+    // A rebalanced frame uses the weighted split snapped when its route
+    // was; all other frames take the equal split, byte-identical to the
+    // pre-gray path.
+    const auto sit = frame_strips_.find(frame);
+    const auto strips =
+        sit != frame_strips_.end()
+            ? sit->second
+            : divide_rows(side(), static_cast<int>(route.size()));
     FrameToken tok;
     tok.frame = frame;
     tok.strip = strips[static_cast<std::size_t>(s)];
@@ -946,6 +1005,16 @@ class WalkthroughSim {
         chip_->dram_stream(st.core, w.dram_bytes, [this, &st, gen, matched,
                                                    tok = std::move(tok)]() mutable {
           if (supervisor_ && (failed_ || st.gen != gen)) return;
+          // Gray-detector service sample: rendezvous match to end of the
+          // stage's own compute + DRAM work. Deliberately *before* the
+          // downstream send, so a straggler's backpressure never inflates
+          // its upstream neighbours' samples and mis-attributes the flag.
+          // This callback has hopped back to the host region (chip chains
+          // return to the caller's site), so the instant is partition-
+          // invariant and the detector byte-identical at any --sim-jobs.
+          if (supervisor_ && supervisor_->gray_enabled()) {
+            note_service(st.core, (sim_.now() - matched).to_ms());
+          }
           if (cfg_.functional && tok.image) {
             apply_stage_functional(st.kind, *tok.image, tok.frame, cfg_.seed,
                                    cfg_.cal.max_scratches);
@@ -1185,6 +1254,26 @@ class WalkthroughSim {
     rec.failed_at_ms = fault_->core_fail_time(core).to_ms();
     rec.detected_at_ms = detected_at.to_ms();
     rec.detection_latency_ms = rec.detected_at_ms - rec.failed_at_ms;
+    // Slow-then-dead: the core was already flagged gray when it went
+    // silent. That is ONE incident escalating to fail-stop, not two
+    // overlapping ones — the detection clock started at the gray flag (the
+    // system was already reacting), and closing the gray incident here
+    // keeps the ladder from answering a dead core's stale flag.
+    if (supervisor_->gray_enabled() && supervisor_->gray_flagged(core)) {
+      rec.gray_escalated = true;
+      ++gray_.escalations;
+      const auto it = gray_flag_ms_.find(core);
+      if (it != gray_flag_ms_.end()) {
+        rec.detection_latency_ms = rec.detected_at_ms - it->second;
+      }
+      GrayActionRecord act;
+      act.core = core;
+      act.action = "escalate-fail-stop";
+      act.flagged_at_ms =
+          it != gray_flag_ms_.end() ? it->second : rec.detected_at_ms;
+      push_gray_action(std::move(act));
+      supervisor_->reset_gray(core);
+    }
     ++recovery_.failures_detected;
     recovery_.max_detection_latency_ms =
         std::max(recovery_.max_detection_latency_ms, rec.detection_latency_ms);
@@ -1334,6 +1423,7 @@ class WalkthroughSim {
     outstanding_[sp].clear();
     replay_q_[sp].clear();
     replay_active_[sp] = 0;
+    gray_drain_[sp] = 0;
     if (dist_active_) {
       const auto it = frame_routes_.find(dist_frame_);
       if (it != frame_routes_.end() &&
@@ -1450,6 +1540,7 @@ class WalkthroughSim {
     }
     if (q.empty()) {
       replay_active_[sp] = 0;
+      gray_drain_[sp] = 0;
       if (cfg_.scenario == Scenario::RendererPerPipeline) {
         // Backlog drained; the (possibly new) renderer resumes the frames
         // it never handed over.
@@ -1460,9 +1551,16 @@ class WalkthroughSim {
     const int frame = q.front();
     q.pop_front();
     const SentStrip& m = outstanding_[sp][frame];
-    ++recovery_.checkpoint_replays;
-    ++recovery_.frames_replayed;
-    recovery_.checkpoint_bytes += m.bytes;
+    if (gray_drain_[sp]) {
+      // Drain-migration: the old core is alive and nothing was lost — the
+      // re-send drains staged work, it does not recover from a death, so
+      // it must not inflate the recovery report's replay counters.
+      ++gray_.frames_drained;
+    } else {
+      ++recovery_.checkpoint_replays;
+      ++recovery_.frames_replayed;
+      recovery_.checkpoint_bytes += m.bytes;
+    }
     chip_->dram_stream(checkpoint_reader(p), m.bytes, [this, p, sp, gen,
                                                        frame] {
       if (failed_ || gen != pipeline_gen_[sp]) return;
@@ -1485,6 +1583,211 @@ class WalkthroughSim {
         pump_replay(p, gen);
       });
     });
+  }
+
+  // ------------------------------------------- gray-failure mitigation
+  //
+  // The Supervisor's detector flags a straggler (service-time outlier for
+  // K consecutive windows, see core/recovery.hpp); the driver answers by
+  // climbing a policy ladder one rung per flag: boost the straggler's
+  // frequency island, then drain-migrate its stage to a spare core, then
+  // shrink its pipeline's strip share. Every action records the trigger
+  // evidence and the before/after stage service time (RunResult::gray).
+
+  /// Append an action and its (aligned) post-action sample histogram.
+  std::size_t push_gray_action(GrayActionRecord act) {
+    gray_.actions.push_back(std::move(act));
+    gray_after_hist_.emplace_back(0.1);
+    return gray_.actions.size() - 1;
+  }
+
+  /// Feed one service sample to the detector and to every pending action's
+  /// "after" histogram for this core.
+  void note_service(CoreId core, double service_ms) {
+    supervisor_->record_service(core, service_ms);
+    if (gray_after_.empty()) return;
+    const auto it = gray_after_.find(core);
+    if (it == gray_after_.end()) return;
+    for (const std::size_t i : it->second) {
+      gray_after_hist_[i].add(service_ms);
+    }
+  }
+
+  /// One DVFS step up for the straggler's tile (the SCC raises frequency —
+  /// and with it the island's voltage — per tile, so this is the cheapest
+  /// rung). False when the tile already sits at the table's top point.
+  bool dvfs_boost(CoreId core) {
+    const double cur_hz = chip_->frequency_hz(core);
+    int next_mhz = 0;
+    for (const OperatingPoint& pt : chip_->dvfs().points()) {
+      if (static_cast<double>(pt.mhz) * 1e6 > cur_hz &&
+          (next_mhz == 0 || pt.mhz < next_mhz)) {
+        next_mhz = pt.mhz;
+      }
+    }
+    if (next_mhz == 0) return false;
+    chip_->set_core_frequency(core, next_mhz);
+    return true;
+  }
+
+  /// Drain-migrate the straggling stage onto a spare core. The straggler
+  /// is alive, so nothing was lost and nothing needs *recovery*: the
+  /// pipeline is rebuilt one generation up (exactly the fail-stop remap
+  /// path), and the strips still in flight are re-sent from the producer's
+  /// staged copies — counted as gray drains, not checkpoint replays.
+  CoreId gray_migrate(int p, std::size_t idx, CoreId from) {
+    const std::size_t sp = static_cast<std::size_t>(p);
+    const CoreId spare = spares_.front();
+    spares_.erase(spares_.begin());
+    ++recovery_.spares_used;
+    chip_->allocate_core(spare);
+    remapped_cores_.push_back(spare);
+    supervisor_->watch(spare);
+    // The straggler is retired, not dead: stop monitoring it and close its
+    // detector incident here — a later planned death of the idle core must
+    // not surface as a second overlapping recovery.
+    supervisor_->reset_gray(from);
+    supervisor_->unwatch(from);
+    abandon_pipeline_pairs(p);
+    swallow_pipeline_errors(p);
+    cores_now_[sp][idx] = spare;
+    apply_dvfs_to_replacement(p, idx, spare);
+    ++pipeline_gen_[sp];
+    rebuild_pipeline(p);
+    if (transfer_waiting_ &&
+        transfer_route_[static_cast<std::size_t>(transfer_slot_)] == p) {
+      transfer_recv_slot();
+    }
+    if (dist_pending_pipeline_ == p) {
+      dist_pending_pipeline_ = -1;
+      send_strips_routed(dist_frame_, dist_slot_ + 1, dist_image_);
+    }
+    gray_drain_[sp] = 1;
+    queue_replay(p);
+    return spare;
+  }
+
+  /// Shrink the straggling pipeline's strip share in proportion to its
+  /// measured relative slowdown: later frames are split by weight, so the
+  /// slow stage does less work per frame instead of pacing the whole chip.
+  void gray_rebalance(int p, const GrayEvidence& ev) {
+    const double rel = ev.median_norm > 0.0 ? ev.norm / ev.median_norm : 1.0;
+    const double w = std::clamp(rel > 0.0 ? 1.0 / rel : 1.0, 0.2, 1.0);
+    pipe_weight_[static_cast<std::size_t>(p)] =
+        std::min(pipe_weight_[static_cast<std::size_t>(p)], w);
+    gray_weighted_ = true;
+  }
+
+  /// Detector verdict arrived: climb the policy ladder one rung. A flag
+  /// the mitigation does not cure re-fires detect_windows windows later
+  /// (the detector re-arms its streak), which is what walks a stubborn
+  /// straggler from DVFS to migration to rebalancing.
+  void handle_gray_flag(CoreId core, SimTime at, const GrayEvidence& ev) {
+    ++gray_.flags_raised;
+    if (first_gray_flag_ms_ < 0.0) first_gray_flag_ms_ = at.to_ms();
+    if (gray_flag_ms_.find(core) == gray_flag_ms_.end()) {
+      gray_flag_ms_[core] = at.to_ms();
+    }
+    GrayActionRecord rec;
+    rec.core = core;
+    rec.flagged_at_ms = at.to_ms();
+    rec.evidence = ev;
+    rec.before_stage_ms = ev.window_p50_ms;
+    // Locate the straggler in the live pipeline map (it may already be a
+    // promoted spare from an earlier remap).
+    int p = -1;
+    std::size_t idx = 0;
+    for (int q = 0; q < cfg_.pipelines && p < 0; ++q) {
+      const auto& cores = cores_now_[static_cast<std::size_t>(q)];
+      for (std::size_t i = 0; i < cores.size(); ++i) {
+        if (cores[i] == core) {
+          p = q;
+          idx = i;
+          break;
+        }
+      }
+    }
+    rec.pipeline = p;
+    if (p >= 0) rec.stage = stage_kind_of(idx);
+    rec.action = "observe";
+    int& rung = gray_rung_[core];
+    const bool actionable = p >= 0 && !failed_ &&
+                            pipeline_alive_[static_cast<std::size_t>(p)] &&
+                            transfer_frame_ < frames_total();
+    const auto policy_at_least = [this](GrayPolicy floor) {
+      return static_cast<int>(cfg_.gray.policy) >= static_cast<int>(floor);
+    };
+    if (actionable && rung < 1 && policy_at_least(GrayPolicy::Dvfs)) {
+      rung = 1;
+      if (dvfs_boost(core)) {
+        rec.action = "dvfs-boost";
+        ++gray_.dvfs_boosts;
+        gray_after_[core].push_back(push_gray_action(std::move(rec)));
+        return;
+      }
+      // Already at the top operating point; the rung is spent, the next
+      // flag escalates.
+    } else if (actionable && rung < 2 && policy_at_least(GrayPolicy::Migrate) &&
+               !spares_.empty()) {
+      rung = 2;
+      rec.action = "migrate";
+      ++gray_.migrations;
+      const CoreId spare = gray_migrate(p, idx, core);
+      rec.migrated_to = spare;
+      // "After" samples come from the spare — the stage moved there.
+      gray_after_[spare].push_back(push_gray_action(std::move(rec)));
+      return;
+    } else if (actionable && rung < 3 &&
+               policy_at_least(GrayPolicy::Rebalance) &&
+               cfg_.scenario != Scenario::RendererPerPipeline) {
+      // (Per-pipeline renderers draw fixed-frustum strips; re-splitting
+      // mid-run would need new frusta, so that scenario stops at rung 2.)
+      rung = 3;
+      rec.action = "rebalance";
+      ++gray_.rebalances;
+      gray_rebalance(p, ev);
+      gray_after_[core].push_back(push_gray_action(std::move(rec)));
+      return;
+    }
+    push_gray_action(std::move(rec));  // policy off / ladder exhausted
+  }
+
+  void collect_gray_report(RunResult& r) {
+    r.gray = gray_;
+    if (!cfg_.gray.enabled()) return;
+    r.gray.enabled = true;
+    for (std::size_t i = 0; i < r.gray.actions.size(); ++i) {
+      if (i < gray_after_hist_.size() && !gray_after_hist_[i].empty()) {
+        r.gray.actions[i].after_stage_ms = gray_after_hist_[i].quantile(0.5);
+      }
+    }
+    r.gray.frames_offered = static_cast<std::uint64_t>(frames_total());
+    r.gray.frames_delivered =
+        static_cast<std::uint64_t>(frame_done_ms_.size());
+    r.gray.frames_shed = static_cast<std::uint64_t>(lost_frames_.size());
+    // Audited invariant: mitigation never loses a frame. Whatever the
+    // ladder did — boosts, drain-migrations, re-splits — every offered
+    // frame is either delivered or explicitly shed by a *degraded*
+    // pipeline (spare exhaustion), never silently dropped.
+    if (!failed_ && !crashed_) {
+      SCCPIPE_CHECK_MSG(
+          r.gray.frames_offered ==
+              r.gray.frames_delivered + r.gray.frames_shed,
+          "gray ledger leak: offered " << r.gray.frames_offered
+              << " != delivered " << r.gray.frames_delivered << " + shed "
+              << r.gray.frames_shed);
+    }
+    if (first_gray_flag_ms_ >= 0.0 && !frame_done_ms_.empty()) {
+      int after = 0;
+      for (const double t : frame_done_ms_) {
+        if (t > first_gray_flag_ms_) ++after;
+      }
+      const double span_s =
+          (frame_done_ms_.back() - first_gray_flag_ms_) / 1e3;
+      if (after > 0 && span_s > 0.0) {
+        r.gray.post_mitigation_fps = after / span_s;
+      }
+    }
   }
 
   // ---------------------------------------------------------- checkpoints
@@ -1556,6 +1859,31 @@ class WalkthroughSim {
     w.u64(recovery_.checkpoint_writes);
     w.u64(recovery_.checkpoint_replays);
     w.f64(recovery_.checkpoint_bytes);
+    // Gray-mitigation progress — flag-gated on the config (which the
+    // fingerprint covers), so gray-off snapshots keep the pre-gray format
+    // byte-for-byte.
+    if (cfg_.gray.enabled()) {
+      w.i64(gray_.flags_raised);
+      w.i64(gray_.dvfs_boosts);
+      w.i64(gray_.migrations);
+      w.i64(gray_.rebalances);
+      w.i64(gray_.escalations);
+      w.i64(gray_.frames_drained);
+      w.u64(gray_rung_.size());
+      for (const auto& [c, rung] : gray_rung_) {
+        w.i64(c);
+        w.i64(rung);
+      }
+      w.u64(gray_flag_ms_.size());
+      for (const auto& [c, ms] : gray_flag_ms_) {
+        w.i64(c);
+        w.f64(ms);
+      }
+      w.u64(pipe_weight_.size());
+      for (const double wt : pipe_weight_) w.f64(wt);
+      w.u64(gray_drain_.size());
+      for (const char g : gray_drain_) w.u32(static_cast<std::uint32_t>(g));
+    }
     // Host-side distribution/collection cursors.
     w.i64(connect_frames_);
     w.i64(transfer_frame_);
@@ -1779,6 +2107,7 @@ class WalkthroughSim {
     collect_fault_report(r);
     collect_recovery_report(r);
     collect_transport_report(r);
+    collect_gray_report(r);
     r.frames = std::move(out_frames_);
     r.events_dispatched = engine_.dispatched();
     r.parallel_sim.enabled = cfg_.sim_jobs > 1;
@@ -1869,10 +2198,14 @@ class WalkthroughSim {
         t.goodput_fps =
             static_cast<double>(frame_done_ms_.size()) / span_sec;
       }
-      std::vector<double> lat = latency_ms_;
-      std::sort(lat.begin(), lat.end());
-      t.p50_latency_ms = quantile_sorted(lat, 0.5);
-      t.p99_latency_ms = quantile_sorted(lat, 0.99);
+      // Exact R-7 quantiles via the shared fixed-bucket histogram —
+      // bit-identical to sorting latency_ms_ and calling quantile_sorted
+      // (tests/gray_failure_test.cpp HistogramMatchesSortQuantiles guards
+      // the equivalence), without the full sort.
+      LatencyHistogram lat_hist(1.0);
+      for (const double ms : latency_ms_) lat_hist.add(ms);
+      t.p50_latency_ms = lat_hist.quantile(0.5);
+      t.p99_latency_ms = lat_hist.quantile(0.99);
     }
     t.breaker_trips = breaker_->trips();
     t.breaker_final = breaker_->state();
@@ -1994,6 +2327,9 @@ class WalkthroughSim {
   TransportReport transport_tally_;  // frame ledger counters, live
 
   // ---- self-healing state (all empty/unused when supervisor_ is null) ----
+  /// Inert fault view for a gray-only Supervisor (no fault plan at all).
+  /// Declared before supervisor_, which holds a reference into it.
+  std::unique_ptr<FaultInjector> idle_fault_;
   std::unique_ptr<Supervisor> supervisor_;
   RecoveryReport recovery_;
   std::vector<CoreId> spares_;          // remaining promotion candidates
@@ -2009,6 +2345,18 @@ class WalkthroughSim {
   std::set<int> lost_frames_;
   std::map<int, std::vector<int>> frame_routes_;
   double first_detect_ms_ = -1.0;
+
+  // ---- gray-failure state (inert unless cfg_.gray.enabled()) ----
+  GrayReport gray_;                        // live tally; finished in collect
+  std::map<CoreId, int> gray_rung_;        // ladder rungs climbed, per core
+  std::map<CoreId, double> gray_flag_ms_;  // first-flag instant, per core
+  std::vector<LatencyHistogram> gray_after_hist_;  // per action, aligned
+  std::map<CoreId, std::vector<std::size_t>> gray_after_;  // core -> actions
+  std::vector<char> gray_drain_;     // pipeline mid-drain (supervisor-sized)
+  std::vector<double> pipe_weight_;  // strip shares (rebalance rung)
+  bool gray_weighted_ = false;
+  std::map<int, std::vector<StripRange>> frame_strips_;  // weighted splits
+  double first_gray_flag_ms_ = -1.0;
 
   // ---- checkpoint / crash state (inert unless cfg_.checkpoint or a
   //      crash-at fate is active) ----

@@ -23,6 +23,69 @@ std::vector<StripRange> divide_rows(int height, int k) {
   return strips;
 }
 
+std::vector<StripRange> divide_rows_weighted(
+    int height, const std::vector<double>& weights) {
+  const int k = static_cast<int>(weights.size());
+  SCCPIPE_CHECK_MSG(height > 0 && k > 0, "height=" << height << " k=" << k);
+  SCCPIPE_CHECK_MSG(k <= height, "more strips than rows");
+  double total = 0.0;
+  for (const double w : weights) {
+    SCCPIPE_CHECK_MSG(w > 0.0, "strip weight " << w);
+    total += w;
+  }
+  // Largest-remainder apportionment: floor shares first, then hand the
+  // leftover rows to the largest fractional parts (ties to lower index —
+  // with equal weights this is exactly divide_rows' "earlier strips take
+  // the remainder" rule).
+  std::vector<int> rows(static_cast<std::size_t>(k), 0);
+  std::vector<double> frac(static_cast<std::size_t>(k), 0.0);
+  int assigned = 0;
+  for (int i = 0; i < k; ++i) {
+    const double ideal =
+        static_cast<double>(height) * weights[static_cast<std::size_t>(i)] /
+        total;
+    rows[static_cast<std::size_t>(i)] = static_cast<int>(ideal);
+    frac[static_cast<std::size_t>(i)] =
+        ideal - static_cast<double>(rows[static_cast<std::size_t>(i)]);
+    assigned += rows[static_cast<std::size_t>(i)];
+  }
+  for (int left = height - assigned; left > 0; --left) {
+    int best = 0;
+    for (int i = 1; i < k; ++i) {
+      if (frac[static_cast<std::size_t>(i)] >
+          frac[static_cast<std::size_t>(best)]) {
+        best = i;
+      }
+    }
+    ++rows[static_cast<std::size_t>(best)];
+    frac[static_cast<std::size_t>(best)] = -1.0;
+  }
+  // A tiny weight can floor to zero rows; every pipeline must still get a
+  // strip (k <= height guarantees a donor with at least two rows exists).
+  for (int i = 0; i < k; ++i) {
+    while (rows[static_cast<std::size_t>(i)] == 0) {
+      int donor = 0;
+      for (int j = 1; j < k; ++j) {
+        if (rows[static_cast<std::size_t>(j)] >
+            rows[static_cast<std::size_t>(donor)]) {
+          donor = j;
+        }
+      }
+      --rows[static_cast<std::size_t>(donor)];
+      ++rows[static_cast<std::size_t>(i)];
+    }
+  }
+  std::vector<StripRange> strips;
+  strips.reserve(static_cast<std::size_t>(k));
+  int y = 0;
+  for (int i = 0; i < k; ++i) {
+    strips.push_back(StripRange{y, rows[static_cast<std::size_t>(i)]});
+    y += rows[static_cast<std::size_t>(i)];
+  }
+  SCCPIPE_CHECK(y == height);
+  return strips;
+}
+
 Image::Image(int width, int height, Color fill)
     : width_(width), height_(height) {
   SCCPIPE_CHECK_MSG(width > 0 && height > 0,

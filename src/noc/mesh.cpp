@@ -41,11 +41,14 @@ SimTime MeshModel::transfer(SimTime start, TileCoord from, TileCoord to,
     if (faulty) {
       // A message at a dead link waits the outage out (link-layer
       // retransmission at degraded timing — delivery stays guaranteed);
-      // a degraded link stretches serialisation; a degraded router
-      // stretches the per-hop forwarding latency.
+      // a degraded link stretches serialisation; a degraded router or a
+      // planned degraded-link fate stretches the per-hop forwarding
+      // latency. Latency only ever inflates, so the parallel engine's
+      // lookahead floor (built from un-degraded transit) stays valid.
       t = fault_->link_available(static_cast<int>(idx), t);
       service = service * fault_->link_slowdown(static_cast<int>(idx), t);
-      hop_latency = hop_latency * fault_->router_slowdown(tile, t);
+      hop_latency = hop_latency * fault_->router_slowdown(tile, t) *
+                    fault_->link_latency_factor(static_cast<int>(idx), t);
     }
     t = links_[idx].acquire(t, service) + hop_latency;
     LinkTraffic& tr = traffic_[idx];

@@ -192,6 +192,16 @@ bool SccChip::core_dead_at(CoreId core, SimTime now) const {
   return fault_ != nullptr && fault_->core_failed(core, now);
 }
 
+SimTime SccChip::gray_adjusted(CoreId core, SimTime dur, SimTime now) const {
+  if (fault_ == nullptr) return dur;
+  // An intermittent stall freezes the core: work arriving mid-window waits
+  // the window out (deferred, never dropped), and the core reads as busy
+  // for the wait — a frozen core with queued work is occupied, not idle.
+  // The slow-core multiplier is sampled at the actual start instant.
+  const SimTime start = fault_->core_available(core, now);
+  return (start - now) + dur * fault_->core_slowdown(core, start);
+}
+
 void SccChip::compute(CoreId core, double ref_cycles,
                       StageCallback on_done) {
   SCCPIPE_CHECK(ref_cycles >= 0.0);
@@ -206,7 +216,9 @@ void SccChip::compute(CoreId core, double ref_cycles,
     fabric_->hop(ct, [this, core, ref_cycles, ret,
                       cb = std::move(on_done)]() mutable {
       if (core_dead_at(core, fabric_->now())) return;
-      const SimTime dur = SimTime::sec(ref_cycles / effective_hz_live(core));
+      const SimTime dur = gray_adjusted(
+          core, SimTime::sec(ref_cycles / effective_hz_live(core)),
+          fabric_->now());
       set_core_busy_at(core, true, fabric_->now());
       fabric_->after(dur, [this, core, ret, cb = std::move(cb)]() mutable {
         set_core_busy_at(core, false, fabric_->now());
@@ -216,7 +228,8 @@ void SccChip::compute(CoreId core, double ref_cycles,
     return;
   }
   if (core_dead(core)) return;  // fail-stop: nothing starts, nothing returns
-  const SimTime dur = SimTime::sec(ref_cycles / effective_hz(core));
+  const SimTime dur = gray_adjusted(
+      core, SimTime::sec(ref_cycles / effective_hz(core)), sim_.now());
   set_core_busy(core, true);
   sim_.schedule_after(dur, [this, core, cb = std::move(on_done)]() mutable {
     set_core_busy(core, false);
@@ -268,7 +281,8 @@ void SccChip::walk_step(WalkState st) {
     return;
   }
   --st.remaining;
-  const SimTime dur = mem_.latency_bound(st.core, st.per_segment);
+  const SimTime dur = gray_adjusted(
+      st.core, mem_.latency_bound(st.core, st.per_segment), sim_.now());
   sim_.schedule_after(
       dur, [this, st = std::move(st)]() mutable { walk_step(std::move(st)); });
 }
@@ -286,8 +300,9 @@ void SccChip::fabric_walk_step(WalkState st, TileId ret_site) {
     return;
   }
   --st.remaining;
-  const SimTime dur =
-      mem_.latency_bound(st.core, st.per_segment, fabric_->now());
+  const SimTime dur = gray_adjusted(
+      st.core, mem_.latency_bound(st.core, st.per_segment, fabric_->now()),
+      fabric_->now());
   fabric_->after(dur, [this, st = std::move(st), ret_site]() mutable {
     fabric_walk_step(std::move(st), ret_site);
   });

@@ -40,6 +40,9 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::HostDuplicate: return "duplicate";
     case FaultKind::HostBurstDrop: return "burst-drop";
     case FaultKind::CrashAt: return "crash-at";
+    case FaultKind::SlowCore: return "slow-core";
+    case FaultKind::LinkLatency: return "degraded-link";
+    case FaultKind::CoreStall: return "intermittent-stall";
   }
   return "?";
 }
@@ -125,6 +128,83 @@ bool parse_core_fail(const std::string& v, std::vector<CoreFailure>* out) {
   if (!parse_count(v.substr(0, at), &cf.core)) return false;
   if (!parse_time(v.substr(at + 1), &cf.at)) return false;
   out->push_back(cf);
+  return true;
+}
+
+/// A latency *multiplier* for the fail-slow fates: anything below 1 (which
+/// subsumes the nonsense values <= 0) would be a speed-up, not a fault.
+bool parse_multiplier(const std::string& v, double* out) {
+  char* end = nullptr;
+  const double num = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || num < 1.0) return false;
+  *out = num;
+  return true;
+}
+
+/// "<core>:<factor>@<time>" for one planned fail-slow onset.
+bool parse_slow_core(const std::string& v, std::vector<SlowCore>* out) {
+  const auto colon = v.find(':');
+  const auto at = v.find('@');
+  if (colon == std::string::npos || at == std::string::npos || at < colon) {
+    return false;
+  }
+  SlowCore sc;
+  if (!parse_count(v.substr(0, colon), &sc.core)) return false;
+  if (!parse_multiplier(v.substr(colon + 1, at - colon - 1), &sc.factor)) {
+    return false;
+  }
+  if (!parse_time(v.substr(at + 1), &sc.at)) return false;
+  out->push_back(sc);
+  return true;
+}
+
+/// "<a>-<b>:<factor>@<time>" for one planned link degradation; self-links
+/// (a == b) are rejected here, adjacency is checked against the topology
+/// when the injector expands the plan.
+bool parse_degraded_link(const std::string& v, std::vector<DegradedLink>* out) {
+  const auto dash = v.find('-');
+  const auto colon = v.find(':');
+  const auto at = v.find('@');
+  if (dash == std::string::npos || colon == std::string::npos ||
+      at == std::string::npos || colon < dash || at < colon) {
+    return false;
+  }
+  DegradedLink dl;
+  if (!parse_count(v.substr(0, dash), &dl.tile_a)) return false;
+  if (!parse_count(v.substr(dash + 1, colon - dash - 1), &dl.tile_b)) {
+    return false;
+  }
+  if (dl.tile_a == dl.tile_b) return false;  // a link needs two endpoints
+  if (!parse_multiplier(v.substr(colon + 1, at - colon - 1), &dl.factor)) {
+    return false;
+  }
+  if (!parse_time(v.substr(at + 1), &dl.at)) return false;
+  out->push_back(dl);
+  return true;
+}
+
+/// "<core>:<period>:<duration>" for one intermittent-stall train. Duration
+/// must be positive and strictly shorter than the period (a stall reaching
+/// into the next period would overlap its successor), and each core may
+/// carry at most one train — two trains on one core always overlap
+/// eventually, so the second spec is rejected outright.
+bool parse_stall(const std::string& v, std::vector<StallSpec>* out) {
+  const auto c1 = v.find(':');
+  if (c1 == std::string::npos) return false;
+  const auto c2 = v.find(':', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  StallSpec ss;
+  if (!parse_count(v.substr(0, c1), &ss.core)) return false;
+  if (!parse_time(v.substr(c1 + 1, c2 - c1 - 1), &ss.period)) return false;
+  if (!parse_time(v.substr(c2 + 1), &ss.duration)) return false;
+  if (ss.period <= SimTime::zero() || ss.duration <= SimTime::zero()) {
+    return false;
+  }
+  if (ss.duration >= ss.period) return false;  // overlapping stalls
+  for (const StallSpec& prev : *out) {
+    if (prev.core == ss.core) return false;  // second train on one core
+  }
+  out->push_back(ss);
   return true;
 }
 
@@ -238,6 +318,35 @@ constexpr PlanField kPlanFields[] = {
        return parse_core_fail(v, &p.core_failures);
      },
      [](const FaultPlan& p) { return !p.core_failures.empty(); }},
+    // Fail-slow fates. A factor of exactly 1.0 is a legal spelling of "no
+    // fault": it never activates the layer and never enters the schedule,
+    // so slow-core=<c>:1.0@<t> is byte-identical to omitting the key (the
+    // metamorphic property tests/gray_failure_test asserts).
+    {"slow-core",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_slow_core(v, &p.slow_cores);
+     },
+     [](const FaultPlan& p) {
+       for (const SlowCore& sc : p.slow_cores) {
+         if (sc.factor != 1.0) return true;
+       }
+       return false;
+     }},
+    {"degraded-link",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_degraded_link(v, &p.degraded_links);
+     },
+     [](const FaultPlan& p) {
+       for (const DegradedLink& dl : p.degraded_links) {
+         if (dl.factor != 1.0) return true;
+       }
+       return false;
+     }},
+    {"intermittent-stall",
+     [](FaultPlan& p, const std::string& v) {
+       return parse_stall(v, &p.stalls);
+     },
+     [](const FaultPlan& p) { return !p.stalls.empty(); }},
     // Config-only on purpose (like seed/horizon/window): a planned process
     // crash is executed by the run driver, not simulated — it must not
     // attach the fault layer, or a crash-only plan would stop being
@@ -297,7 +406,7 @@ Status FaultPlan::parse(const std::string& text) {
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan, int link_count,
-                             int tile_count, int mc_count)
+                             int tile_count, int mc_count, int mesh_width)
     : plan_(plan),
       enabled_(plan.enabled()),
       rcce_rng_(SplitMix64{plan.seed ^ 0x72636365ULL}.next()),
@@ -345,6 +454,69 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int link_count,
     ev.target = cf.core;
     ev.start = ev.end = cf.at;
     schedule_.push_back(ev);
+  }
+  // Fail-slow fates are likewise pure plan expansions — no RNG draw, so
+  // composing them with any message-fate plan perturbs no stream. Events
+  // store the *inverse* multiplier so the shared slowdown() helper (which
+  // returns 1/min-factor) recovers the plan's multiplier exactly.
+  for (const SlowCore& sc : plan_.slow_cores) {
+    if (sc.factor == 1.0) continue;  // legal no-op spelling, see kPlanFields
+    FaultEvent ev;
+    ev.kind = FaultKind::SlowCore;
+    ev.target = sc.core;
+    ev.start = sc.at;
+    ev.end = SimTime::max();  // fail-slow never heals on its own
+    ev.factor = 1.0 / sc.factor;
+    schedule_.push_back(ev);
+  }
+  for (const DegradedLink& dl : plan_.degraded_links) {
+    if (dl.factor == 1.0) continue;
+    SCCPIPE_CHECK_MSG(mesh_width > 0,
+                      "degraded-link plans need the mesh width");
+    SCCPIPE_CHECK_MSG(dl.tile_a >= 0 && dl.tile_a < tile_count &&
+                          dl.tile_b >= 0 && dl.tile_b < tile_count,
+                      "degraded-link " << dl.tile_a << "-" << dl.tile_b
+                                       << " names a tile off the mesh");
+    const int ax = dl.tile_a % mesh_width, ay = dl.tile_a / mesh_width;
+    const int bx = dl.tile_b % mesh_width, by = dl.tile_b / mesh_width;
+    SCCPIPE_CHECK_MSG(std::abs(ax - bx) + std::abs(ay - by) == 1,
+                      "degraded-link " << dl.tile_a << "-" << dl.tile_b
+                                       << " is not a mesh link (tiles not "
+                                          "adjacent)");
+    // Degrade both directed halves of the physical link. Direction codes
+    // match noc/topology.hpp (East=0, West=1, North=2, South=3) and the
+    // mesh's dense link index convention tile*4 + direction.
+    const auto dir_from = [&](int fx, int fy, int tx, int ty) {
+      if (tx == fx + 1) return 0;  // East
+      if (tx == fx - 1) return 1;  // West
+      if (ty == fy - 1) return 2;  // North
+      return 3;                    // South
+    };
+    const int pair[2][2] = {{dl.tile_a, dir_from(ax, ay, bx, by)},
+                            {dl.tile_b, dir_from(bx, by, ax, ay)}};
+    for (const auto& half : pair) {
+      FaultEvent ev;
+      ev.kind = FaultKind::LinkLatency;
+      ev.target = half[0] * 4 + half[1];
+      SCCPIPE_CHECK(ev.target >= 0 && ev.target < link_count);
+      ev.start = dl.at;
+      ev.end = SimTime::max();
+      ev.factor = 1.0 / dl.factor;
+      schedule_.push_back(ev);
+    }
+  }
+  for (const StallSpec& ss : plan_.stalls) {
+    SCCPIPE_CHECK(ss.core >= 0);
+    // One window at the top of every period across the horizon; eager
+    // expansion keeps every query a pure scan of an immutable schedule.
+    for (SimTime t = SimTime::zero(); t < plan_.horizon; t = t + ss.period) {
+      FaultEvent ev;
+      ev.kind = FaultKind::CoreStall;
+      ev.target = ss.core;
+      ev.start = t;
+      ev.end = t + ss.duration;
+      schedule_.push_back(ev);
+    }
   }
   // stable_sort: two events agreeing on (start, target, kind) — e.g. a
   // duplicated CoreFail entry in the plan — keep their generation order, so
@@ -403,6 +575,11 @@ double FaultInjector::router_slowdown(int tile, SimTime at) const {
   return slowdown(FaultKind::RouterDegrade, tile, at);
 }
 
+double FaultInjector::link_latency_factor(int link_index, SimTime at) const {
+  if (!enabled_) return 1.0;
+  return slowdown(FaultKind::LinkLatency, link_index, at);
+}
+
 SimTime FaultInjector::mc_available(int mc, SimTime at) const {
   if (!enabled_) return at;
   return available_after(FaultKind::McStall, mc, at);
@@ -427,6 +604,26 @@ SimTime FaultInjector::core_fail_time(int core) const {
     if (cf.core == core) t = std::min(t, cf.at);
   }
   return t;
+}
+
+double FaultInjector::core_slowdown(int core, SimTime at) const {
+  if (!enabled_) return 1.0;
+  return slowdown(FaultKind::SlowCore, core, at);
+}
+
+SimTime FaultInjector::core_available(int core, SimTime at) const {
+  if (!enabled_) return at;
+  return available_after(FaultKind::CoreStall, core, at);
+}
+
+bool FaultInjector::has_gray_faults() const {
+  for (const SlowCore& sc : plan_.slow_cores) {
+    if (sc.factor != 1.0) return true;
+  }
+  for (const DegradedLink& dl : plan_.degraded_links) {
+    if (dl.factor != 1.0) return true;
+  }
+  return !plan_.stalls.empty();
 }
 
 MessageFate FaultInjector::rcce_message_fate(SimTime at, int from, int to,
